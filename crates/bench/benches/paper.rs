@@ -1,0 +1,89 @@
+//! Criterion micro-benchmarks: one group per paper artifact, at
+//! reduced sizes (these measure the *simulator's* wall-clock cost of
+//! regenerating each experiment; the `fig*`/`table1` binaries print
+//! the paper-scale rows).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cofs_bench::{cofs_over_gpfs, gpfs};
+use workloads::ior::{run_ior_op, Access, FileMode, IoOp, IorConfig};
+use workloads::metarates::{run_phase, MetaOp, MetaratesConfig};
+
+const MB: u64 = 1024 * 1024;
+
+fn bench_fig1(c: &mut Criterion) {
+    c.bench_function("fig1_single_node_stat_1536", |b| {
+        b.iter(|| {
+            let cfg = MetaratesConfig::new(1, 1536);
+            run_phase(&mut gpfs(1), &cfg, MetaOp::Stat)
+        })
+    });
+    c.bench_function("fig1_single_node_create_1024", |b| {
+        b.iter(|| {
+            let cfg = MetaratesConfig::new(1, 1024);
+            run_phase(&mut gpfs(1), &cfg, MetaOp::Create)
+        })
+    });
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    c.bench_function("fig2_gpfs_parallel_create_4n", |b| {
+        b.iter(|| {
+            let cfg = MetaratesConfig::new(4, 256);
+            run_phase(&mut gpfs(4), &cfg, MetaOp::Create)
+        })
+    });
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    c.bench_function("fig4_cofs_parallel_create_4n", |b| {
+        b.iter(|| {
+            let cfg = MetaratesConfig::new(4, 256);
+            run_phase(&mut cofs_over_gpfs(4), &cfg, MetaOp::Create)
+        })
+    });
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    c.bench_function("fig5_cofs_parallel_stat_4n", |b| {
+        b.iter(|| {
+            let cfg = MetaratesConfig::new(4, 512);
+            run_phase(&mut cofs_over_gpfs(4), &cfg, MetaOp::Stat)
+        })
+    });
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    use netsim::topology::Topology;
+    c.bench_function("fig6_hierarchical_16n_stat", |b| {
+        b.iter(|| {
+            let cfg = MetaratesConfig::new(16, 64);
+            run_phase(
+                &mut cofs_bench::gpfs_on(16, Topology::hierarchical(8)),
+                &cfg,
+                MetaOp::Stat,
+            )
+        })
+    });
+}
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1_ior_seq_write_separate_4n", |b| {
+        b.iter(|| {
+            let cfg = IorConfig::new(4, 64 * MB, FileMode::FilePerProcess, Access::Sequential);
+            run_ior_op(&mut gpfs(4), &cfg, IoOp::Write)
+        })
+    });
+    c.bench_function("table1_ior_seq_read_cofs_4n", |b| {
+        b.iter(|| {
+            let cfg = IorConfig::new(4, 64 * MB, FileMode::FilePerProcess, Access::Sequential);
+            run_ior_op(&mut cofs_over_gpfs(4), &cfg, IoOp::Read)
+        })
+    });
+}
+
+criterion_group! {
+    name = paper;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig1, bench_fig2, bench_fig4, bench_fig5, bench_fig6, bench_table1
+}
+criterion_main!(paper);

@@ -1,0 +1,61 @@
+//! Ablation experiments for the design choices DESIGN.md calls out:
+//!
+//! 1. *Placement policy*: the paper's hashed policy vs. passthrough
+//!    (metadata service only, shared underlying directory) — isolates
+//!    how much of the win is placement vs. the metadata service.
+//! 2. *Underlying directory limit*: 128 / 512 (paper) / 2048.
+//! 3. *Randomization spread*: 1 (off) vs. 8 (paper).
+
+use cofs::config::{CofsConfig, MdsNetwork};
+use cofs::fs::CofsFs;
+use cofs::placement::{HashedPlacement, PassthroughPlacement, PlacementPolicy};
+use netsim::cluster::ClusterBuilder;
+use pfs::config::PfsConfig;
+use pfs::fs::PfsFs;
+use workloads::metarates::{run_phase, MetaOp, MetaratesConfig};
+use workloads::report::{ms, Table};
+
+fn stack(cfg: CofsConfig, placement: Box<dyn PlacementPolicy>) -> CofsFs<PfsFs> {
+    let cluster = ClusterBuilder::new()
+        .clients(8)
+        .servers(2)
+        .with_metadata_host()
+        .build();
+    let host = cluster.metadata_host().expect("metadata host requested");
+    let net = MdsNetwork::from_cluster(&cluster, host);
+    CofsFs::with_placement(PfsFs::new(cluster, PfsConfig::default()), cfg, net, placement)
+}
+
+fn main() {
+    println!("== Ablations (8 nodes, 1024 files/node, create phase) ==\n");
+    let bench = MetaratesConfig::new(8, 1024);
+    let mut table = Table::new(vec!["variant", "create (ms)"]);
+
+    let base = CofsConfig::default();
+    let hashed = |cfg: &CofsConfig, spread: u32, limit: u32| -> Box<dyn PlacementPolicy> {
+        Box::new(HashedPlacement::new(cfg.under_root.clone(), limit, spread, 7))
+    };
+
+    let mut fs = stack(base.clone(), hashed(&base, 8, 512));
+    let r = run_phase(&mut fs, &bench, MetaOp::Create);
+    table.row(vec!["paper (hash, spread 8, limit 512)".into(), ms(r.mean_ms())]);
+
+    let mut fs = stack(base.clone(), hashed(&base, 1, 512));
+    let r = run_phase(&mut fs, &bench, MetaOp::Create);
+    table.row(vec!["no randomization (spread 1)".into(), ms(r.mean_ms())]);
+
+    for limit in [128u32, 2048] {
+        let mut fs = stack(base.clone(), hashed(&base, 8, limit));
+        let r = run_phase(&mut fs, &bench, MetaOp::Create);
+        table.row(vec![format!("dir limit {limit}"), ms(r.mean_ms())]);
+    }
+
+    let mut fs = stack(
+        base.clone(),
+        Box::new(PassthroughPlacement::new(base.under_root.clone())),
+    );
+    let r = run_phase(&mut fs, &bench, MetaOp::Create);
+    table.row(vec!["passthrough (no placement decoupling)".into(), ms(r.mean_ms())]);
+
+    println!("{}", table.render());
+}

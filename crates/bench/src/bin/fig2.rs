@@ -1,0 +1,37 @@
+//! Regenerates **paper Fig 2**: "Parallel metadata behavior of GPFS" —
+//! average time per operation on 4 and 8 nodes for directories of
+//! 1024, 4096 and 16384 total files (single shared directory).
+//!
+//! Expected shape (paper §II-B): parallel create cost is dominated by
+//! node count (≈20 ms @ 4 nodes, ≈30 ms @ 8 nodes) and barely depends
+//! on the file count; stat/utime/open-close are elevated versus the
+//! single-node case, most strongly for the smaller directories.
+
+use cofs_bench::gpfs;
+use workloads::metarates::{run_phase, MetaOp, MetaratesConfig};
+use workloads::report::{ms, Table};
+
+fn main() {
+    println!("== Fig 2: parallel metadata behavior of GPFS ==\n");
+    let totals = [1024usize, 4096, 16384];
+    let mut table = Table::new(vec![
+        "operation",
+        "nodes",
+        "1024 files (ms)",
+        "4096 files (ms)",
+        "16384 files (ms)",
+    ]);
+    for op in MetaOp::ALL {
+        for nodes in [4usize, 8] {
+            let mut row = vec![op.label().to_string(), format!("{nodes} n.")];
+            for &total in &totals {
+                let cfg = MetaratesConfig::new(nodes, total / nodes);
+                let mut fs = gpfs(nodes);
+                let result = run_phase(&mut fs, &cfg, op);
+                row.push(ms(result.mean_ms()));
+            }
+            table.row(row);
+        }
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,45 @@
+//! Regenerates **paper Fig 5**: "Stat time (pure GPFS vs. COFS over
+//! GPFS)" — plus the utime and open/close series the paper reports in
+//! text as "closely resembling the stat behavior".
+//!
+//! Expected shape (paper §IV-A): COFS reduces stat beyond 512 entries
+//! per node from ≈5 ms (4 nodes) / ≈7 ms (8 nodes) down to ≈1 ms;
+//! for very small per-node counts both systems are elevated, with
+//! COFS comparable or slightly better.
+
+use cofs_bench::{cofs_over_gpfs, gpfs, FILES_PER_NODE_SWEEP};
+use workloads::metarates::{run_phase, MetaOp, MetaratesConfig};
+use workloads::report::{ms, Table};
+
+fn main() {
+    println!("== Fig 5: stat/utime/open-close time, pure GPFS vs COFS over GPFS ==\n");
+    for op in [MetaOp::Stat, MetaOp::Utime, MetaOp::OpenClose] {
+        for nodes in [4usize, 8] {
+            let mut table = Table::new(vec![
+                "files/node",
+                "gpfs (ms)",
+                "cofs (ms)",
+                "speedup",
+            ]);
+            for &fpn in &FILES_PER_NODE_SWEEP {
+                let cfg = MetaratesConfig::new(nodes, fpn);
+                let mut g = gpfs(nodes);
+                let rg = run_phase(&mut g, &cfg, op);
+                let mut c = cofs_over_gpfs(nodes);
+                let rc = run_phase(&mut c, &cfg, op);
+                let speedup = if rc.mean_ms() > 0.0 {
+                    rg.mean_ms() / rc.mean_ms()
+                } else {
+                    f64::INFINITY
+                };
+                table.row(vec![
+                    fpn.to_string(),
+                    ms(rg.mean_ms()),
+                    ms(rc.mean_ms()),
+                    format!("{speedup:.1}x"),
+                ]);
+            }
+            println!("avg. time per {} — {nodes} nodes:\n{}", op.label(), table.render());
+        }
+    }
+}

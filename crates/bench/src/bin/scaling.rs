@@ -1,0 +1,37 @@
+//! Extension experiment: node-count sweep 4→64 on the hierarchical
+//! topology (the paper measured only the 64-node endpoint; this sweep
+//! shows where the curves separate — §IV-A: "the benefits of
+//! virtualization are not only maintained but increased in larger
+//! scales").
+
+use cofs_bench::{cofs_over_gpfs_on, gpfs_on};
+use netsim::topology::Topology;
+use workloads::metarates::{run_phase, MetaOp, MetaratesConfig};
+use workloads::report::{ms, Table};
+
+fn main() {
+    println!("== Scaling: create & stat vs node count (hierarchical, 256 files/node) ==\n");
+    let mut table = Table::new(vec![
+        "nodes",
+        "gpfs create",
+        "cofs create",
+        "gpfs stat",
+        "cofs stat",
+    ]);
+    for nodes in [4usize, 8, 16, 32, 64] {
+        let cfg = MetaratesConfig::new(nodes, 256);
+        let topo = || Topology::hierarchical(16);
+        let gc = run_phase(&mut gpfs_on(nodes, topo()), &cfg, MetaOp::Create);
+        let cc = run_phase(&mut cofs_over_gpfs_on(nodes, topo()), &cfg, MetaOp::Create);
+        let gs = run_phase(&mut gpfs_on(nodes, topo()), &cfg, MetaOp::Stat);
+        let cs = run_phase(&mut cofs_over_gpfs_on(nodes, topo()), &cfg, MetaOp::Stat);
+        table.row(vec![
+            nodes.to_string(),
+            ms(gc.mean_ms()),
+            ms(cc.mean_ms()),
+            ms(gs.mean_ms()),
+            ms(cs.mean_ms()),
+        ]);
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,93 @@
+//! # cofs-bench — harness regenerating every table and figure
+//!
+//! One binary per paper artifact:
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `fig1` | Fig 1 — single-node GPFS op times vs. directory size |
+//! | `fig2` | Fig 2 — parallel GPFS metadata behaviour (4/8 nodes) |
+//! | `fig4` | Fig 4 — create time, GPFS vs. COFS sweep |
+//! | `fig5` | Fig 5 — stat time (plus utime/open-close series) |
+//! | `fig6` | Fig 6 — 64 nodes, hierarchical network |
+//! | `table1` | Table I — IOR data-transfer impact matrix |
+//! | `scaling` | extension — node-count sweep 4→64 |
+//! | `ablation` | extension — placement/limit ablations |
+//!
+//! This library holds the factories shared by the binaries, the
+//! Criterion micro-benches, and the integration tests: standard ways
+//! to build the bare-GPFS stack and the COFS-over-GPFS stack on a
+//! given cluster size.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use cofs::config::{CofsConfig, MdsNetwork};
+use cofs::fs::CofsFs;
+use netsim::cluster::ClusterBuilder;
+use netsim::topology::Topology;
+use pfs::config::PfsConfig;
+use pfs::fs::PfsFs;
+
+/// Builds the paper's primary testbed: `nodes` blades, two file
+/// servers, one blade-center switch, bare GPFS.
+pub fn gpfs(nodes: usize) -> PfsFs {
+    gpfs_on(nodes, Topology::flat())
+}
+
+/// Builds bare GPFS on an arbitrary topology.
+pub fn gpfs_on(nodes: usize, topology: Topology) -> PfsFs {
+    let cluster = ClusterBuilder::new()
+        .clients(nodes)
+        .servers(2)
+        .topology(topology)
+        .build();
+    PfsFs::new(cluster, PfsConfig::default())
+}
+
+/// Builds COFS over GPFS: same testbed plus one extra blade hosting
+/// the metadata service (paper §IV: "one of the blades … was used to
+/// host the COFS metadata service").
+pub fn cofs_over_gpfs(nodes: usize) -> CofsFs<PfsFs> {
+    cofs_over_gpfs_on(nodes, Topology::flat())
+}
+
+/// Builds COFS over GPFS on an arbitrary topology.
+pub fn cofs_over_gpfs_on(nodes: usize, topology: Topology) -> CofsFs<PfsFs> {
+    let cluster = ClusterBuilder::new()
+        .clients(nodes)
+        .servers(2)
+        .with_metadata_host()
+        .topology(topology)
+        .build();
+    let mds_host = cluster.metadata_host().expect("requested a metadata host");
+    let net = MdsNetwork::from_cluster(&cluster, mds_host);
+    let under = PfsFs::new(cluster, PfsConfig::default());
+    CofsFs::new(under, CofsConfig::default(), net, 0xC0F5)
+}
+
+/// The files-per-node sweep of Figs 4 and 5.
+pub const FILES_PER_NODE_SWEEP: [usize; 9] = [32, 64, 128, 256, 512, 1024, 2048, 4096, 8192];
+
+/// The directory-size sweep of Fig 1.
+pub const FIG1_DIR_SIZES: [usize; 9] = [128, 256, 512, 768, 1024, 1280, 1536, 2048, 2560];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vfs::fs::FileSystem;
+    use vfs::fs::OpCtx;
+    use vfs::path::vpath;
+    use vfs::types::Mode;
+
+    #[test]
+    fn factories_build_working_stacks() {
+        let mut g = gpfs(4);
+        let ctx = OpCtx::test(netsim::ids::NodeId(0));
+        g.mkdir(&ctx, &vpath("/d"), Mode::dir_default()).unwrap();
+        let mut c = cofs_over_gpfs(4);
+        c.mkdir(&ctx, &vpath("/d"), Mode::dir_default()).unwrap();
+        let fh = c.create(&ctx, &vpath("/d/f"), Mode::file_default()).unwrap().value;
+        c.close(&ctx, fh).unwrap();
+        assert_eq!(c.readdir(&ctx, &vpath("/d")).unwrap().value.len(), 1);
+    }
+}

@@ -1,0 +1,149 @@
+//! COFS configuration: FUSE interposition costs, metadata-service
+//! network model, and placement parameters.
+
+use metadb::cost::DbCostModel;
+use netsim::cluster::Cluster;
+use netsim::ids::NodeId;
+use simcore::time::SimDuration;
+use std::collections::HashMap;
+use vfs::path::{vpath, VPath};
+
+/// Tunable parameters of the COFS virtualization layer.
+#[derive(Debug, Clone)]
+pub struct CofsConfig {
+    // ---- FUSE interposition ----
+    /// Per-request dispatch overhead (two user/kernel crossings plus
+    /// daemon scheduling). The paper runs COFS as a FUSE daemon; this
+    /// is the cost of that indirection.
+    pub fuse_dispatch: SimDuration,
+    /// Extra copy bandwidth for data through the FUSE double buffer
+    /// ("FUSE's double buffer copying", paper §IV-B). Charged per byte
+    /// on reads and writes in addition to the underlying transfer.
+    pub fuse_copy_bytes_per_sec: u64,
+
+    // ---- placement driver ----
+    /// Maximum entries per underlying directory. The paper: "we
+    /// applied a limit of 512 entries to the underlying directory
+    /// size", keeping the native filesystem in its optimized range.
+    pub dir_limit: u32,
+    /// Number of randomized second-level subdirectories per hash
+    /// directory ("a randomization factor is used, resulting in files
+    /// being further distributed in a subdirectory level").
+    pub spread: u32,
+    /// Root of the underlying layout.
+    pub under_root: VPath,
+
+    // ---- metadata service ----
+    /// Database cost model (Mnesia disc-copies equivalent).
+    pub db: DbCostModel,
+    /// Metadata-service CPU overhead per RPC beyond the DB work.
+    pub mds_service: SimDuration,
+    /// One-time per-node session establishment with the service.
+    pub session_cost: SimDuration,
+}
+
+impl Default for CofsConfig {
+    fn default() -> Self {
+        CofsConfig {
+            fuse_dispatch: SimDuration::from_micros(60),
+            fuse_copy_bytes_per_sec: 350 * 1024 * 1024,
+            dir_limit: 512,
+            spread: 8,
+            under_root: vpath("/.cofs"),
+            db: DbCostModel::default(),
+            mds_service: SimDuration::from_micros(15),
+            session_cost: SimDuration::from_millis(2),
+        }
+    }
+}
+
+impl CofsConfig {
+    /// FUSE copy time for `len` bytes.
+    pub fn fuse_copy(&self, len: u64) -> SimDuration {
+        SimDuration::from_secs_f64(len as f64 / self.fuse_copy_bytes_per_sec as f64)
+    }
+}
+
+/// Round-trip times from each client node to the metadata-service
+/// host. COFS is layered *above* the filesystem, so it cannot reach
+/// inside the underlying simulator's network; harnesses build this
+/// table from the same cluster instead.
+#[derive(Debug, Clone)]
+pub struct MdsNetwork {
+    rtts: HashMap<NodeId, SimDuration>,
+    default_rtt: SimDuration,
+}
+
+impl MdsNetwork {
+    /// Every node sees the same round-trip time (flat blade center).
+    pub fn uniform(rtt: SimDuration) -> Self {
+        MdsNetwork {
+            rtts: HashMap::new(),
+            default_rtt: rtt,
+        }
+    }
+
+    /// Derives per-node RTTs from a cluster and the node hosting the
+    /// metadata service.
+    pub fn from_cluster(cluster: &Cluster, mds_host: NodeId) -> Self {
+        let mut rtts = HashMap::new();
+        for &c in cluster.clients() {
+            rtts.insert(c, cluster.rtt(c, mds_host));
+        }
+        MdsNetwork {
+            rtts,
+            default_rtt: cluster.rtt(cluster.clients()[0], mds_host),
+        }
+    }
+
+    /// Round trip from `node` to the service host.
+    pub fn rtt(&self, node: NodeId) -> SimDuration {
+        self.rtts.get(&node).copied().unwrap_or(self.default_rtt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::cluster::ClusterBuilder;
+    use netsim::topology::Topology;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = CofsConfig::default();
+        assert_eq!(c.dir_limit, 512);
+        assert!(c.spread > 1);
+        assert_eq!(c.under_root.as_str(), "/.cofs");
+    }
+
+    #[test]
+    fn fuse_copy_scales() {
+        let c = CofsConfig::default();
+        let one = c.fuse_copy(1024 * 1024);
+        let four = c.fuse_copy(4 * 1024 * 1024);
+        assert!(four > one * 3);
+        assert!(four < one * 5);
+    }
+
+    #[test]
+    fn uniform_network() {
+        let n = MdsNetwork::uniform(SimDuration::from_micros(300));
+        assert_eq!(n.rtt(NodeId(0)), SimDuration::from_micros(300));
+        assert_eq!(n.rtt(NodeId(42)), SimDuration::from_micros(300));
+    }
+
+    #[test]
+    fn cluster_network_reflects_topology() {
+        let cluster = ClusterBuilder::new()
+            .clients(32)
+            .servers(2)
+            .with_metadata_host()
+            .topology(Topology::hierarchical(16))
+            .build();
+        let mds = cluster.metadata_host().unwrap();
+        let net = MdsNetwork::from_cluster(&cluster, mds);
+        let near = cluster.clients()[0]; // center 0, same as the host
+        let far = cluster.clients()[20]; // center 1
+        assert!(net.rtt(far) > net.rtt(near));
+    }
+}

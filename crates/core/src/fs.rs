@@ -1,0 +1,815 @@
+//! `CofsFs` — the composite filesystem.
+//!
+//! Implements the paper's architecture (Fig 3): a FUSE-style
+//! interposition layer on every client diverts filesystem requests to
+//! two userspace modules — the **placement driver** (which maps
+//! regular files onto an underlying layout that avoids synchronization
+//! conflicts) and the **metadata driver** (which forwards pure
+//! metadata operations to a centralized metadata service). Only
+//! requests related to file contents reach the underlying filesystem.
+
+use crate::config::{CofsConfig, MdsNetwork};
+use crate::mds::{Cred, DbOps, Mds};
+use crate::placement::{HashedPlacement, PlacementPolicy};
+use metadb::cost::DbCostTracker;
+use netsim::ids::NodeId;
+use simcore::prelude::*;
+use vfs::error::{Errno, FsError};
+use vfs::fs::{FileSystem, FsResult, OpCtx, Timed};
+use vfs::path::VPath;
+use vfs::types::{
+    DirEntry, FileAttr, FileHandle, FileType, FsStats, Gid, Mode, OpenFlags, SetAttr, Uid,
+};
+use std::collections::{HashMap, HashSet};
+
+#[derive(Debug, Clone)]
+struct CHandle {
+    vino: u64,
+    under_fh: Option<FileHandle>,
+    mapping: Option<VPath>,
+    flags: OpenFlags,
+    written: bool,
+    /// Regular file whose underlying open is deferred until first I/O
+    /// (the daemon opens lazily; pure open/close cycles never touch
+    /// the underlying filesystem).
+    lazy: bool,
+}
+
+/// The COFS virtualization layer over any underlying filesystem.
+///
+/// # Examples
+///
+/// ```
+/// use cofs::config::{CofsConfig, MdsNetwork};
+/// use cofs::fs::CofsFs;
+/// use netsim::ids::NodeId;
+/// use simcore::time::SimDuration;
+/// use vfs::fs::{FileSystem, OpCtx};
+/// use vfs::memfs::MemFs;
+/// use vfs::path::vpath;
+/// use vfs::types::Mode;
+///
+/// let net = MdsNetwork::uniform(SimDuration::from_micros(250));
+/// let mut fs = CofsFs::new(MemFs::new(), CofsConfig::default(), net, 42);
+/// let ctx = OpCtx::test(NodeId(0));
+/// fs.mkdir(&ctx, &vpath("/shared"), Mode::dir_default())?;
+/// let fh = fs.create(&ctx, &vpath("/shared/out"), Mode::file_default())?.value;
+/// fs.close(&ctx, fh)?;
+/// // The virtual view shows the file where the user put it…
+/// assert_eq!(fs.readdir(&ctx, &vpath("/shared"))?.value.len(), 1);
+/// # Ok::<(), vfs::error::FsError>(())
+/// ```
+#[derive(Debug)]
+pub struct CofsFs<U: FileSystem> {
+    under: U,
+    cfg: CofsConfig,
+    net: MdsNetwork,
+    mds: Mds,
+    mds_cpu: FifoResource,
+    tracker: DbCostTracker,
+    placement: Box<dyn PlacementPolicy>,
+    made_dirs: HashSet<VPath>,
+    handles: HashMap<u64, CHandle>,
+    next_fh: u64,
+    next_under_name: u64,
+    sessions: HashSet<NodeId>,
+    counters: Counters,
+}
+
+impl<U: FileSystem> CofsFs<U> {
+    /// Wraps `under` with the COFS layer using the paper's hashed
+    /// placement policy. `seed` fixes the placement randomization.
+    pub fn new(under: U, cfg: CofsConfig, net: MdsNetwork, seed: u64) -> Self {
+        let placement: Box<dyn PlacementPolicy> = Box::new(HashedPlacement::new(
+            cfg.under_root.clone(),
+            cfg.dir_limit,
+            cfg.spread,
+            seed,
+        ));
+        Self::with_placement(under, cfg, net, placement)
+    }
+
+    /// Wraps `under` with a custom placement policy (used by the
+    /// ablation benchmarks, e.g. [`crate::placement::PassthroughPlacement`]).
+    pub fn with_placement(
+        under: U,
+        cfg: CofsConfig,
+        net: MdsNetwork,
+        placement: Box<dyn PlacementPolicy>,
+    ) -> Self {
+        CofsFs {
+            under,
+            net,
+            mds: Mds::new(),
+            mds_cpu: FifoResource::new("cofs-mds"),
+            tracker: DbCostTracker::new(),
+            placement,
+            made_dirs: HashSet::new(),
+            handles: HashMap::new(),
+            next_fh: 1,
+            next_under_name: 1,
+            sessions: HashSet::new(),
+            counters: Counters::new(),
+            cfg,
+        }
+    }
+
+    /// The underlying filesystem (e.g. to inspect its counters).
+    pub fn under(&self) -> &U {
+        &self.under
+    }
+
+    /// Mutable access to the underlying filesystem (harnesses use this
+    /// to quiesce/reset it between benchmark phases).
+    pub fn under_mut(&mut self) -> &mut U {
+        &mut self.under
+    }
+
+    /// Layer counters (`mds_rpcs`, `under_creates`, `under_dirs_made`, …).
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// The metadata service (for table statistics in reports).
+    pub fn mds(&self) -> &Mds {
+        &self.mds
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CofsConfig {
+        &self.cfg
+    }
+
+    /// Rewinds the metadata-service queue to virtual time zero (used
+    /// between benchmark phases together with the underlying
+    /// filesystem's own reset).
+    pub fn reset_time(&mut self) {
+        self.mds_cpu.reset();
+        self.tracker.reset();
+    }
+
+    fn cred(ctx: &OpCtx) -> Cred {
+        Cred {
+            uid: ctx.uid,
+            gid: ctx.gid,
+        }
+    }
+
+    /// The FUSE daemon performs underlying I/O with its own (root)
+    /// credentials; permission checks happen in the metadata service
+    /// against the virtual attributes.
+    fn daemon_ctx(ctx: &OpCtx, now: simcore::time::SimTime) -> OpCtx {
+        OpCtx {
+            node: ctx.node,
+            pid: ctx.pid,
+            uid: Uid(0),
+            gid: Gid(0),
+            now,
+        }
+    }
+
+    /// Charges one metadata-service RPC: network round trip plus
+    /// queueing at the service CPU for the database work performed.
+    fn rpc(&mut self, node: NodeId, ops: DbOps, t: simcore::time::SimTime) -> simcore::time::SimTime {
+        self.counters.bump("mds_rpcs");
+        let mut t = t;
+        if self.sessions.insert(node) {
+            t += self.cfg.session_cost;
+        }
+        let rtt = self.net.rtt(node);
+        let arrive = t + rtt / 2;
+        let mut service = self.cfg.mds_service + self.tracker.query_cost(&self.cfg.db, ops.reads);
+        if ops.writes > 0 {
+            service += self.tracker.txn_cost(&self.cfg.db, ops.writes);
+        }
+        let done = self.mds_cpu.acquire(arrive, service).end;
+        done + rtt / 2
+    }
+
+    /// FUSE interposition cost for one request.
+    fn fuse(&self, ctx: &OpCtx) -> simcore::time::SimTime {
+        ctx.now + self.cfg.fuse_dispatch
+    }
+
+    /// Ensures the underlying directory chain for `dir` exists,
+    /// creating missing ancestors through the underlying filesystem.
+    fn ensure_under_dir(
+        &mut self,
+        ctx: &OpCtx,
+        dir: &VPath,
+        mut t: simcore::time::SimTime,
+    ) -> Result<simcore::time::SimTime, FsError> {
+        if self.made_dirs.contains(dir) {
+            return Ok(t);
+        }
+        // Build ancestors root-down.
+        let mut chain = Vec::new();
+        let mut cur = Some(dir.clone());
+        while let Some(d) = cur {
+            if d.is_root() || self.made_dirs.contains(&d) {
+                break;
+            }
+            chain.push(d.clone());
+            cur = d.parent();
+        }
+        for d in chain.into_iter().rev() {
+            let dctx = Self::daemon_ctx(ctx, t);
+            match self.under.mkdir(&dctx, &d, Mode::new(0o755)) {
+                Ok(done) => {
+                    t = done.end;
+                    self.counters.bump("under_dirs_made");
+                }
+                Err(e) if e.is(Errno::EEXIST) => {}
+                Err(e) => return Err(e),
+            }
+            self.made_dirs.insert(d);
+        }
+        Ok(t)
+    }
+
+    /// Performs the deferred underlying open for a lazy handle and
+    /// returns the underlying handle plus the time it became ready.
+    fn materialize(
+        &mut self,
+        ctx: &OpCtx,
+        fh: FileHandle,
+        t: simcore::time::SimTime,
+    ) -> Result<(FileHandle, simcore::time::SimTime), FsError> {
+        let h = self
+            .handles
+            .get(&fh.0)
+            .ok_or_else(|| FsError::new(Errno::EBADF, "io", fh.to_string()))?
+            .clone();
+        if let Some(ufh) = h.under_fh {
+            return Ok((ufh, t));
+        }
+        let mapping = h
+            .mapping
+            .clone()
+            .ok_or_else(|| FsError::new(Errno::EISDIR, "io", fh.to_string()))?;
+        let dctx = Self::daemon_ctx(ctx, t);
+        let under = self.under.open(&dctx, &mapping, h.flags)?;
+        self.counters.bump("under_opens");
+        if let Some(hm) = self.handles.get_mut(&fh.0) {
+            hm.under_fh = Some(under.value);
+        }
+        Ok((under.value, under.end))
+    }
+
+    fn handle(&self, fh: FileHandle, op: &'static str) -> Result<&CHandle, FsError> {
+        self.handles
+            .get(&fh.0)
+            .ok_or_else(|| FsError::new(Errno::EBADF, op, fh.to_string()))
+    }
+
+    fn alloc_fh(&mut self, h: CHandle) -> FileHandle {
+        let fh = FileHandle(self.next_fh);
+        self.next_fh += 1;
+        self.handles.insert(fh.0, h);
+        fh
+    }
+}
+
+impl<U: FileSystem> FileSystem for CofsFs<U> {
+    fn mkdir(&mut self, ctx: &OpCtx, path: &VPath, mode: Mode) -> FsResult<()> {
+        self.counters.bump("op_mkdir");
+        let t = self.fuse(ctx);
+        // Directories are pure metadata: one service transaction, no
+        // underlying filesystem involvement whatsoever.
+        let ops = self.mds.mkdir(Self::cred(ctx), path, mode, ctx.now)?;
+        Ok(Timed::new((), self.rpc(ctx.node, ops, t)))
+    }
+
+    fn rmdir(&mut self, ctx: &OpCtx, path: &VPath) -> FsResult<()> {
+        self.counters.bump("op_rmdir");
+        let t = self.fuse(ctx);
+        let ops = self.mds.rmdir(Self::cred(ctx), path, ctx.now)?;
+        Ok(Timed::new((), self.rpc(ctx.node, ops, t)))
+    }
+
+    fn create(&mut self, ctx: &OpCtx, path: &VPath, mode: Mode) -> FsResult<FileHandle> {
+        self.counters.bump("op_create");
+        let t = self.fuse(ctx);
+        // Placement decides where the bits will really live.
+        let parent = path.parent().unwrap_or_else(VPath::root);
+        let name = path
+            .file_name()
+            .ok_or_else(|| FsError::new(Errno::EINVAL, "create", path.as_str()))?;
+        let dir = self.placement.place(ctx.node, ctx.pid, &parent, name);
+        let uname = format!("i{}", self.next_under_name);
+        self.next_under_name += 1;
+        let mapping = dir.join(&uname);
+        // Register in the metadata service (validates permissions and
+        // uniqueness in the *virtual* namespace).
+        let (rec, ops) = self
+            .mds
+            .create(Self::cred(ctx), path, mode, mapping.clone(), ctx.now)?;
+        let mut t = self.rpc(ctx.node, ops, t);
+        // Materialize the underlying file in its private directory.
+        t = self.ensure_under_dir(ctx, &dir, t)?;
+        let dctx = Self::daemon_ctx(ctx, t);
+        let under = self.under.create(&dctx, &mapping, Mode::new(0o644))?;
+        self.counters.bump("under_creates");
+        let fh = self.alloc_fh(CHandle {
+            vino: rec.ino,
+            under_fh: Some(under.value),
+            mapping: Some(mapping),
+            flags: OpenFlags::RDWR,
+            written: false,
+            lazy: false,
+        });
+        Ok(Timed::new(fh, under.end))
+    }
+
+    fn open(&mut self, ctx: &OpCtx, path: &VPath, flags: OpenFlags) -> FsResult<FileHandle> {
+        self.counters.bump("op_open");
+        let t = self.fuse(ctx);
+        let (rec, ops) = self.mds.lookup(Self::cred(ctx), path)?;
+        // Virtual permission checks (the service stores the truth).
+        if rec.ftype == FileType::Directory && (flags.write || flags.truncate) {
+            return Err(FsError::new(Errno::EISDIR, "open", path.as_str()));
+        }
+        let a = rec.attr();
+        if flags.read && !a.mode.allows_read(ctx.uid, ctx.gid, a.uid, a.gid) {
+            return Err(FsError::new(Errno::EACCES, "open", path.as_str()));
+        }
+        if flags.write && !a.mode.allows_write(ctx.uid, ctx.gid, a.uid, a.gid) {
+            return Err(FsError::new(Errno::EACCES, "open", path.as_str()));
+        }
+        let mut t = self.rpc(ctx.node, ops, t);
+        let mut under_fh = None;
+        let mut lazy = false;
+        if rec.ftype == FileType::Regular {
+            if flags.truncate {
+                // Truncation must reach the real bits immediately.
+                let mapping = rec
+                    .mapping
+                    .clone()
+                    .ok_or_else(|| FsError::new(Errno::EINVAL, "open", path.as_str()))?;
+                let dctx = Self::daemon_ctx(ctx, t);
+                let under = self.under.open(&dctx, &mapping, flags)?;
+                self.counters.bump("under_opens");
+                under_fh = Some(under.value);
+                t = under.end;
+                let ops = self.mds.set_size(rec.ino, 0, ctx.now);
+                t = self.rpc(ctx.node, ops, t);
+            } else {
+                // The daemon defers the underlying open until the
+                // first read/write; an open/close cycle with no I/O
+                // never touches the underlying filesystem at all.
+                lazy = true;
+            }
+        }
+        let fh = self.alloc_fh(CHandle {
+            vino: rec.ino,
+            under_fh,
+            mapping: rec.mapping.clone(),
+            flags,
+            written: false,
+            lazy,
+        });
+        Ok(Timed::new(fh, t))
+    }
+
+    fn close(&mut self, ctx: &OpCtx, fh: FileHandle) -> FsResult<()> {
+        self.counters.bump("op_close");
+        let h = self
+            .handles
+            .remove(&fh.0)
+            .ok_or_else(|| FsError::new(Errno::EBADF, "close", fh.to_string()))?;
+        let mut t = self.fuse(ctx);
+        if let Some(ufh) = h.under_fh {
+            let dctx = Self::daemon_ctx(ctx, t);
+            t = self.under.close(&dctx, ufh)?.end;
+        }
+        // Writes never contact the service (paper §V: "there is no
+        // need to contact the COFS metadata server if a file is
+        // written or resized") — the release after a write reports the
+        // authoritative size instead.
+        if h.written {
+            if let Some(mapping) = &h.mapping {
+                let dctx = Self::daemon_ctx(ctx, t);
+                let size = self.under.stat(&dctx, mapping)?.value.size;
+                t = t.max(dctx.now);
+                let ops = self.mds.set_size(h.vino, size, ctx.now);
+                t = self.rpc(ctx.node, ops, t);
+            }
+        }
+        Ok(Timed::new((), t))
+    }
+
+    fn read(&mut self, ctx: &OpCtx, fh: FileHandle, offset: u64, len: u64) -> FsResult<u64> {
+        self.counters.bump("op_read");
+        let h = self.handle(fh, "read")?.clone();
+        if !h.flags.read {
+            return Err(FsError::new(Errno::EBADF, "read", fh.to_string()));
+        }
+        if h.under_fh.is_none() && !h.lazy {
+            return Err(FsError::new(Errno::EISDIR, "read", fh.to_string()));
+        }
+        // FUSE dispatch + double buffer copy, then the underlying read.
+        let mut t = self.fuse(ctx);
+        let (ufh, ready) = self.materialize(ctx, fh, t)?;
+        t = ready;
+        let dctx = Self::daemon_ctx(ctx, t);
+        let got = self.under.read(&dctx, ufh, offset, len)?;
+        t = got.end + self.cfg.fuse_copy(got.value);
+        Ok(Timed::new(got.value, t))
+    }
+
+    fn write(&mut self, ctx: &OpCtx, fh: FileHandle, offset: u64, len: u64) -> FsResult<u64> {
+        self.counters.bump("op_write");
+        let h = self.handle(fh, "write")?.clone();
+        if !h.flags.write && (h.under_fh.is_some() || h.lazy) {
+            // `create` handles are RDWR; plain opens need the flag.
+            return Err(FsError::new(Errno::EBADF, "write", fh.to_string()));
+        }
+        if h.under_fh.is_none() && !h.lazy {
+            return Err(FsError::new(Errno::EBADF, "write", fh.to_string()));
+        }
+        let mut t = self.fuse(ctx) + self.cfg.fuse_copy(len);
+        let (ufh, ready) = self.materialize(ctx, fh, t)?;
+        t = ready;
+        let dctx = Self::daemon_ctx(ctx, t);
+        let wrote = self.under.write(&dctx, ufh, offset, len)?;
+        t = wrote.end;
+        if let Some(hm) = self.handles.get_mut(&fh.0) {
+            hm.written = true;
+        }
+        Ok(Timed::new(wrote.value, t))
+    }
+
+    fn stat(&mut self, ctx: &OpCtx, path: &VPath) -> FsResult<FileAttr> {
+        self.counters.bump("op_stat");
+        let t = self.fuse(ctx);
+        // Pure metadata: answered entirely from the service's tables.
+        // No underlying-filesystem tokens are touched at all.
+        let (rec, ops) = self.mds.getattr(Self::cred(ctx), path)?;
+        Ok(Timed::new(rec.attr(), self.rpc(ctx.node, ops, t)))
+    }
+
+    fn setattr(&mut self, ctx: &OpCtx, path: &VPath, set: SetAttr) -> FsResult<FileAttr> {
+        self.counters.bump("op_setattr");
+        let t = self.fuse(ctx);
+        let (rec, ops) = self.mds.setattr(Self::cred(ctx), path, set, ctx.now)?;
+        Ok(Timed::new(rec.attr(), self.rpc(ctx.node, ops, t)))
+    }
+
+    fn readdir(&mut self, ctx: &OpCtx, path: &VPath) -> FsResult<Vec<DirEntry>> {
+        self.counters.bump("op_readdir");
+        let t = self.fuse(ctx);
+        let (list, ops) = self.mds.readdir(Self::cred(ctx), path, ctx.now)?;
+        Ok(Timed::new(list, self.rpc(ctx.node, ops, t)))
+    }
+
+    fn unlink(&mut self, ctx: &OpCtx, path: &VPath) -> FsResult<()> {
+        self.counters.bump("op_unlink");
+        let t = self.fuse(ctx);
+        let (gone, ops) = self.mds.unlink(Self::cred(ctx), path, ctx.now)?;
+        let mut t = self.rpc(ctx.node, ops, t);
+        if let Some(mapping) = gone {
+            // Last link went away: remove the real bits.
+            let dctx = Self::daemon_ctx(ctx, t);
+            t = self.under.unlink(&dctx, &mapping)?.end;
+            self.counters.bump("under_unlinks");
+        }
+        Ok(Timed::new((), t))
+    }
+
+    fn rename(&mut self, ctx: &OpCtx, from: &VPath, to: &VPath) -> FsResult<()> {
+        self.counters.bump("op_rename");
+        let t = self.fuse(ctx);
+        // If the rename will replace the last link of a regular file,
+        // remember its mapping for underlying cleanup.
+        let doomed = match self.mds.getattr(Self::cred(ctx), to) {
+            Ok((rec, _)) if rec.ftype == FileType::Regular && rec.nlink == 1 && from != to => {
+                rec.mapping
+            }
+            _ => None,
+        };
+        let ops = self.mds.rename(Self::cred(ctx), from, to, ctx.now)?;
+        let mut t = self.rpc(ctx.node, ops, t);
+        if let Some(mapping) = doomed {
+            let dctx = Self::daemon_ctx(ctx, t);
+            t = self.under.unlink(&dctx, &mapping)?.end;
+            self.counters.bump("under_unlinks");
+        }
+        Ok(Timed::new((), t))
+    }
+
+    fn link(&mut self, ctx: &OpCtx, existing: &VPath, new: &VPath) -> FsResult<()> {
+        self.counters.bump("op_link");
+        let t = self.fuse(ctx);
+        // Hard links are pure metadata in COFS — the underlying file
+        // is untouched no matter which virtual directories share it.
+        let ops = self.mds.link(Self::cred(ctx), existing, new, ctx.now)?;
+        Ok(Timed::new((), self.rpc(ctx.node, ops, t)))
+    }
+
+    fn symlink(&mut self, ctx: &OpCtx, target: &str, new: &VPath) -> FsResult<()> {
+        self.counters.bump("op_symlink");
+        let t = self.fuse(ctx);
+        let ops = self.mds.symlink(Self::cred(ctx), target, new, ctx.now)?;
+        Ok(Timed::new((), self.rpc(ctx.node, ops, t)))
+    }
+
+    fn readlink(&mut self, ctx: &OpCtx, path: &VPath) -> FsResult<String> {
+        self.counters.bump("op_readlink");
+        let t = self.fuse(ctx);
+        let (target, ops) = self.mds.readlink(Self::cred(ctx), path)?;
+        Ok(Timed::new(target, self.rpc(ctx.node, ops, t)))
+    }
+
+    fn statfs(&mut self, ctx: &OpCtx) -> FsResult<FsStats> {
+        self.counters.bump("op_statfs");
+        let t = self.fuse(ctx);
+        let dctx = Self::daemon_ctx(ctx, t);
+        let under = self.under.statfs(&dctx)?;
+        let stats = FsStats {
+            inodes: self.mds.inode_count(),
+            directories: 0, // recomputed below
+            bytes_used: under.value.bytes_used,
+        };
+        // Directory count comes from the virtual namespace.
+        let t = self.rpc(ctx.node, DbOps { reads: 2, writes: 0 }, under.end);
+        Ok(Timed::new(stats, t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::ids::Pid;
+    use simcore::time::{SimDuration, SimTime};
+    use vfs::memfs::MemFs;
+    use vfs::path::vpath;
+
+    fn new_fs() -> CofsFs<MemFs> {
+        CofsFs::new(
+            MemFs::new(),
+            CofsConfig::default(),
+            MdsNetwork::uniform(SimDuration::from_micros(250)),
+            7,
+        )
+    }
+
+    #[test]
+    fn virtual_view_decouples_from_layout() {
+        let mut fs = new_fs();
+        let ctx = OpCtx::test(NodeId(0));
+        fs.mkdir(&ctx, &vpath("/shared"), Mode::dir_default()).unwrap();
+        for i in 0..10 {
+            let fh = fs
+                .create(&ctx, &vpath(&format!("/shared/f{i}")), Mode::file_default())
+                .unwrap()
+                .value;
+            fs.close(&ctx, fh).unwrap();
+        }
+        // Virtual view: all ten files in /shared.
+        let names = fs.readdir(&ctx, &vpath("/shared")).unwrap().value;
+        assert_eq!(names.len(), 10);
+        // Underlying view: nothing in /shared (it does not even exist);
+        // files live under /.cofs hash directories.
+        let dctx = OpCtx {
+            uid: Uid(0),
+            gid: Gid(0),
+            ..OpCtx::test(NodeId(0))
+        };
+        assert!(fs
+            .under_mut()
+            .readdir(&dctx, &vpath("/shared"))
+            .unwrap_err()
+            .is(Errno::ENOENT));
+        let under_root = fs.under_mut().readdir(&dctx, &vpath("/.cofs")).unwrap().value;
+        assert!(!under_root.is_empty());
+    }
+
+    #[test]
+    fn different_nodes_get_different_under_dirs() {
+        let mut fs = new_fs();
+        let a = OpCtx::test(NodeId(0));
+        let b = OpCtx::test(NodeId(1));
+        fs.mkdir(&a, &vpath("/d"), Mode::dir_default()).unwrap();
+        let fa = fs.create(&a, &vpath("/d/x"), Mode::file_default()).unwrap().value;
+        let fb = fs.create(&b, &vpath("/d/y"), Mode::file_default()).unwrap().value;
+        fs.close(&a, fa).unwrap();
+        fs.close(&b, fb).unwrap();
+        let ma = fs.mds().inode_count();
+        assert!(ma >= 4); // root + /d + two files
+        // The two files' mappings differ in their hash directory.
+        let (rx, _) = fs.mds.getattr(CofsFs::<MemFs>::cred(&a), &vpath("/d/x")).unwrap();
+        let (ry, _) = fs.mds.getattr(CofsFs::<MemFs>::cred(&b), &vpath("/d/y")).unwrap();
+        let hx = rx.mapping.unwrap().parent().unwrap().parent().unwrap();
+        let hy = ry.mapping.unwrap().parent().unwrap().parent().unwrap();
+        assert_ne!(hx, hy);
+    }
+
+    #[test]
+    fn write_then_close_publishes_size() {
+        let mut fs = new_fs();
+        let ctx = OpCtx::test(NodeId(0));
+        let fh = fs.create(&ctx, &vpath("/f"), Mode::file_default()).unwrap().value;
+        fs.write(&ctx, fh, 0, 12345).unwrap();
+        fs.close(&ctx, fh).unwrap();
+        assert_eq!(fs.stat(&ctx, &vpath("/f")).unwrap().value.size, 12345);
+    }
+
+    #[test]
+    fn stat_never_touches_underlying() {
+        let mut fs = new_fs();
+        let ctx = OpCtx::test(NodeId(0));
+        let fh = fs.create(&ctx, &vpath("/f"), Mode::file_default()).unwrap().value;
+        fs.close(&ctx, fh).unwrap();
+        let under_before = fs.counters().get("under_opens");
+        let rpcs_before = fs.counters().get("mds_rpcs");
+        for _ in 0..5 {
+            fs.stat(&ctx, &vpath("/f")).unwrap();
+            fs.utime(&ctx, &vpath("/f"), SimTime::ZERO, SimTime::ZERO).unwrap();
+        }
+        assert_eq!(fs.counters().get("under_opens"), under_before);
+        assert_eq!(fs.counters().get("mds_rpcs"), rpcs_before + 10);
+    }
+
+    #[test]
+    fn rename_is_pure_metadata() {
+        let mut fs = new_fs();
+        let ctx = OpCtx::test(NodeId(0));
+        fs.mkdir(&ctx, &vpath("/a"), Mode::dir_default()).unwrap();
+        fs.mkdir(&ctx, &vpath("/b"), Mode::dir_default()).unwrap();
+        let fh = fs.create(&ctx, &vpath("/a/f"), Mode::file_default()).unwrap().value;
+        fs.write(&ctx, fh, 0, 99).unwrap();
+        fs.close(&ctx, fh).unwrap();
+        let under_creates = fs.counters().get("under_creates");
+        let under_unlinks = fs.counters().get("under_unlinks");
+        fs.rename(&ctx, &vpath("/a/f"), &vpath("/b/g")).unwrap();
+        assert_eq!(fs.counters().get("under_creates"), under_creates);
+        assert_eq!(fs.counters().get("under_unlinks"), under_unlinks);
+        assert_eq!(fs.stat(&ctx, &vpath("/b/g")).unwrap().value.size, 99);
+    }
+
+    #[test]
+    fn rename_over_file_cleans_underlying() {
+        let mut fs = new_fs();
+        let ctx = OpCtx::test(NodeId(0));
+        let f1 = fs.create(&ctx, &vpath("/a"), Mode::file_default()).unwrap().value;
+        fs.close(&ctx, f1).unwrap();
+        let f2 = fs.create(&ctx, &vpath("/b"), Mode::file_default()).unwrap().value;
+        fs.close(&ctx, f2).unwrap();
+        fs.rename(&ctx, &vpath("/a"), &vpath("/b")).unwrap();
+        assert_eq!(fs.counters().get("under_unlinks"), 1);
+        assert!(fs.stat(&ctx, &vpath("/a")).unwrap_err().is(Errno::ENOENT));
+    }
+
+    #[test]
+    fn unlink_removes_underlying_on_last_link() {
+        let mut fs = new_fs();
+        let ctx = OpCtx::test(NodeId(0));
+        let fh = fs.create(&ctx, &vpath("/f"), Mode::file_default()).unwrap().value;
+        fs.close(&ctx, fh).unwrap();
+        fs.link(&ctx, &vpath("/f"), &vpath("/g")).unwrap();
+        fs.unlink(&ctx, &vpath("/f")).unwrap();
+        assert_eq!(fs.counters().get("under_unlinks"), 0);
+        fs.unlink(&ctx, &vpath("/g")).unwrap();
+        assert_eq!(fs.counters().get("under_unlinks"), 1);
+    }
+
+    #[test]
+    fn symlinks_resolve_in_virtual_space() {
+        let mut fs = new_fs();
+        let ctx = OpCtx::test(NodeId(0));
+        fs.mkdir(&ctx, &vpath("/real"), Mode::dir_default()).unwrap();
+        let fh = fs.create(&ctx, &vpath("/real/f"), Mode::file_default()).unwrap().value;
+        fs.write(&ctx, fh, 0, 5).unwrap();
+        fs.close(&ctx, fh).unwrap();
+        fs.symlink(&ctx, "/real", &vpath("/alias")).unwrap();
+        let fh = fs.open(&ctx, &vpath("/alias/f"), OpenFlags::RDONLY).unwrap().value;
+        assert_eq!(fs.read(&ctx, fh, 0, 100).unwrap().value, 5);
+        fs.close(&ctx, fh).unwrap();
+        assert_eq!(fs.readlink(&ctx, &vpath("/alias")).unwrap().value, "/real");
+        assert!(fs.stat(&ctx, &vpath("/alias")).unwrap().value.is_symlink());
+    }
+
+    #[test]
+    fn permissions_checked_virtually() {
+        let mut fs = new_fs();
+        let owner = OpCtx::test(NodeId(0));
+        let other = OpCtx {
+            uid: Uid(2000),
+            gid: Gid(2000),
+            ..OpCtx::test(NodeId(1))
+        };
+        fs.mkdir(&owner, &vpath("/priv"), Mode::new(0o700)).unwrap();
+        let fh = fs.create(&owner, &vpath("/priv/f"), Mode::new(0o600)).unwrap().value;
+        fs.close(&owner, fh).unwrap();
+        assert!(fs.stat(&other, &vpath("/priv/f")).unwrap_err().is(Errno::EACCES));
+        // Virtual chmod opens it up — no underlying chmod needed.
+        fs.setattr(
+            &owner,
+            &vpath("/priv"),
+            SetAttr {
+                mode: Some(Mode::new(0o755)),
+                ..SetAttr::default()
+            },
+        )
+        .unwrap();
+        fs.setattr(
+            &owner,
+            &vpath("/priv/f"),
+            SetAttr {
+                mode: Some(Mode::new(0o644)),
+                ..SetAttr::default()
+            },
+        )
+        .unwrap();
+        let fh = fs.open(&other, &vpath("/priv/f"), OpenFlags::RDONLY).unwrap().value;
+        fs.close(&other, fh).unwrap();
+    }
+
+    #[test]
+    fn open_write_requires_flag() {
+        let mut fs = new_fs();
+        let ctx = OpCtx::test(NodeId(0));
+        let fh = fs.create(&ctx, &vpath("/f"), Mode::file_default()).unwrap().value;
+        fs.close(&ctx, fh).unwrap();
+        let ro = fs.open(&ctx, &vpath("/f"), OpenFlags::RDONLY).unwrap().value;
+        assert!(fs.write(&ctx, ro, 0, 1).unwrap_err().is(Errno::EBADF));
+        fs.close(&ctx, ro).unwrap();
+        assert!(fs.close(&ctx, ro).unwrap_err().is(Errno::EBADF));
+    }
+
+    #[test]
+    fn truncate_on_open_resets_size() {
+        let mut fs = new_fs();
+        let ctx = OpCtx::test(NodeId(0));
+        let fh = fs.create(&ctx, &vpath("/f"), Mode::file_default()).unwrap().value;
+        fs.write(&ctx, fh, 0, 100).unwrap();
+        fs.close(&ctx, fh).unwrap();
+        let fh = fs
+            .open(&ctx, &vpath("/f"), OpenFlags::WRONLY.with_truncate())
+            .unwrap()
+            .value;
+        fs.close(&ctx, fh).unwrap();
+        assert_eq!(fs.stat(&ctx, &vpath("/f")).unwrap().value.size, 0);
+    }
+
+    #[test]
+    fn under_dir_limit_respected() {
+        let mut fs = new_fs();
+        let ctx = OpCtx::test(NodeId(0)).with_pid(Pid(1));
+        fs.mkdir(&ctx, &vpath("/d"), Mode::dir_default()).unwrap();
+        for i in 0..1500 {
+            let fh = fs
+                .create(&ctx, &vpath(&format!("/d/f{i}")), Mode::file_default())
+                .unwrap()
+                .value;
+            fs.close(&ctx, fh).unwrap();
+        }
+        // Inspect every underlying hash directory: none may exceed the
+        // 512-entry limit.
+        let dctx = OpCtx {
+            uid: Uid(0),
+            gid: Gid(0),
+            ..OpCtx::test(NodeId(0))
+        };
+        // Walk the whole underlying tree; every directory must respect
+        // the limit, and leaf files must total the created count.
+        let mut total = 0;
+        let mut stack = vec![vpath("/.cofs")];
+        while let Some(dir) = stack.pop() {
+            let entries = fs.under_mut().readdir(&dctx, &dir).unwrap().value;
+            let files = entries
+                .iter()
+                .filter(|e| e.ftype == vfs::types::FileType::Regular)
+                .count();
+            assert!(files <= 512, "{dir} holds {files} files");
+            total += files;
+            for e in entries {
+                if e.ftype == vfs::types::FileType::Directory {
+                    stack.push(dir.join(&e.name));
+                }
+            }
+        }
+        assert_eq!(total, 1500);
+    }
+
+    #[test]
+    fn statfs_reports_virtual_inodes() {
+        let mut fs = new_fs();
+        let ctx = OpCtx::test(NodeId(0));
+        fs.mkdir(&ctx, &vpath("/d"), Mode::dir_default()).unwrap();
+        let fh = fs.create(&ctx, &vpath("/d/f"), Mode::file_default()).unwrap().value;
+        fs.write(&ctx, fh, 0, 777).unwrap();
+        fs.close(&ctx, fh).unwrap();
+        let stats = fs.statfs(&ctx).unwrap().value;
+        assert_eq!(stats.inodes, 3); // root + /d + file
+        assert_eq!(stats.bytes_used, 777);
+    }
+
+    #[test]
+    fn timing_is_monotonic_and_includes_fuse() {
+        let mut fs = new_fs();
+        let ctx = OpCtx::test(NodeId(0)).at(SimTime::from_millis(5));
+        let t = fs.mkdir(&ctx, &vpath("/d"), Mode::dir_default()).unwrap().end;
+        assert!(t >= ctx.now + fs.config().fuse_dispatch);
+    }
+}

@@ -1,0 +1,1058 @@
+//! The COFS metadata service.
+//!
+//! Maintains the *virtual* view of the filesystem hierarchy and all
+//! pure metadata, as database tables (paper §III-C): an inode table
+//! and a directory-entry table, with "pure metadata operations …
+//! translated to the appropriate database queries". Crucially, the
+//! service stores no block locations: file contents stay entirely in
+//! the underlying filesystem, reachable through each file's `mapping`
+//! path.
+//!
+//! The service is deliberately *state only*: every operation returns
+//! the [`DbOps`] it performed (rows read, rows written) and the
+//! composite filesystem charges virtual time for them against the
+//! service's CPU queue and the network.
+
+use metadb::table::{Record, Table};
+use simcore::time::SimTime;
+use vfs::error::{Errno, FsError};
+use vfs::path::VPath;
+use vfs::types::{DirEntry, FileAttr, FileType, Gid, Ino, Mode, SetAttr, Uid, MAX_NAME_LEN};
+
+/// Maximum symlink indirections during resolution (matches `MemFs`).
+const MAX_SYMLINK_DEPTH: u32 = 8;
+
+/// Nominal directory-entry size for directory `size` attributes
+/// (matches `MemFs` so differential tests see identical attrs).
+const DIR_ENTRY_SIZE: u64 = 32;
+
+/// A row in the virtual-inode table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InodeRec {
+    /// Virtual inode number.
+    pub ino: u64,
+    /// Object kind.
+    pub ftype: FileType,
+    /// Permission bits.
+    pub mode: Mode,
+    /// Owner.
+    pub uid: Uid,
+    /// Group.
+    pub gid: Gid,
+    /// Hard-link count.
+    pub nlink: u32,
+    /// File size (updated on close; directories report entries × 32).
+    pub size: u64,
+    /// Entry count for directories (authoritative).
+    pub entries: u64,
+    /// Access time.
+    pub atime: SimTime,
+    /// Modification time.
+    pub mtime: SimTime,
+    /// Change time.
+    pub ctime: SimTime,
+    /// Symlink target, for symlinks.
+    pub target: Option<String>,
+    /// Underlying filesystem path, for regular files.
+    pub mapping: Option<VPath>,
+}
+
+impl Record for InodeRec {
+    type Key = u64;
+    fn key(&self) -> u64 {
+        self.ino
+    }
+}
+
+impl InodeRec {
+    /// The `stat`-visible attributes of this record.
+    pub fn attr(&self) -> FileAttr {
+        FileAttr {
+            ino: Ino(self.ino),
+            ftype: self.ftype,
+            mode: self.mode,
+            uid: self.uid,
+            gid: self.gid,
+            nlink: self.nlink,
+            size: if self.ftype == FileType::Directory {
+                self.entries * DIR_ENTRY_SIZE
+            } else if let Some(t) = &self.target {
+                t.len() as u64
+            } else {
+                self.size
+            },
+            atime: self.atime,
+            mtime: self.mtime,
+            ctime: self.ctime,
+        }
+    }
+}
+
+/// A row in the directory-entry table: (parent ino, name) → child ino.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DentryRec {
+    /// Containing directory's virtual inode.
+    pub parent: u64,
+    /// Component name.
+    pub name: String,
+    /// Referenced virtual inode.
+    pub ino: u64,
+}
+
+impl Record for DentryRec {
+    type Key = (u64, String);
+    fn key(&self) -> (u64, String) {
+        (self.parent, self.name.clone())
+    }
+}
+
+/// Database work performed by one service call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DbOps {
+    /// Rows read (lookups and scan steps).
+    pub reads: u64,
+    /// Rows written (inserts, updates, deletes).
+    pub writes: u64,
+}
+
+impl DbOps {
+    fn read(&mut self, n: u64) {
+        self.reads += n;
+    }
+    fn write(&mut self, n: u64) {
+        self.writes += n;
+    }
+    /// Merges another op count into this one.
+    pub fn merge(&mut self, other: DbOps) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+    }
+}
+
+/// Identity of a caller, as the service sees it.
+#[derive(Debug, Clone, Copy)]
+pub struct Cred {
+    /// Effective user.
+    pub uid: Uid,
+    /// Effective group.
+    pub gid: Gid,
+}
+
+const ROOT_INO: u64 = 1;
+
+/// The metadata service state: two tables and an inode allocator.
+#[derive(Debug)]
+pub struct Mds {
+    inodes: Table<InodeRec>,
+    dentries: Table<DentryRec>,
+    next_ino: u64,
+}
+
+impl Mds {
+    /// Creates a service with an empty (root-only) namespace. The root
+    /// is world-writable like a scratch filesystem.
+    pub fn new() -> Self {
+        let mut inodes = Table::new("inodes");
+        inodes
+            .insert(InodeRec {
+                ino: ROOT_INO,
+                ftype: FileType::Directory,
+                mode: Mode::new(0o777),
+                uid: Uid(0),
+                gid: Gid(0),
+                nlink: 2,
+                size: 0,
+                entries: 0,
+                atime: SimTime::ZERO,
+                mtime: SimTime::ZERO,
+                ctime: SimTime::ZERO,
+                target: None,
+                mapping: None,
+            })
+            .expect("fresh table");
+        Mds {
+            inodes,
+            dentries: Table::new("dentries"),
+            next_ino: 2,
+        }
+    }
+
+    /// Number of virtual inodes (including the root).
+    pub fn inode_count(&self) -> u64 {
+        self.inodes.len() as u64
+    }
+
+    /// Number of directory entries.
+    pub fn dentry_count(&self) -> u64 {
+        self.dentries.len() as u64
+    }
+
+    fn get(&self, ino: u64) -> &InodeRec {
+        self.inodes.get(&ino).expect("dangling virtual inode")
+    }
+
+    fn alloc_ino(&mut self) -> u64 {
+        let ino = self.next_ino;
+        self.next_ino += 1;
+        ino
+    }
+
+    /// Resolves a path to an inode record, following intermediate
+    /// symlinks (and the final one when `follow_last`).
+    fn resolve(
+        &self,
+        cred: Cred,
+        path: &VPath,
+        op: &'static str,
+        follow_last: bool,
+        depth: u32,
+        ops: &mut DbOps,
+    ) -> Result<u64, FsError> {
+        let mut cur = ROOT_INO;
+        let comps: Vec<&str> = path.components().collect();
+        for (i, comp) in comps.iter().enumerate() {
+            let node = self.get(cur);
+            ops.read(1);
+            if node.ftype != FileType::Directory {
+                return Err(FsError::new(Errno::ENOTDIR, op, path.as_str()));
+            }
+            if !node.mode.allows_exec(cred.uid, cred.gid, node.uid, node.gid) {
+                return Err(FsError::new(Errno::EACCES, op, path.as_str()));
+            }
+            let dent = self
+                .dentries
+                .get(&(cur, comp.to_string()))
+                .ok_or_else(|| FsError::new(Errno::ENOENT, op, path.as_str()))?;
+            ops.read(1);
+            let next = dent.ino;
+            let is_last = i == comps.len() - 1;
+            let child = self.get(next);
+            if child.ftype == FileType::Symlink && (!is_last || follow_last) {
+                if depth >= MAX_SYMLINK_DEPTH {
+                    return Err(FsError::new(Errno::EINVAL, op, path.as_str()));
+                }
+                let target = child.target.clone().expect("symlink has target");
+                let base = if target.starts_with('/') {
+                    VPath::new(&target)?
+                } else {
+                    let mut prefix = VPath::root();
+                    for c in comps.iter().take(i) {
+                        prefix = prefix.join(c);
+                    }
+                    let mut p = prefix;
+                    for part in target.split('/').filter(|c| !c.is_empty()) {
+                        match part {
+                            "." => {}
+                            ".." => p = p.parent().unwrap_or_else(VPath::root),
+                            c => p = p.join(c),
+                        }
+                    }
+                    p
+                };
+                let mut full = base;
+                for c in comps.iter().skip(i + 1) {
+                    full = full.join(c);
+                }
+                return self.resolve(cred, &full, op, follow_last, depth + 1, ops);
+            }
+            cur = next;
+        }
+        Ok(cur)
+    }
+
+    /// Resolves the parent of `path` and validates the final name.
+    fn resolve_parent(
+        &self,
+        cred: Cred,
+        path: &VPath,
+        op: &'static str,
+        ops: &mut DbOps,
+    ) -> Result<(u64, String), FsError> {
+        let parent = path
+            .parent()
+            .ok_or_else(|| FsError::new(Errno::EINVAL, op, path.as_str()))?;
+        let name = path
+            .file_name()
+            .ok_or_else(|| FsError::new(Errno::EINVAL, op, path.as_str()))?
+            .to_string();
+        if name.len() > MAX_NAME_LEN {
+            return Err(FsError::new(Errno::ENAMETOOLONG, op, path.as_str()));
+        }
+        let pino = self.resolve(cred, &parent, op, true, 0, ops)?;
+        if self.get(pino).ftype != FileType::Directory {
+            return Err(FsError::new(Errno::ENOTDIR, op, path.as_str()));
+        }
+        Ok((pino, name))
+    }
+
+    fn check_parent_write(
+        &self,
+        cred: Cred,
+        pino: u64,
+        op: &'static str,
+        path: &VPath,
+    ) -> Result<(), FsError> {
+        let p = self.get(pino);
+        if !p.mode.allows_write(cred.uid, cred.gid, p.uid, p.gid)
+            || !p.mode.allows_exec(cred.uid, cred.gid, p.uid, p.gid)
+        {
+            return Err(FsError::new(Errno::EACCES, op, path.as_str()));
+        }
+        Ok(())
+    }
+
+    fn touch_parent(&mut self, pino: u64, now: SimTime, entry_delta: i64, ops: &mut DbOps) {
+        self.inodes
+            .update(&pino, |r| {
+                r.mtime = now;
+                r.ctime = now;
+                r.entries = (r.entries as i64 + entry_delta).max(0) as u64;
+            })
+            .expect("parent exists");
+        ops.write(1);
+    }
+
+    fn new_inode(
+        &mut self,
+        cred: Cred,
+        ftype: FileType,
+        mode: Mode,
+        now: SimTime,
+        target: Option<String>,
+        mapping: Option<VPath>,
+    ) -> u64 {
+        let ino = self.alloc_ino();
+        self.inodes
+            .insert(InodeRec {
+                ino,
+                ftype,
+                mode,
+                uid: cred.uid,
+                gid: cred.gid,
+                nlink: if ftype == FileType::Directory { 2 } else { 1 },
+                size: 0,
+                entries: 0,
+                atime: now,
+                mtime: now,
+                ctime: now,
+                target,
+                mapping,
+            })
+            .expect("fresh inode number");
+        ino
+    }
+
+    // ---- public service calls --------------------------------------------
+
+    /// `getattr` with lstat semantics on the final component.
+    ///
+    /// # Errors
+    ///
+    /// Lookup errors (`ENOENT`, `ENOTDIR`, `EACCES`).
+    pub fn getattr(&self, cred: Cred, path: &VPath) -> Result<(InodeRec, DbOps), FsError> {
+        let mut ops = DbOps::default();
+        let ino = self.resolve(cred, path, "stat", false, 0, &mut ops)?;
+        ops.read(1);
+        Ok((self.get(ino).clone(), ops))
+    }
+
+    /// Looks up a regular file (following symlinks) and returns its
+    /// record — used by `open` to find the mapping.
+    ///
+    /// # Errors
+    ///
+    /// Lookup errors; `EISDIR` guarding is left to the caller, which
+    /// knows the open flags.
+    pub fn lookup(&self, cred: Cred, path: &VPath) -> Result<(InodeRec, DbOps), FsError> {
+        let mut ops = DbOps::default();
+        let ino = self.resolve(cred, path, "open", true, 0, &mut ops)?;
+        ops.read(1);
+        Ok((self.get(ino).clone(), ops))
+    }
+
+    /// Creates a regular file mapped to `mapping` in the underlying
+    /// filesystem.
+    ///
+    /// # Errors
+    ///
+    /// `EEXIST` if the name is taken, plus lookup errors.
+    pub fn create(
+        &mut self,
+        cred: Cred,
+        path: &VPath,
+        mode: Mode,
+        mapping: VPath,
+        now: SimTime,
+    ) -> Result<(InodeRec, DbOps), FsError> {
+        let mut ops = DbOps::default();
+        let (pino, name) = self.resolve_parent(cred, path, "create", &mut ops)?;
+        self.check_parent_write(cred, pino, "create", path)?;
+        if self.dentries.contains(&(pino, name.clone())) {
+            return Err(FsError::new(Errno::EEXIST, "create", path.as_str()));
+        }
+        ops.read(1);
+        let ino = self.new_inode(cred, FileType::Regular, mode, now, None, Some(mapping));
+        self.dentries
+            .insert(DentryRec {
+                parent: pino,
+                name,
+                ino,
+            })
+            .expect("checked for duplicates");
+        ops.write(2);
+        self.touch_parent(pino, now, 1, &mut ops);
+        Ok((self.get(ino).clone(), ops))
+    }
+
+    /// Creates a virtual directory (no underlying presence at all —
+    /// the decoupling at the heart of COFS).
+    ///
+    /// # Errors
+    ///
+    /// `EEXIST`, plus lookup errors.
+    pub fn mkdir(
+        &mut self,
+        cred: Cred,
+        path: &VPath,
+        mode: Mode,
+        now: SimTime,
+    ) -> Result<DbOps, FsError> {
+        let mut ops = DbOps::default();
+        let (pino, name) = self.resolve_parent(cred, path, "mkdir", &mut ops)?;
+        self.check_parent_write(cred, pino, "mkdir", path)?;
+        if self.dentries.contains(&(pino, name.clone())) {
+            return Err(FsError::new(Errno::EEXIST, "mkdir", path.as_str()));
+        }
+        ops.read(1);
+        let ino = self.new_inode(cred, FileType::Directory, mode, now, None, None);
+        self.dentries
+            .insert(DentryRec {
+                parent: pino,
+                name,
+                ino,
+            })
+            .expect("checked for duplicates");
+        ops.write(2);
+        self.inodes
+            .update(&pino, |r| r.nlink += 1)
+            .expect("parent exists");
+        ops.write(1);
+        self.touch_parent(pino, now, 1, &mut ops);
+        Ok(ops)
+    }
+
+    /// Removes an empty virtual directory.
+    ///
+    /// # Errors
+    ///
+    /// `ENOTEMPTY`, `ENOTDIR`, `EINVAL` for the root, plus lookup errors.
+    pub fn rmdir(&mut self, cred: Cred, path: &VPath, now: SimTime) -> Result<DbOps, FsError> {
+        if path.is_root() {
+            return Err(FsError::new(Errno::EINVAL, "rmdir", path.as_str()));
+        }
+        let mut ops = DbOps::default();
+        let (pino, name) = self.resolve_parent(cred, path, "rmdir", &mut ops)?;
+        self.check_parent_write(cred, pino, "rmdir", path)?;
+        let dent = self
+            .dentries
+            .get(&(pino, name.clone()))
+            .ok_or_else(|| FsError::new(Errno::ENOENT, "rmdir", path.as_str()))?
+            .clone();
+        ops.read(1);
+        let node = self.get(dent.ino);
+        if node.ftype != FileType::Directory {
+            return Err(FsError::new(Errno::ENOTDIR, "rmdir", path.as_str()));
+        }
+        if node.entries > 0 {
+            return Err(FsError::new(Errno::ENOTEMPTY, "rmdir", path.as_str()));
+        }
+        self.dentries
+            .delete(&(pino, name))
+            .expect("entry existed");
+        self.inodes.delete(&dent.ino).expect("inode existed");
+        self.inodes
+            .update(&pino, |r| r.nlink -= 1)
+            .expect("parent exists");
+        ops.write(3);
+        self.touch_parent(pino, now, -1, &mut ops);
+        Ok(ops)
+    }
+
+    /// Removes a name; returns the underlying mapping to delete when
+    /// the last link to a regular file went away.
+    ///
+    /// # Errors
+    ///
+    /// `EISDIR` for directories, plus lookup errors.
+    pub fn unlink(
+        &mut self,
+        cred: Cred,
+        path: &VPath,
+        now: SimTime,
+    ) -> Result<(Option<VPath>, DbOps), FsError> {
+        let mut ops = DbOps::default();
+        let (pino, name) = self.resolve_parent(cred, path, "unlink", &mut ops)?;
+        self.check_parent_write(cred, pino, "unlink", path)?;
+        let dent = self
+            .dentries
+            .get(&(pino, name.clone()))
+            .ok_or_else(|| FsError::new(Errno::ENOENT, "unlink", path.as_str()))?
+            .clone();
+        ops.read(1);
+        if self.get(dent.ino).ftype == FileType::Directory {
+            return Err(FsError::new(Errno::EISDIR, "unlink", path.as_str()));
+        }
+        self.dentries.delete(&(pino, name)).expect("entry existed");
+        ops.write(1);
+        self.inodes
+            .update(&dent.ino, |r| {
+                r.nlink -= 1;
+                r.ctime = now;
+            })
+            .expect("inode exists");
+        ops.write(1);
+        let gone = {
+            let rec = self.get(dent.ino);
+            if rec.nlink == 0 {
+                let mapping = rec.mapping.clone();
+                self.inodes.delete(&dent.ino).expect("inode exists");
+                ops.write(1);
+                mapping
+            } else {
+                None
+            }
+        };
+        self.touch_parent(pino, now, -1, &mut ops);
+        Ok((gone, ops))
+    }
+
+    /// Applies attribute changes; pure database work.
+    ///
+    /// # Errors
+    ///
+    /// `EPERM`/`EACCES` permission failures, `EISDIR` when truncating
+    /// a directory, plus lookup errors.
+    pub fn setattr(
+        &mut self,
+        cred: Cred,
+        path: &VPath,
+        set: SetAttr,
+        now: SimTime,
+    ) -> Result<(InodeRec, DbOps), FsError> {
+        let mut ops = DbOps::default();
+        let ino = self.resolve(cred, path, "setattr", true, 0, &mut ops)?;
+        let node = self.get(ino);
+        ops.read(1);
+        let is_owner = cred.uid == Uid(0) || cred.uid == node.uid;
+        if (set.mode.is_some() || set.uid.is_some() || set.gid.is_some()) && !is_owner {
+            return Err(FsError::new(Errno::EPERM, "setattr", path.as_str()));
+        }
+        if (set.atime.is_some() || set.mtime.is_some())
+            && !is_owner
+            && !node.mode.allows_write(cred.uid, cred.gid, node.uid, node.gid)
+        {
+            return Err(FsError::new(Errno::EPERM, "setattr", path.as_str()));
+        }
+        if set.size.is_some()
+            && !is_owner
+            && !node.mode.allows_write(cred.uid, cred.gid, node.uid, node.gid)
+        {
+            return Err(FsError::new(Errno::EACCES, "setattr", path.as_str()));
+        }
+        if set.size.is_some() && node.ftype != FileType::Regular {
+            return Err(FsError::new(Errno::EISDIR, "setattr", path.as_str()));
+        }
+        self.inodes
+            .update(&ino, |r| {
+                if let Some(m) = set.mode {
+                    r.mode = m;
+                }
+                if let Some(u) = set.uid {
+                    r.uid = u;
+                }
+                if let Some(g) = set.gid {
+                    r.gid = g;
+                }
+                if let Some(s) = set.size {
+                    r.size = s;
+                    r.mtime = now;
+                }
+                if let Some(t) = set.atime {
+                    r.atime = t;
+                }
+                if let Some(t) = set.mtime {
+                    r.mtime = t;
+                }
+                r.ctime = now;
+            })
+            .expect("inode exists");
+        ops.write(1);
+        Ok((self.get(ino).clone(), ops))
+    }
+
+    /// Records a file's size (called by the layer on close-after-write,
+    /// since writes never contact the service).
+    pub fn set_size(&mut self, ino: u64, size: u64, now: SimTime) -> DbOps {
+        let mut ops = DbOps::default();
+        if self
+            .inodes
+            .update(&ino, |r| {
+                r.size = size;
+                r.mtime = now;
+            })
+            .is_ok()
+        {
+            ops.write(1);
+        }
+        ops
+    }
+
+    /// Lists a virtual directory straight from the dentry table.
+    ///
+    /// # Errors
+    ///
+    /// `ENOTDIR`, `EACCES`, plus lookup errors.
+    pub fn readdir(
+        &mut self,
+        cred: Cred,
+        path: &VPath,
+        now: SimTime,
+    ) -> Result<(Vec<DirEntry>, DbOps), FsError> {
+        let mut ops = DbOps::default();
+        let ino = self.resolve(cred, path, "readdir", true, 0, &mut ops)?;
+        let node = self.get(ino);
+        ops.read(1);
+        if node.ftype != FileType::Directory {
+            return Err(FsError::new(Errno::ENOTDIR, "readdir", path.as_str()));
+        }
+        if !node.mode.allows_read(cred.uid, cred.gid, node.uid, node.gid) {
+            return Err(FsError::new(Errno::EACCES, "readdir", path.as_str()));
+        }
+        let list: Vec<DirEntry> = self
+            .dentries
+            .scan((ino, String::new())..(ino + 1, String::new()))
+            .map(|d| DirEntry {
+                name: d.name.clone(),
+                ino: Ino(d.ino),
+                ftype: self.get(d.ino).ftype,
+            })
+            .collect();
+        ops.read(list.len() as u64 + 1);
+        self.inodes
+            .update(&ino, |r| r.atime = now)
+            .expect("inode exists");
+        ops.write(1);
+        Ok((list, ops))
+    }
+
+    /// Creates a hard link — pure metadata in COFS, regardless of
+    /// where the underlying file lives.
+    ///
+    /// # Errors
+    ///
+    /// `EPERM` for directories, `EEXIST`, plus lookup errors.
+    pub fn link(
+        &mut self,
+        cred: Cred,
+        existing: &VPath,
+        new: &VPath,
+        now: SimTime,
+    ) -> Result<DbOps, FsError> {
+        let mut ops = DbOps::default();
+        let ino = self.resolve(cred, existing, "link", true, 0, &mut ops)?;
+        if self.get(ino).ftype == FileType::Directory {
+            return Err(FsError::new(Errno::EPERM, "link", existing.as_str()));
+        }
+        let (pino, name) = self.resolve_parent(cred, new, "link", &mut ops)?;
+        self.check_parent_write(cred, pino, "link", new)?;
+        if self.dentries.contains(&(pino, name.clone())) {
+            return Err(FsError::new(Errno::EEXIST, "link", new.as_str()));
+        }
+        ops.read(1);
+        self.dentries
+            .insert(DentryRec {
+                parent: pino,
+                name,
+                ino,
+            })
+            .expect("checked for duplicates");
+        self.inodes
+            .update(&ino, |r| {
+                r.nlink += 1;
+                r.ctime = now;
+            })
+            .expect("inode exists");
+        ops.write(2);
+        self.touch_parent(pino, now, 1, &mut ops);
+        Ok(ops)
+    }
+
+    /// Creates a symbolic link (pure metadata).
+    ///
+    /// # Errors
+    ///
+    /// `EEXIST`, plus lookup errors.
+    pub fn symlink(
+        &mut self,
+        cred: Cred,
+        target: &str,
+        new: &VPath,
+        now: SimTime,
+    ) -> Result<DbOps, FsError> {
+        let mut ops = DbOps::default();
+        let (pino, name) = self.resolve_parent(cred, new, "symlink", &mut ops)?;
+        self.check_parent_write(cred, pino, "symlink", new)?;
+        if self.dentries.contains(&(pino, name.clone())) {
+            return Err(FsError::new(Errno::EEXIST, "symlink", new.as_str()));
+        }
+        ops.read(1);
+        let mut cred_link = cred;
+        cred_link.uid = cred.uid;
+        let ino = self.new_inode(
+            cred_link,
+            FileType::Symlink,
+            Mode::new(0o777),
+            now,
+            Some(target.to_string()),
+            None,
+        );
+        self.dentries
+            .insert(DentryRec {
+                parent: pino,
+                name,
+                ino,
+            })
+            .expect("checked for duplicates");
+        ops.write(2);
+        self.touch_parent(pino, now, 1, &mut ops);
+        Ok(ops)
+    }
+
+    /// Reads a symlink target.
+    ///
+    /// # Errors
+    ///
+    /// `EINVAL` if the object is not a symlink, plus lookup errors.
+    pub fn readlink(&self, cred: Cred, path: &VPath) -> Result<(String, DbOps), FsError> {
+        let mut ops = DbOps::default();
+        let ino = self.resolve(cred, path, "readlink", false, 0, &mut ops)?;
+        ops.read(1);
+        match &self.get(ino).target {
+            Some(t) => Ok((t.clone(), ops)),
+            None => Err(FsError::new(Errno::EINVAL, "readlink", path.as_str())),
+        }
+    }
+
+    /// Atomically renames within the virtual namespace — never touches
+    /// the underlying filesystem (the mapping moves with the inode).
+    ///
+    /// # Errors
+    ///
+    /// As `MemFs::rename`: `EINVAL` (into own subtree), `EISDIR`,
+    /// `ENOTDIR`, `ENOTEMPTY`, plus lookup errors.
+    pub fn rename(
+        &mut self,
+        cred: Cred,
+        from: &VPath,
+        to: &VPath,
+        now: SimTime,
+    ) -> Result<DbOps, FsError> {
+        let mut ops = DbOps::default();
+        if from == to {
+            // POSIX: same-name rename succeeds only if the name exists.
+            self.resolve(cred, from, "rename", false, 0, &mut ops)?;
+            return Ok(ops);
+        }
+        if to.starts_with(from) {
+            return Err(FsError::new(Errno::EINVAL, "rename", to.as_str()));
+        }
+        let (from_pino, from_name) = self.resolve_parent(cred, from, "rename", &mut ops)?;
+        self.check_parent_write(cred, from_pino, "rename", from)?;
+        let (to_pino, to_name) = self.resolve_parent(cred, to, "rename", &mut ops)?;
+        self.check_parent_write(cred, to_pino, "rename", to)?;
+        let src = self
+            .dentries
+            .get(&(from_pino, from_name.clone()))
+            .ok_or_else(|| FsError::new(Errno::ENOENT, "rename", from.as_str()))?
+            .clone();
+        ops.read(1);
+        let src_is_dir = self.get(src.ino).ftype == FileType::Directory;
+        if let Some(dst) = self.dentries.get(&(to_pino, to_name.clone())).cloned() {
+            ops.read(1);
+            let dst_rec = self.get(dst.ino).clone();
+            match (src_is_dir, dst_rec.ftype == FileType::Directory) {
+                (true, false) => return Err(FsError::new(Errno::ENOTDIR, "rename", to.as_str())),
+                (false, true) => return Err(FsError::new(Errno::EISDIR, "rename", to.as_str())),
+                (true, true) => {
+                    if dst_rec.entries > 0 {
+                        return Err(FsError::new(Errno::ENOTEMPTY, "rename", to.as_str()));
+                    }
+                    self.dentries
+                        .delete(&(to_pino, to_name.clone()))
+                        .expect("entry existed");
+                    self.inodes.delete(&dst.ino).expect("inode existed");
+                    self.inodes
+                        .update(&to_pino, |r| r.nlink -= 1)
+                        .expect("parent exists");
+                    self.touch_parent(to_pino, now, -1, &mut ops);
+                    ops.write(3);
+                }
+                (false, false) => {
+                    self.dentries
+                        .delete(&(to_pino, to_name.clone()))
+                        .expect("entry existed");
+                    self.inodes
+                        .update(&dst.ino, |r| {
+                            r.nlink -= 1;
+                            r.ctime = now;
+                        })
+                        .expect("inode exists");
+                    if self.get(dst.ino).nlink == 0 {
+                        // Underlying cleanup is the caller's business;
+                        // rename replacing a file returns no mapping in
+                        // the current API, so the layer re-checks.
+                        self.inodes.delete(&dst.ino).expect("inode exists");
+                    }
+                    self.touch_parent(to_pino, now, -1, &mut ops);
+                    ops.write(2);
+                }
+            }
+        }
+        self.dentries
+            .delete(&(from_pino, from_name))
+            .expect("source entry existed");
+        self.dentries
+            .insert(DentryRec {
+                parent: to_pino,
+                name: to_name,
+                ino: src.ino,
+            })
+            .expect("target slot cleared");
+        ops.write(2);
+        if src_is_dir && from_pino != to_pino {
+            self.inodes
+                .update(&from_pino, |r| r.nlink -= 1)
+                .expect("parent exists");
+            self.inodes
+                .update(&to_pino, |r| r.nlink += 1)
+                .expect("parent exists");
+            ops.write(2);
+        }
+        self.touch_parent(from_pino, now, -1, &mut ops);
+        self.touch_parent(to_pino, now, 1, &mut ops);
+        self.inodes
+            .update(&src.ino, |r| r.ctime = now)
+            .expect("inode exists");
+        ops.write(1);
+        Ok(ops)
+    }
+}
+
+impl Default for Mds {
+    fn default() -> Self {
+        Mds::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vfs::path::vpath;
+
+    fn cred() -> Cred {
+        Cred {
+            uid: Uid(1000),
+            gid: Gid(1000),
+        }
+    }
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn create_and_getattr() {
+        let mut mds = Mds::new();
+        let (rec, ops) = mds
+            .create(cred(), &vpath("/f"), Mode::file_default(), vpath("/.u/f"), t(1))
+            .unwrap();
+        assert_eq!(rec.ftype, FileType::Regular);
+        assert_eq!(rec.mapping, Some(vpath("/.u/f")));
+        assert!(ops.writes >= 2);
+        let (got, _) = mds.getattr(cred(), &vpath("/f")).unwrap();
+        assert_eq!(got.ino, rec.ino);
+        assert_eq!(got.attr().nlink, 1);
+    }
+
+    #[test]
+    fn duplicate_create_is_eexist() {
+        let mut mds = Mds::new();
+        mds.create(cred(), &vpath("/f"), Mode::file_default(), vpath("/.u/a"), t(1))
+            .unwrap();
+        let err = mds
+            .create(cred(), &vpath("/f"), Mode::file_default(), vpath("/.u/b"), t(2))
+            .unwrap_err();
+        assert!(err.is(Errno::EEXIST));
+    }
+
+    #[test]
+    fn virtual_directories_have_no_mapping() {
+        let mut mds = Mds::new();
+        mds.mkdir(cred(), &vpath("/d"), Mode::dir_default(), t(1)).unwrap();
+        let (rec, _) = mds.getattr(cred(), &vpath("/d")).unwrap();
+        assert_eq!(rec.ftype, FileType::Directory);
+        assert_eq!(rec.mapping, None);
+        assert_eq!(rec.attr().nlink, 2);
+        // Parent nlink bumped.
+        let (root, _) = mds.getattr(cred(), &VPath::root()).unwrap();
+        assert_eq!(root.nlink, 3);
+    }
+
+    #[test]
+    fn unlink_returns_mapping_on_last_link() {
+        let mut mds = Mds::new();
+        mds.create(cred(), &vpath("/f"), Mode::file_default(), vpath("/.u/f"), t(1))
+            .unwrap();
+        mds.link(cred(), &vpath("/f"), &vpath("/g"), t(2)).unwrap();
+        let (gone, _) = mds.unlink(cred(), &vpath("/f"), t(3)).unwrap();
+        assert_eq!(gone, None, "still linked via /g");
+        let (gone, _) = mds.unlink(cred(), &vpath("/g"), t(4)).unwrap();
+        assert_eq!(gone, Some(vpath("/.u/f")), "last link returns mapping");
+        assert_eq!(mds.inode_count(), 1);
+    }
+
+    #[test]
+    fn readdir_lists_virtual_view() {
+        let mut mds = Mds::new();
+        mds.mkdir(cred(), &vpath("/d"), Mode::dir_default(), t(1)).unwrap();
+        for name in ["c", "a", "b"] {
+            mds.create(
+                cred(),
+                &vpath(&format!("/d/{name}")),
+                Mode::file_default(),
+                vpath(&format!("/.u/{name}")),
+                t(2),
+            )
+            .unwrap();
+        }
+        let (list, ops) = mds.readdir(cred(), &vpath("/d"), t(3)).unwrap();
+        let names: Vec<&str> = list.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+        assert!(ops.reads >= 4);
+        // Directory size attr reflects entries.
+        let (d, _) = mds.getattr(cred(), &vpath("/d")).unwrap();
+        assert_eq!(d.attr().size, 3 * 32);
+    }
+
+    #[test]
+    fn rename_moves_mapping_with_inode() {
+        let mut mds = Mds::new();
+        mds.mkdir(cred(), &vpath("/a"), Mode::dir_default(), t(1)).unwrap();
+        mds.mkdir(cred(), &vpath("/b"), Mode::dir_default(), t(1)).unwrap();
+        mds.create(cred(), &vpath("/a/f"), Mode::file_default(), vpath("/.u/x"), t(2))
+            .unwrap();
+        mds.rename(cred(), &vpath("/a/f"), &vpath("/b/g"), t(3)).unwrap();
+        let (rec, _) = mds.getattr(cred(), &vpath("/b/g")).unwrap();
+        assert_eq!(rec.mapping, Some(vpath("/.u/x")), "mapping unchanged");
+        assert!(mds.getattr(cred(), &vpath("/a/f")).unwrap_err().is(Errno::ENOENT));
+    }
+
+    #[test]
+    fn rename_into_own_subtree_rejected() {
+        let mut mds = Mds::new();
+        mds.mkdir(cred(), &vpath("/d"), Mode::dir_default(), t(1)).unwrap();
+        let err = mds.rename(cred(), &vpath("/d"), &vpath("/d/x"), t(2)).unwrap_err();
+        assert!(err.is(Errno::EINVAL));
+    }
+
+    #[test]
+    fn rmdir_rules() {
+        let mut mds = Mds::new();
+        mds.mkdir(cred(), &vpath("/d"), Mode::dir_default(), t(1)).unwrap();
+        mds.create(cred(), &vpath("/d/f"), Mode::file_default(), vpath("/.u/f"), t(2))
+            .unwrap();
+        assert!(mds.rmdir(cred(), &vpath("/d"), t(3)).unwrap_err().is(Errno::ENOTEMPTY));
+        mds.unlink(cred(), &vpath("/d/f"), t(4)).unwrap();
+        mds.rmdir(cred(), &vpath("/d"), t(5)).unwrap();
+        assert!(mds.getattr(cred(), &vpath("/d")).unwrap_err().is(Errno::ENOENT));
+        assert!(mds.rmdir(cred(), &VPath::root(), t(6)).unwrap_err().is(Errno::EINVAL));
+    }
+
+    #[test]
+    fn symlink_resolution_through_service() {
+        let mut mds = Mds::new();
+        mds.mkdir(cred(), &vpath("/real"), Mode::dir_default(), t(1)).unwrap();
+        mds.create(cred(), &vpath("/real/f"), Mode::file_default(), vpath("/.u/f"), t(2))
+            .unwrap();
+        mds.symlink(cred(), "/real", &vpath("/alias"), t(3)).unwrap();
+        let (rec, _) = mds.lookup(cred(), &vpath("/alias/f")).unwrap();
+        assert_eq!(rec.mapping, Some(vpath("/.u/f")));
+        // lstat of the link itself.
+        let (l, _) = mds.getattr(cred(), &vpath("/alias")).unwrap();
+        assert_eq!(l.ftype, FileType::Symlink);
+        let (target, _) = mds.readlink(cred(), &vpath("/alias")).unwrap();
+        assert_eq!(target, "/real");
+    }
+
+    #[test]
+    fn symlink_loops_detected() {
+        let mut mds = Mds::new();
+        mds.symlink(cred(), "/b", &vpath("/a"), t(1)).unwrap();
+        mds.symlink(cred(), "/a", &vpath("/b"), t(1)).unwrap();
+        assert!(mds.lookup(cred(), &vpath("/a")).unwrap_err().is(Errno::EINVAL));
+    }
+
+    #[test]
+    fn permissions_enforced() {
+        let mut mds = Mds::new();
+        let owner = cred();
+        let other = Cred {
+            uid: Uid(2000),
+            gid: Gid(2000),
+        };
+        mds.mkdir(owner, &vpath("/priv"), Mode::new(0o700), t(1)).unwrap();
+        assert!(mds
+            .create(other, &vpath("/priv/f"), Mode::file_default(), vpath("/.u/f"), t(2))
+            .unwrap_err()
+            .is(Errno::EACCES));
+        mds.create(owner, &vpath("/priv/f"), Mode::new(0o600), vpath("/.u/f"), t(2))
+            .unwrap();
+        assert!(mds.getattr(other, &vpath("/priv/f")).unwrap_err().is(Errno::EACCES));
+        // chmod by non-owner rejected.
+        mds.create(owner, &vpath("/pub"), Mode::new(0o644), vpath("/.u/p"), t(3))
+            .unwrap();
+        let set = SetAttr {
+            mode: Some(Mode::new(0o777)),
+            ..SetAttr::default()
+        };
+        assert!(mds.setattr(other, &vpath("/pub"), set, t(4)).unwrap_err().is(Errno::EPERM));
+    }
+
+    #[test]
+    fn set_size_updates_record() {
+        let mut mds = Mds::new();
+        let (rec, _) = mds
+            .create(cred(), &vpath("/f"), Mode::file_default(), vpath("/.u/f"), t(1))
+            .unwrap();
+        mds.set_size(rec.ino, 4096, t(2));
+        let (got, _) = mds.getattr(cred(), &vpath("/f")).unwrap();
+        assert_eq!(got.attr().size, 4096);
+        // Unknown inodes are ignored.
+        let ops = mds.set_size(9999, 1, t(3));
+        assert_eq!(ops.writes, 0);
+    }
+
+    #[test]
+    fn utime_via_setattr() {
+        let mut mds = Mds::new();
+        mds.create(cred(), &vpath("/f"), Mode::file_default(), vpath("/.u/f"), t(1))
+            .unwrap();
+        let stamp = t(42);
+        let (rec, ops) = mds
+            .setattr(cred(), &vpath("/f"), SetAttr::utime(stamp, stamp), t(43))
+            .unwrap();
+        assert_eq!(rec.atime, stamp);
+        assert_eq!(rec.mtime, stamp);
+        assert!(ops.writes >= 1);
+    }
+}

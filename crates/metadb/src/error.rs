@@ -1,0 +1,115 @@
+//! Database errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// What went wrong inside the metadata database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DbErrorKind {
+    /// An insert collided with an existing primary key.
+    DuplicateKey,
+    /// A lookup/update/delete referenced a missing key.
+    NotFound,
+    /// A constraint maintained by the service layer was violated.
+    Constraint,
+}
+
+impl DbErrorKind {
+    /// Short lowercase description.
+    pub fn message(self) -> &'static str {
+        match self {
+            DbErrorKind::DuplicateKey => "duplicate primary key",
+            DbErrorKind::NotFound => "record not found",
+            DbErrorKind::Constraint => "constraint violated",
+        }
+    }
+}
+
+/// An error raised by a table operation: kind, table, and offending key.
+///
+/// # Examples
+///
+/// ```
+/// use metadb::error::{DbError, DbErrorKind};
+///
+/// let e = DbError::new(DbErrorKind::NotFound, "inodes", "42");
+/// assert_eq!(e.kind(), DbErrorKind::NotFound);
+/// assert!(e.to_string().contains("inodes"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DbError {
+    kind: DbErrorKind,
+    table: String,
+    key: String,
+}
+
+impl DbError {
+    /// Creates an error for `table` and the textual form of the key.
+    pub fn new(kind: DbErrorKind, table: impl Into<String>, key: impl Into<String>) -> Self {
+        DbError {
+            kind,
+            table: table.into(),
+            key: key.into(),
+        }
+    }
+
+    /// The error category.
+    pub fn kind(&self) -> DbErrorKind {
+        self.kind
+    }
+
+    /// The table the operation targeted.
+    pub fn table(&self) -> &str {
+        &self.table
+    }
+
+    /// The key involved (textual form).
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} in table '{}' for key {}",
+            self.kind.message(),
+            self.table,
+            self.key
+        )
+    }
+}
+
+impl Error for DbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_accessors() {
+        let e = DbError::new(DbErrorKind::DuplicateKey, "dentries", "(1, \"a\")");
+        assert!(e.to_string().contains("duplicate"));
+        assert!(e.to_string().contains("dentries"));
+        assert_eq!(e.table(), "dentries");
+        assert_eq!(e.key(), "(1, \"a\")");
+    }
+
+    #[test]
+    fn all_kinds_have_messages() {
+        for k in [
+            DbErrorKind::DuplicateKey,
+            DbErrorKind::NotFound,
+            DbErrorKind::Constraint,
+        ] {
+            assert!(!k.message().is_empty());
+        }
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn takes_err<E: Error + Send + Sync + 'static>(_: E) {}
+        takes_err(DbError::new(DbErrorKind::NotFound, "t", "k"));
+    }
+}

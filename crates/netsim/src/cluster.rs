@@ -1,0 +1,440 @@
+//! The simulated cluster: nodes, links, and message/data timing.
+
+use crate::ids::{LinkId, NodeId, NodeRole};
+use crate::topology::Topology;
+use simcore::prelude::*;
+
+/// Everything known about one node.
+#[derive(Debug, Clone)]
+struct NodeInfo {
+    role: NodeRole,
+    center: usize,
+    access: LinkId,
+}
+
+/// A built cluster: the set of nodes, their roles, and the contended
+/// links between them.
+///
+/// Construction follows the paper's testbed: `n_clients` compute
+/// blades, `n_servers` file servers, and optionally one extra blade
+/// hosting the COFS metadata service. Servers (and the metadata host)
+/// attach to blade center 0's switch, mirroring "two external
+/// Intel-based servers connected to the blade center by 1 GB link
+/// each".
+///
+/// # Examples
+///
+/// ```
+/// use netsim::cluster::ClusterBuilder;
+///
+/// let cluster = ClusterBuilder::new().clients(4).servers(2).build();
+/// assert_eq!(cluster.clients().len(), 4);
+/// assert_eq!(cluster.servers().len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    topology: Topology,
+    nodes: Vec<NodeInfo>,
+    /// Each physical link is full-duplex: index 0 carries the
+    /// "outbound" direction (toward the core / from the sender),
+    /// index 1 the opposite one.
+    links: Vec<[BandwidthLink; 2]>,
+    /// Uplink of each blade center (`None` for center 0, which hosts
+    /// the core switch in our model).
+    center_uplinks: Vec<Option<LinkId>>,
+    clients: Vec<NodeId>,
+    servers: Vec<NodeId>,
+    metadata_host: Option<NodeId>,
+    messages: u64,
+}
+
+/// Builder for [`Cluster`] (C-BUILDER).
+#[derive(Debug, Clone)]
+pub struct ClusterBuilder {
+    topology: Topology,
+    n_clients: usize,
+    n_servers: usize,
+    metadata_host: bool,
+}
+
+impl ClusterBuilder {
+    /// Starts from the paper's defaults: flat topology, 4 clients,
+    /// 2 file servers, no metadata host.
+    pub fn new() -> Self {
+        ClusterBuilder {
+            topology: Topology::flat(),
+            n_clients: 4,
+            n_servers: 2,
+            metadata_host: false,
+        }
+    }
+
+    /// Sets the number of compute blades.
+    pub fn clients(mut self, n: usize) -> Self {
+        self.n_clients = n;
+        self
+    }
+
+    /// Sets the number of file servers.
+    pub fn servers(mut self, n: usize) -> Self {
+        self.n_servers = n;
+        self
+    }
+
+    /// Adds a dedicated blade for the COFS metadata service.
+    pub fn with_metadata_host(mut self) -> Self {
+        self.metadata_host = true;
+        self
+    }
+
+    /// Uses the given topology instead of the flat default.
+    pub fn topology(mut self, t: Topology) -> Self {
+        self.topology = t;
+        self
+    }
+
+    /// Builds the cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no clients or no servers.
+    pub fn build(self) -> Cluster {
+        assert!(self.n_clients > 0, "cluster needs at least one client");
+        assert!(self.n_servers > 0, "cluster needs at least one server");
+        let mut nodes = Vec::new();
+        let mut links: Vec<[BandwidthLink; 2]> = Vec::new();
+        let add_link = |links: &mut Vec<[BandwidthLink; 2]>, name: String, bw: Bandwidth| {
+            let id = LinkId(links.len() as u32);
+            links.push([
+                BandwidthLink::new(format!("{name}/out"), bw),
+                BandwidthLink::new(format!("{name}/in"), bw),
+            ]);
+            id
+        };
+
+        let mut clients = Vec::new();
+        for i in 0..self.n_clients {
+            let id = NodeId(nodes.len() as u32);
+            let access = add_link(
+                &mut links,
+                format!("access-{id}"),
+                self.topology.access_bandwidth,
+            );
+            nodes.push(NodeInfo {
+                role: NodeRole::Client,
+                center: self.topology.center_of_client(i),
+                access,
+            });
+            clients.push(id);
+        }
+        let mut servers = Vec::new();
+        for _ in 0..self.n_servers {
+            let id = NodeId(nodes.len() as u32);
+            let access = add_link(
+                &mut links,
+                format!("access-{id}"),
+                self.topology.access_bandwidth,
+            );
+            nodes.push(NodeInfo {
+                role: NodeRole::FileServer,
+                center: 0,
+                access,
+            });
+            servers.push(id);
+        }
+        let metadata_host = if self.metadata_host {
+            let id = NodeId(nodes.len() as u32);
+            let access = add_link(
+                &mut links,
+                format!("access-{id}"),
+                self.topology.access_bandwidth,
+            );
+            nodes.push(NodeInfo {
+                role: NodeRole::MetadataHost,
+                center: 0,
+                access,
+            });
+            Some(id)
+        } else {
+            None
+        };
+
+        let n_centers = self.topology.centers_for(self.n_clients);
+        let mut center_uplinks = vec![None; n_centers];
+        // Center 0 hosts the core switch; other centers reach it over a
+        // dedicated (but shared-by-the-center) uplink.
+        for (c, slot) in center_uplinks.iter_mut().enumerate().skip(1) {
+            *slot = Some(add_link(
+                &mut links,
+                format!("uplink-center{c}"),
+                self.topology.uplink_bandwidth,
+            ));
+        }
+
+        Cluster {
+            topology: self.topology,
+            nodes,
+            links,
+            center_uplinks,
+            clients,
+            servers,
+            metadata_host,
+            messages: 0,
+        }
+    }
+}
+
+impl Default for ClusterBuilder {
+    fn default() -> Self {
+        ClusterBuilder::new()
+    }
+}
+
+impl Cluster {
+    /// Client node ids, in index order.
+    pub fn clients(&self) -> &[NodeId] {
+        &self.clients
+    }
+
+    /// File-server node ids, in index order.
+    pub fn servers(&self) -> &[NodeId] {
+        &self.servers
+    }
+
+    /// The metadata-service host, if one was requested.
+    pub fn metadata_host(&self) -> Option<NodeId> {
+        self.metadata_host
+    }
+
+    /// Role of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not part of this cluster.
+    pub fn role(&self, node: NodeId) -> NodeRole {
+        self.nodes[node.index()].role
+    }
+
+    /// Blade center of a node.
+    pub fn center(&self, node: NodeId) -> usize {
+        self.nodes[node.index()].center
+    }
+
+    /// The topology the cluster was built from.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Total node count.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of hops a message between `a` and `b` crosses.
+    fn hops(&self, a: NodeId, b: NodeId) -> u64 {
+        if a == b {
+            return 0;
+        }
+        let (ca, cb) = (self.center(a), self.center(b));
+        if ca == cb {
+            2 // a -> switch -> b
+        } else {
+            // a -> center switch -> core -> center switch -> b; each
+            // non-zero center adds an uplink traversal.
+            2 + (ca != 0) as u64 + (cb != 0) as u64 + 1
+        }
+    }
+
+    /// Links a payload from `a` to `b` traverses (access links plus any
+    /// center uplinks), in path order, with the duplex direction each
+    /// hop uses (0 = egress/toward core, 1 = ingress/from core).
+    fn path_links(&self, a: NodeId, b: NodeId) -> Vec<(LinkId, usize)> {
+        if a == b {
+            return Vec::new();
+        }
+        let mut path = vec![(self.nodes[a.index()].access, 0)];
+        let (ca, cb) = (self.center(a), self.center(b));
+        if ca != cb {
+            if let Some(up) = self.center_uplinks[ca] {
+                path.push((up, 0));
+            }
+            if let Some(up) = self.center_uplinks[cb] {
+                path.push((up, 1));
+            }
+        }
+        path.push((self.nodes[b.index()].access, 1));
+        path
+    }
+
+    /// One-way propagation latency between two nodes (no payload).
+    pub fn latency(&self, a: NodeId, b: NodeId) -> SimDuration {
+        self.topology.hop_latency * self.hops(a, b)
+    }
+
+    /// Round-trip latency between two nodes.
+    pub fn rtt(&self, a: NodeId, b: NodeId) -> SimDuration {
+        self.latency(a, b) * 2
+    }
+
+    /// Delivers a small control message (request or response) of
+    /// `bytes` bytes, returning the delivery time. Control messages pay
+    /// propagation latency plus serialization on every link of the
+    /// path, so metadata traffic and bulk data contend for the same
+    /// links — the effect behind the paper's 64-node results.
+    pub fn send(&mut self, from: NodeId, to: NodeId, bytes: u64, now: SimTime) -> SimTime {
+        self.messages += 1;
+        if from == to {
+            // Loopback: negligible but non-zero.
+            return now + SimDuration::from_micros(2);
+        }
+        // Cut-through forwarding: the payload streams across the path,
+        // so completion is governed by the most backlogged link, not
+        // the sum of per-hop serializations.
+        let base = now + self.latency(from, to);
+        let mut done = base;
+        for (link, dir) in self.path_links(from, to) {
+            done = done.max(self.links[link.index()][dir].transfer(base, bytes).end);
+        }
+        done
+    }
+
+    /// Performs a request/response exchange of small control messages
+    /// and returns when the response arrives back at `from`.
+    pub fn round_trip(&mut self, from: NodeId, to: NodeId, bytes: u64, now: SimTime) -> SimTime {
+        let arrived = self.send(from, to, bytes, now);
+        self.send(to, from, bytes, arrived)
+    }
+
+    /// Number of messages carried so far.
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// Total bytes carried across all links (both directions).
+    pub fn bytes_carried(&self) -> u64 {
+        self.links
+            .iter()
+            .map(|l| l[0].bytes_carried() + l[1].bytes_carried())
+            .sum()
+    }
+
+    /// Resets all link state and counters (between benchmark phases).
+    pub fn reset(&mut self) {
+        for l in &mut self.links {
+            l[0].reset();
+            l[1].reset();
+        }
+        self.messages = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat4() -> Cluster {
+        ClusterBuilder::new().clients(4).servers(2).build()
+    }
+
+    #[test]
+    fn builder_assigns_roles_in_order() {
+        let c = ClusterBuilder::new()
+            .clients(3)
+            .servers(2)
+            .with_metadata_host()
+            .build();
+        assert_eq!(c.node_count(), 6);
+        assert_eq!(c.role(NodeId(0)), NodeRole::Client);
+        assert_eq!(c.role(NodeId(2)), NodeRole::Client);
+        assert_eq!(c.role(NodeId(3)), NodeRole::FileServer);
+        assert_eq!(c.role(NodeId(4)), NodeRole::FileServer);
+        assert_eq!(c.role(NodeId(5)), NodeRole::MetadataHost);
+        assert_eq!(c.metadata_host(), Some(NodeId(5)));
+    }
+
+    #[test]
+    fn flat_cluster_is_two_hops_everywhere() {
+        let c = flat4();
+        let (a, s) = (c.clients()[0], c.servers()[0]);
+        assert_eq!(c.latency(a, s), SimDuration::from_micros(110));
+        assert_eq!(c.rtt(a, s), SimDuration::from_micros(220));
+        assert_eq!(c.latency(a, a), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn hierarchical_cross_center_costs_more() {
+        let c = ClusterBuilder::new()
+            .clients(32)
+            .servers(2)
+            .topology(Topology::hierarchical(16))
+            .build();
+        let near = c.clients()[0]; // center 0
+        let far = c.clients()[20]; // center 1
+        let server = c.servers()[0]; // center 0
+        assert!(c.latency(far, server) > c.latency(near, server));
+        assert_eq!(c.center(far), 1);
+        assert_eq!(c.center(server), 0);
+    }
+
+    #[test]
+    fn shared_uplink_congests() {
+        let mut c = ClusterBuilder::new()
+            .clients(32)
+            .servers(2)
+            .topology(Topology::hierarchical(16))
+            .build();
+        let server = c.servers()[0];
+        let far_a = c.clients()[16];
+        let far_b = c.clients()[17];
+        let mb = 64 * 1024 * 1024;
+        let t1 = c.send(far_a, server, mb, SimTime::ZERO);
+        // Second transfer from the same center shares the uplink and
+        // finishes later than it would alone.
+        let t2 = c.send(far_b, server, mb, SimTime::ZERO);
+        assert!(t2 > t1);
+        let solo = {
+            let mut fresh = ClusterBuilder::new()
+                .clients(32)
+                .servers(2)
+                .topology(Topology::hierarchical(16))
+                .build();
+            fresh.send(far_b, server, mb, SimTime::ZERO)
+        };
+        assert!(t2 > solo);
+    }
+
+    #[test]
+    fn round_trip_is_symmetric_in_latency() {
+        let mut c = flat4();
+        let (a, s) = (c.clients()[1], c.servers()[1]);
+        let done = c.round_trip(a, s, 256, SimTime::ZERO);
+        assert!(done >= SimTime::ZERO + c.rtt(a, s));
+        assert_eq!(c.messages(), 2);
+        assert!(c.bytes_carried() >= 512);
+    }
+
+    #[test]
+    fn loopback_is_cheap_but_not_free() {
+        let mut c = flat4();
+        let a = c.clients()[0];
+        let done = c.send(a, a, 4096, SimTime::ZERO);
+        assert!(done > SimTime::ZERO);
+        assert!(done < SimTime::ZERO + SimDuration::from_micros(50));
+    }
+
+    #[test]
+    fn reset_clears_links_and_counters() {
+        let mut c = flat4();
+        let (a, s) = (c.clients()[0], c.servers()[0]);
+        c.send(a, s, 1024, SimTime::ZERO);
+        c.reset();
+        assert_eq!(c.messages(), 0);
+        assert_eq!(c.bytes_carried(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one client")]
+    fn no_clients_panics() {
+        let _ = ClusterBuilder::new().clients(0).build();
+    }
+}

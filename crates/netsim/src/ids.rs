@@ -1,0 +1,92 @@
+//! Identifier newtypes for cluster entities.
+
+use std::fmt;
+
+/// Identifies one machine in the simulated cluster (a compute blade, a
+/// file server, or the metadata-service host).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Raw index, usable for per-node arrays.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// Identifies a network link (a node access link or a switch uplink).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(pub u32);
+
+impl LinkId {
+    /// Raw index into the cluster's link table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "link{}", self.0)
+    }
+}
+
+/// Identifies a process on a node. Together with [`NodeId`] this is the
+/// unit the COFS placement driver hashes on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pid(pub u32);
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid{}", self.0)
+    }
+}
+
+/// What a node does in the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeRole {
+    /// Runs application processes (a compute blade).
+    Client,
+    /// Serves filesystem data and metadata blocks (an NSD server).
+    FileServer,
+    /// Hosts the COFS metadata service (dedicated blade in the paper).
+    MetadataHost,
+}
+
+impl fmt::Display for NodeRole {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NodeRole::Client => "client",
+            NodeRole::FileServer => "file-server",
+            NodeRole::MetadataHost => "metadata-host",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(NodeId(3).to_string(), "node3");
+        assert_eq!(LinkId(1).to_string(), "link1");
+        assert_eq!(Pid(9).to_string(), "pid9");
+        assert_eq!(NodeRole::Client.to_string(), "client");
+        assert_eq!(NodeRole::FileServer.to_string(), "file-server");
+        assert_eq!(NodeRole::MetadataHost.to_string(), "metadata-host");
+    }
+
+    #[test]
+    fn index_round_trip() {
+        assert_eq!(NodeId(7).index(), 7);
+        assert_eq!(LinkId(7).index(), 7);
+    }
+}

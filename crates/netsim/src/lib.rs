@@ -1,0 +1,37 @@
+//! # netsim — cluster and network model
+//!
+//! Models the paper's testbed: compute blades behind a blade-center
+//! switch, external file servers on 1 Gb links, and (for the 64-node
+//! experiment of Fig 6) a hierarchy of blade centers behind shared
+//! uplinks.
+//!
+//! The model captures the two network properties the evaluation
+//! depends on: per-hop propagation latency for small control messages
+//! (token traffic, metadata RPCs) and shared-link bandwidth contention
+//! for bulk data.
+//!
+//! # Examples
+//!
+//! ```
+//! use netsim::prelude::*;
+//! use simcore::prelude::*;
+//!
+//! let mut cluster = ClusterBuilder::new().clients(8).servers(2).build();
+//! let (c0, s0) = (cluster.clients()[0], cluster.servers()[0]);
+//! let reply_at = cluster.round_trip(c0, s0, 256, SimTime::ZERO);
+//! assert!(reply_at > SimTime::ZERO);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod ids;
+pub mod topology;
+
+/// Convenient glob-import of the most commonly used items.
+pub mod prelude {
+    pub use crate::cluster::{Cluster, ClusterBuilder};
+    pub use crate::ids::{LinkId, NodeId, NodeRole, Pid};
+    pub use crate::topology::Topology;
+}

@@ -1,0 +1,51 @@
+//! # pfs — GPFS-like parallel filesystem simulator
+//!
+//! The baseline system of the COFS paper. The real evaluation ran on
+//! GPFS v3.1 over two file servers; this crate reproduces the protocol
+//! behaviour that drives the paper's measurements:
+//!
+//! - token-based distributed locking with client delegation
+//!   ([`dlm`]) — single-node accesses run from local cache;
+//! - packed directory/inode blocks with block-granularity tokens —
+//!   unrelated files false-share lock units;
+//! - exclusive parent-directory tokens on create/unlink — shared-
+//!   directory parallel creates serialize on token handoffs;
+//! - write-behind with flush-on-revoke — handoffs are expensive;
+//! - capacity-limited client caches — the Fig 1 knees at 512/1024
+//!   entries and the page-pool boundary for cached small-file reads;
+//! - striped data over the servers with shared-link contention.
+//!
+//! See [`config::PfsConfig`] for every calibration knob and
+//! [`fs::PfsFs`] for the filesystem itself.
+//!
+//! # Examples
+//!
+//! ```
+//! use netsim::cluster::ClusterBuilder;
+//! use netsim::ids::NodeId;
+//! use pfs::prelude::*;
+//! use vfs::fs::{FileSystem, OpCtx};
+//! use vfs::path::vpath;
+//! use vfs::types::Mode;
+//!
+//! let cluster = ClusterBuilder::new().clients(4).servers(2).build();
+//! let mut fs = PfsFs::new(cluster, PfsConfig::default());
+//! let ctx = OpCtx::test(NodeId(0));
+//! fs.mkdir(&ctx, &vpath("/scratch"), Mode::dir_default())?;
+//! let t = fs.create(&ctx, &vpath("/scratch/out"), Mode::file_default())?;
+//! assert!(t.end > ctx.now);
+//! # Ok::<(), vfs::error::FsError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod config;
+pub mod fs;
+
+/// Convenient glob-import of the most commonly used items.
+pub mod prelude {
+    pub use crate::config::PfsConfig;
+    pub use crate::fs::PfsFs;
+}

@@ -1,0 +1,214 @@
+//! Shared-bandwidth links in virtual time.
+//!
+//! A [`BandwidthLink`] models a network link (or a disk channel) with a
+//! fixed capacity in bytes per second. Transfers submitted to the link
+//! are serialized in arrival order — a first-order approximation of
+//! fair sharing that preserves the property the evaluation depends on:
+//! aggregate throughput through a shared link saturates at link
+//! capacity, and concurrent transfers see proportionally longer
+//! completion times.
+
+use crate::resource::Grant;
+use crate::time::{SimDuration, SimTime};
+
+/// Bytes per second, as a newtype so capacities aren't confused with
+/// byte counts (C-NEWTYPE).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Bandwidth(u64);
+
+impl Bandwidth {
+    /// Creates a bandwidth from raw bytes per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_sec` is zero.
+    pub fn from_bytes_per_sec(bytes_per_sec: u64) -> Self {
+        assert!(bytes_per_sec > 0, "bandwidth must be positive");
+        Bandwidth(bytes_per_sec)
+    }
+
+    /// Creates a bandwidth from mebibytes per second.
+    pub fn from_mib_per_sec(mib: u64) -> Self {
+        Self::from_bytes_per_sec(mib * 1024 * 1024)
+    }
+
+    /// Nominal capacity of a gigabit Ethernet link after framing
+    /// overheads (~110 MiB/s), the link speed of the paper's testbed.
+    pub fn gigabit_ethernet() -> Self {
+        Self::from_mib_per_sec(110)
+    }
+
+    /// Raw bytes per second.
+    pub fn as_bytes_per_sec(self) -> u64 {
+        self.0
+    }
+
+    /// The time needed to push `bytes` through this bandwidth with no
+    /// contention.
+    pub fn transfer_time(self, bytes: u64) -> SimDuration {
+        // Round up to the nanosecond so tiny transfers are never free.
+        let ns = (bytes as u128 * 1_000_000_000u128).div_ceil(self.0 as u128);
+        SimDuration::from_nanos(ns as u64)
+    }
+}
+
+/// A capacity-limited link that serializes transfers in arrival order.
+///
+/// # Examples
+///
+/// ```
+/// use simcore::bandwidth::{Bandwidth, BandwidthLink};
+/// use simcore::time::SimTime;
+///
+/// let mut link = BandwidthLink::new("uplink", Bandwidth::from_mib_per_sec(100));
+/// let g = link.transfer(SimTime::ZERO, 50 * 1024 * 1024);
+/// assert_eq!(g.latency(SimTime::ZERO).as_millis(), 500);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BandwidthLink {
+    name: String,
+    capacity: Bandwidth,
+    free_at: SimTime,
+    bytes: u64,
+    transfers: u64,
+}
+
+impl BandwidthLink {
+    /// Creates an idle link with the given capacity.
+    pub fn new(name: impl Into<String>, capacity: Bandwidth) -> Self {
+        BandwidthLink {
+            name: name.into(),
+            capacity,
+            free_at: SimTime::ZERO,
+            bytes: 0,
+            transfers: 0,
+        }
+    }
+
+    /// Pushes `bytes` through the link starting no earlier than
+    /// `arrival`; returns when the transfer started and completed.
+    ///
+    /// Large transfers should be chunked by the caller (the filesystem
+    /// models already issue per-block transfers) so that concurrent
+    /// flows interleave rather than head-of-line block one another.
+    pub fn transfer(&mut self, arrival: SimTime, bytes: u64) -> Grant {
+        let start = arrival.max(self.free_at);
+        let end = start + self.capacity.transfer_time(bytes);
+        self.free_at = end;
+        self.bytes += bytes;
+        self.transfers += 1;
+        Grant { start, end }
+    }
+
+    /// Link capacity.
+    pub fn capacity(&self) -> Bandwidth {
+        self.capacity
+    }
+
+    /// When the link next becomes idle.
+    pub fn free_at(&self) -> SimTime {
+        self.free_at
+    }
+
+    /// Total bytes carried so far.
+    pub fn bytes_carried(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Number of transfers carried so far.
+    pub fn transfers(&self) -> u64 {
+        self.transfers
+    }
+
+    /// Diagnostic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Resets link state and statistics.
+    pub fn reset(&mut self) {
+        self.free_at = SimTime::ZERO;
+        self.bytes = 0;
+        self.transfers = 0;
+    }
+
+    /// Observed throughput between simulation start and `now`, in
+    /// bytes per second (zero if `now` is the epoch).
+    pub fn observed_throughput(&self, now: SimTime) -> f64 {
+        let secs = now.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.bytes as f64 / secs
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_matches_capacity() {
+        let bw = Bandwidth::from_mib_per_sec(100);
+        let d = bw.transfer_time(100 * 1024 * 1024);
+        assert_eq!(d.as_millis(), 1000);
+    }
+
+    #[test]
+    fn tiny_transfer_is_never_free() {
+        let bw = Bandwidth::from_mib_per_sec(1000);
+        assert!(bw.transfer_time(1).as_nanos() > 0);
+    }
+
+    #[test]
+    fn concurrent_transfers_share_capacity() {
+        let mut link = BandwidthLink::new("l", Bandwidth::from_mib_per_sec(100));
+        let mb = 1024 * 1024;
+        // Two 50 MiB flows submitted together: aggregate completes in ~1 s,
+        // i.e. the link carried 100 MiB in 1 s — capacity is respected.
+        link.transfer(SimTime::ZERO, 50 * mb);
+        let g2 = link.transfer(SimTime::ZERO, 50 * mb);
+        assert_eq!(g2.end.as_millis(), 1000);
+        assert_eq!(link.bytes_carried(), 100 * mb);
+        assert_eq!(link.transfers(), 2);
+    }
+
+    #[test]
+    fn idle_link_starts_immediately() {
+        let mut link = BandwidthLink::new("l", Bandwidth::from_mib_per_sec(100));
+        let g = link.transfer(SimTime::from_millis(7), 1024);
+        assert_eq!(g.start, SimTime::from_millis(7));
+    }
+
+    #[test]
+    fn observed_throughput() {
+        let mut link = BandwidthLink::new("l", Bandwidth::from_mib_per_sec(100));
+        let g = link.transfer(SimTime::ZERO, 100 * 1024 * 1024);
+        let tput = link.observed_throughput(g.end);
+        let expected = 100.0 * 1024.0 * 1024.0;
+        assert!((tput - expected).abs() / expected < 0.01);
+        assert_eq!(link.observed_throughput(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn gigabit_constant_is_sane() {
+        let bw = Bandwidth::gigabit_ethernet();
+        assert_eq!(bw.as_bytes_per_sec(), 110 * 1024 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bandwidth_panics() {
+        let _ = Bandwidth::from_bytes_per_sec(0);
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let mut link = BandwidthLink::new("l", Bandwidth::from_mib_per_sec(10));
+        link.transfer(SimTime::ZERO, 1024);
+        link.reset();
+        assert_eq!(link.bytes_carried(), 0);
+        assert_eq!(link.free_at(), SimTime::ZERO);
+    }
+}

@@ -1,0 +1,297 @@
+//! Queueing resources in virtual time.
+//!
+//! A [`FifoResource`] models a single server (a metadata service CPU, a
+//! disk, a token manager) that serves requests in arrival order. Because
+//! the simulation executes client operations in global virtual-time
+//! order, contention reduces to tracking when the server next becomes
+//! free: a request arriving at `t` with service demand `s` starts at
+//! `max(t, free_at)` and completes `s` later.
+
+use crate::time::{SimDuration, SimTime};
+
+/// Outcome of acquiring a resource: when service started and completed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grant {
+    /// When service actually began (>= arrival time).
+    pub start: SimTime,
+    /// When service completed.
+    pub end: SimTime,
+}
+
+impl Grant {
+    /// Time spent waiting in the queue before service began.
+    pub fn queue_wait(&self, arrival: SimTime) -> SimDuration {
+        self.start.saturating_since(arrival)
+    }
+
+    /// Total latency from arrival to completion.
+    pub fn latency(&self, arrival: SimTime) -> SimDuration {
+        self.end.saturating_since(arrival)
+    }
+}
+
+/// A single-server FIFO queue in virtual time.
+///
+/// # Examples
+///
+/// ```
+/// use simcore::resource::FifoResource;
+/// use simcore::time::{SimDuration, SimTime};
+///
+/// let mut disk = FifoResource::new("disk");
+/// let a = disk.acquire(SimTime::ZERO, SimDuration::from_millis(4));
+/// let b = disk.acquire(SimTime::from_millis(1), SimDuration::from_millis(4));
+/// assert_eq!(a.end, SimTime::from_millis(4));
+/// // The second request queues behind the first.
+/// assert_eq!(b.start, SimTime::from_millis(4));
+/// assert_eq!(b.end, SimTime::from_millis(8));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FifoResource {
+    name: String,
+    free_at: SimTime,
+    requests: u64,
+    busy: SimDuration,
+    waited: SimDuration,
+}
+
+impl FifoResource {
+    /// Creates an idle resource with a diagnostic name.
+    pub fn new(name: impl Into<String>) -> Self {
+        FifoResource {
+            name: name.into(),
+            free_at: SimTime::ZERO,
+            requests: 0,
+            busy: SimDuration::ZERO,
+            waited: SimDuration::ZERO,
+        }
+    }
+
+    /// Serves a request arriving at `arrival` with demand `service`.
+    ///
+    /// Requests must be submitted in non-decreasing *arrival* order for
+    /// the FIFO discipline to be faithful; the min-clock driver
+    /// guarantees this for client-issued operations.
+    pub fn acquire(&mut self, arrival: SimTime, service: SimDuration) -> Grant {
+        let start = arrival.max(self.free_at);
+        let end = start + service;
+        self.free_at = end;
+        self.requests += 1;
+        self.busy += service;
+        self.waited += start.saturating_since(arrival);
+        Grant { start, end }
+    }
+
+    /// When the server next becomes idle.
+    pub fn free_at(&self) -> SimTime {
+        self.free_at
+    }
+
+    /// Number of requests served so far.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Cumulative service time delivered.
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy
+    }
+
+    /// Cumulative queueing delay experienced by requests.
+    pub fn total_wait(&self) -> SimDuration {
+        self.waited
+    }
+
+    /// Mean queueing delay per request, or zero when unused.
+    pub fn mean_wait(&self) -> SimDuration {
+        if self.requests == 0 {
+            SimDuration::ZERO
+        } else {
+            self.waited / self.requests
+        }
+    }
+
+    /// Diagnostic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Resets queue state and statistics (e.g. between benchmark phases).
+    pub fn reset(&mut self) {
+        self.free_at = SimTime::ZERO;
+        self.requests = 0;
+        self.busy = SimDuration::ZERO;
+        self.waited = SimDuration::ZERO;
+    }
+}
+
+/// A pool of `k` identical servers with a shared FIFO queue.
+///
+/// Used for multi-threaded services (e.g. a metadata server with
+/// several worker threads). Requests go to the earliest-free server.
+///
+/// # Examples
+///
+/// ```
+/// use simcore::resource::MultiResource;
+/// use simcore::time::{SimDuration, SimTime};
+///
+/// let mut pool = MultiResource::new("mds-workers", 2);
+/// let s = SimDuration::from_millis(10);
+/// let a = pool.acquire(SimTime::ZERO, s);
+/// let b = pool.acquire(SimTime::ZERO, s);
+/// let c = pool.acquire(SimTime::ZERO, s);
+/// // Two run immediately; the third waits for a free worker.
+/// assert_eq!(a.start, SimTime::ZERO);
+/// assert_eq!(b.start, SimTime::ZERO);
+/// assert_eq!(c.start, SimTime::from_millis(10));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiResource {
+    name: String,
+    free_at: Vec<SimTime>,
+    requests: u64,
+    busy: SimDuration,
+    waited: SimDuration,
+}
+
+impl MultiResource {
+    /// Creates a pool of `servers` idle servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` is zero.
+    pub fn new(name: impl Into<String>, servers: usize) -> Self {
+        assert!(servers > 0, "a resource pool needs at least one server");
+        MultiResource {
+            name: name.into(),
+            free_at: vec![SimTime::ZERO; servers],
+            requests: 0,
+            busy: SimDuration::ZERO,
+            waited: SimDuration::ZERO,
+        }
+    }
+
+    /// Serves a request on the earliest-free server.
+    pub fn acquire(&mut self, arrival: SimTime, service: SimDuration) -> Grant {
+        let (idx, _) = self
+            .free_at
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, t)| **t)
+            .expect("pool has at least one server");
+        let start = arrival.max(self.free_at[idx]);
+        let end = start + service;
+        self.free_at[idx] = end;
+        self.requests += 1;
+        self.busy += service;
+        self.waited += start.saturating_since(arrival);
+        Grant { start, end }
+    }
+
+    /// Number of servers in the pool.
+    pub fn servers(&self) -> usize {
+        self.free_at.len()
+    }
+
+    /// When the *earliest* server becomes idle (a new request arriving
+    /// then would start immediately).
+    pub fn free_at(&self) -> SimTime {
+        self.free_at.iter().copied().min().unwrap_or(SimTime::ZERO)
+    }
+
+    /// Number of requests served so far.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Cumulative queueing delay experienced by requests.
+    pub fn total_wait(&self) -> SimDuration {
+        self.waited
+    }
+
+    /// Diagnostic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Resets queue state and statistics.
+    pub fn reset(&mut self) {
+        for t in &mut self.free_at {
+            *t = SimTime::ZERO;
+        }
+        self.requests = 0;
+        self.busy = SimDuration::ZERO;
+        self.waited = SimDuration::ZERO;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_resource_serves_immediately() {
+        let mut r = FifoResource::new("r");
+        let g = r.acquire(SimTime::from_millis(5), SimDuration::from_millis(2));
+        assert_eq!(g.start, SimTime::from_millis(5));
+        assert_eq!(g.end, SimTime::from_millis(7));
+        assert_eq!(g.queue_wait(SimTime::from_millis(5)), SimDuration::ZERO);
+        assert_eq!(g.latency(SimTime::from_millis(5)), SimDuration::from_millis(2));
+    }
+
+    #[test]
+    fn back_to_back_requests_queue() {
+        let mut r = FifoResource::new("r");
+        let s = SimDuration::from_millis(3);
+        let g1 = r.acquire(SimTime::ZERO, s);
+        let g2 = r.acquire(SimTime::ZERO, s);
+        let g3 = r.acquire(SimTime::ZERO, s);
+        assert_eq!(g1.end, SimTime::from_millis(3));
+        assert_eq!(g2.start, SimTime::from_millis(3));
+        assert_eq!(g3.start, SimTime::from_millis(6));
+        assert_eq!(r.requests(), 3);
+        assert_eq!(r.busy_time(), SimDuration::from_millis(9));
+        assert_eq!(r.total_wait(), SimDuration::from_millis(9));
+        assert_eq!(r.mean_wait(), SimDuration::from_millis(3));
+    }
+
+    #[test]
+    fn idle_gap_is_not_counted_busy() {
+        let mut r = FifoResource::new("r");
+        r.acquire(SimTime::ZERO, SimDuration::from_millis(1));
+        let g = r.acquire(SimTime::from_millis(10), SimDuration::from_millis(1));
+        assert_eq!(g.start, SimTime::from_millis(10));
+        assert_eq!(r.busy_time(), SimDuration::from_millis(2));
+        assert_eq!(r.total_wait(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut r = FifoResource::new("r");
+        r.acquire(SimTime::ZERO, SimDuration::from_millis(5));
+        r.reset();
+        assert_eq!(r.free_at(), SimTime::ZERO);
+        assert_eq!(r.requests(), 0);
+        assert_eq!(r.mean_wait(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn multi_resource_runs_k_in_parallel() {
+        let mut pool = MultiResource::new("pool", 3);
+        let s = SimDuration::from_millis(4);
+        for _ in 0..3 {
+            assert_eq!(pool.acquire(SimTime::ZERO, s).start, SimTime::ZERO);
+        }
+        let overflow = pool.acquire(SimTime::ZERO, s);
+        assert_eq!(overflow.start, SimTime::from_millis(4));
+        assert_eq!(pool.servers(), 3);
+        assert_eq!(pool.requests(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_server_pool_panics() {
+        let _ = MultiResource::new("empty", 0);
+    }
+}

@@ -1,0 +1,248 @@
+//! Deterministic pseudo-random numbers for the simulation.
+//!
+//! Every stochastic choice in the reproduction (hash randomization,
+//! workload access order, jittered service times) draws from
+//! [`SimRng`], a SplitMix64 generator. A fixed seed makes every
+//! experiment bit-for-bit reproducible, which the calibration tests
+//! rely on.
+
+/// A small, fast, deterministic PRNG (SplitMix64).
+///
+/// Not cryptographically secure — it exists to make simulations
+/// reproducible, not to protect secrets.
+///
+/// # Examples
+///
+/// ```
+/// use simcore::rng::SimRng;
+///
+/// let mut a = SimRng::seed_from(42);
+/// let mut b = SimRng::seed_from(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimRng {
+    state: u64,
+}
+
+impl SimRng {
+    /// Creates a generator from a seed. Equal seeds yield equal streams.
+    pub fn seed_from(seed: u64) -> Self {
+        SimRng { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Lemire-style rejection-free mapping is overkill here; modulo
+        // bias is negligible for simulation bounds (< 2^32).
+        self.next_u64() % bound
+    }
+
+    /// Uniform value in the inclusive range `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "range start must not exceed end");
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Fisher–Yates shuffles a slice in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below((i + 1) as u64) as usize;
+            items.swap(i, j);
+        }
+    }
+
+    /// Picks a uniformly random element of a non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is empty.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "cannot choose from an empty slice");
+        &items[self.below(items.len() as u64) as usize]
+    }
+
+    /// Derives an independent generator (useful for giving each client
+    /// its own stream without correlating draws).
+    pub fn fork(&mut self) -> SimRng {
+        SimRng::seed_from(self.next_u64())
+    }
+}
+
+impl Default for SimRng {
+    /// Seeds from a fixed default so `SimRng::default()` is still
+    /// deterministic.
+    fn default() -> Self {
+        SimRng::seed_from(0xC0F5_C0F5_C0F5_C0F5)
+    }
+}
+
+/// Stable 64-bit hash of a byte string (FNV-1a).
+///
+/// Used by the COFS placement driver so that directory hashing is
+/// stable across runs and platforms (unlike `DefaultHasher`, which is
+/// randomly keyed per process).
+///
+/// # Examples
+///
+/// ```
+/// use simcore::rng::stable_hash;
+/// assert_eq!(stable_hash(b"a"), stable_hash(b"a"));
+/// assert_ne!(stable_hash(b"a"), stable_hash(b"b"));
+/// ```
+pub fn stable_hash(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Combines two stable hashes into one (order-sensitive).
+pub fn stable_hash_combine(a: u64, b: u64) -> u64 {
+    // boost::hash_combine-style mixing.
+    a ^ (b
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(a << 6)
+        .wrapping_add(a >> 2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = SimRng::seed_from(1);
+        let mut b = SimRng::seed_from(1);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::seed_from(1);
+        let mut b = SimRng::seed_from(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = SimRng::seed_from(7);
+        for _ in 0..1000 {
+            assert!(rng.below(10) < 10);
+        }
+    }
+
+    #[test]
+    fn range_is_inclusive() {
+        let mut rng = SimRng::seed_from(7);
+        let mut saw_lo = false;
+        let mut saw_hi = false;
+        for _ in 0..2000 {
+            let v = rng.range(3, 5);
+            assert!((3..=5).contains(&v));
+            saw_lo |= v == 3;
+            saw_hi |= v == 5;
+        }
+        assert!(saw_lo && saw_hi);
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut rng = SimRng::seed_from(9);
+        for _ in 0..1000 {
+            let f = rng.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed_from(11);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        // Out-of-range probabilities are clamped rather than panicking.
+        assert!(rng.chance(2.0));
+        assert!(!rng.chance(-1.0));
+    }
+
+    #[test]
+    fn chance_rate_is_roughly_p() {
+        let mut rng = SimRng::seed_from(13);
+        let hits = (0..10_000).filter(|_| rng.chance(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SimRng::seed_from(5);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements almost surely move");
+    }
+
+    #[test]
+    fn fork_decorrelates() {
+        let mut rng = SimRng::seed_from(1);
+        let mut f1 = rng.fork();
+        let mut f2 = rng.fork();
+        assert_ne!(f1.next_u64(), f2.next_u64());
+    }
+
+    #[test]
+    fn stable_hash_is_stable() {
+        assert_eq!(stable_hash(b"cofs"), stable_hash(b"cofs"));
+        assert_ne!(stable_hash(b"cofs"), stable_hash(b"gpfs"));
+        assert_ne!(
+            stable_hash_combine(stable_hash(b"a"), stable_hash(b"b")),
+            stable_hash_combine(stable_hash(b"b"), stable_hash(b"a")),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn below_zero_bound_panics() {
+        SimRng::seed_from(1).below(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn choose_empty_panics() {
+        let empty: [u8; 0] = [];
+        SimRng::seed_from(1).choose(&empty);
+    }
+}

@@ -1,0 +1,183 @@
+//! POSIX-style filesystem errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// POSIX error numbers used by the simulated filesystems.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(clippy::upper_case_acronyms)]
+pub enum Errno {
+    /// No such file or directory.
+    ENOENT,
+    /// File exists.
+    EEXIST,
+    /// Not a directory.
+    ENOTDIR,
+    /// Is a directory.
+    EISDIR,
+    /// Directory not empty.
+    ENOTEMPTY,
+    /// Permission denied.
+    EACCES,
+    /// Invalid argument.
+    EINVAL,
+    /// Bad file handle.
+    EBADF,
+    /// Too many hard links.
+    EMLINK,
+    /// No space left on device.
+    ENOSPC,
+    /// Cross-device link (rename/link across filesystem boundaries).
+    EXDEV,
+    /// Name too long.
+    ENAMETOOLONG,
+    /// Operation not permitted.
+    EPERM,
+}
+
+impl Errno {
+    /// Short lowercase description, matching `strerror` phrasing.
+    pub fn message(self) -> &'static str {
+        match self {
+            Errno::ENOENT => "no such file or directory",
+            Errno::EEXIST => "file exists",
+            Errno::ENOTDIR => "not a directory",
+            Errno::EISDIR => "is a directory",
+            Errno::ENOTEMPTY => "directory not empty",
+            Errno::EACCES => "permission denied",
+            Errno::EINVAL => "invalid argument",
+            Errno::EBADF => "bad file handle",
+            Errno::EMLINK => "too many links",
+            Errno::ENOSPC => "no space left on device",
+            Errno::EXDEV => "cross-device link",
+            Errno::ENAMETOOLONG => "name too long",
+            Errno::EPERM => "operation not permitted",
+        }
+    }
+}
+
+impl fmt::Display for Errno {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// An error from a filesystem operation: which errno, which operation,
+/// and on which path (or handle).
+///
+/// # Examples
+///
+/// ```
+/// use vfs::error::{Errno, FsError};
+///
+/// let e = FsError::new(Errno::ENOENT, "stat", "/missing");
+/// assert_eq!(e.errno(), Errno::ENOENT);
+/// assert!(e.to_string().contains("/missing"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FsError {
+    errno: Errno,
+    op: &'static str,
+    subject: String,
+}
+
+impl FsError {
+    /// Creates an error for operation `op` on `subject` (usually a path).
+    pub fn new(errno: Errno, op: &'static str, subject: impl Into<String>) -> Self {
+        FsError {
+            errno,
+            op,
+            subject: subject.into(),
+        }
+    }
+
+    /// The POSIX error number.
+    pub fn errno(&self) -> Errno {
+        self.errno
+    }
+
+    /// The operation that failed (e.g. `"create"`).
+    pub fn op(&self) -> &'static str {
+        self.op
+    }
+
+    /// The path or handle the operation failed on.
+    pub fn subject(&self) -> &str {
+        &self.subject
+    }
+
+    /// True if this is the given errno — convenient in tests.
+    pub fn is(&self, errno: Errno) -> bool {
+        self.errno == errno
+    }
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} '{}': {} ({})",
+            self.op,
+            self.subject,
+            self.errno.message(),
+            self.errno
+        )
+    }
+}
+
+impl Error for FsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_everything() {
+        let e = FsError::new(Errno::EEXIST, "create", "/a/b");
+        let text = e.to_string();
+        assert!(text.contains("create"));
+        assert!(text.contains("/a/b"));
+        assert!(text.contains("file exists"));
+        assert!(text.contains("EEXIST"));
+    }
+
+    #[test]
+    fn accessors() {
+        let e = FsError::new(Errno::EACCES, "open", "/p");
+        assert_eq!(e.errno(), Errno::EACCES);
+        assert_eq!(e.op(), "open");
+        assert_eq!(e.subject(), "/p");
+        assert!(e.is(Errno::EACCES));
+        assert!(!e.is(Errno::ENOENT));
+    }
+
+    #[test]
+    fn all_errnos_have_messages() {
+        let all = [
+            Errno::ENOENT,
+            Errno::EEXIST,
+            Errno::ENOTDIR,
+            Errno::EISDIR,
+            Errno::ENOTEMPTY,
+            Errno::EACCES,
+            Errno::EINVAL,
+            Errno::EBADF,
+            Errno::EMLINK,
+            Errno::ENOSPC,
+            Errno::EXDEV,
+            Errno::ENAMETOOLONG,
+            Errno::EPERM,
+        ];
+        for e in all {
+            assert!(!e.message().is_empty());
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn Error + Send + Sync> =
+            Box::new(FsError::new(Errno::EINVAL, "mkdir", "/x"));
+        assert!(e.to_string().contains("invalid argument"));
+    }
+}

@@ -1,0 +1,53 @@
+//! # vfs — filesystem abstraction for the COFS reproduction
+//!
+//! This crate defines the interface every simulated filesystem
+//! implements and the tooling shared by all of them:
+//!
+//! - [`path::VPath`] — absolute, normalized virtual paths;
+//! - [`types`] — attributes, modes, handles, directory entries;
+//! - [`error::FsError`] — POSIX-style errors;
+//! - [`fs::FileSystem`] — the *timed, functional* filesystem trait;
+//! - [`memfs::MemFs`] — the in-memory reference implementation that
+//!   fixes the POSIX semantics used by differential tests;
+//! - [`driver`] — the multi-client virtual-time script driver used by
+//!   the metarates and IOR workloads.
+//!
+//! # Examples
+//!
+//! ```
+//! use netsim::ids::NodeId;
+//! use vfs::fs::{FileSystem, OpCtx};
+//! use vfs::memfs::MemFs;
+//! use vfs::path::vpath;
+//! use vfs::types::Mode;
+//!
+//! let mut fs = MemFs::new();
+//! let ctx = OpCtx::test(NodeId(0));
+//! fs.mkdir(&ctx, &vpath("/shared"), Mode::dir_default())?;
+//! let fh = fs.create(&ctx, &vpath("/shared/ckpt.0"), Mode::file_default())?.value;
+//! fs.close(&ctx, fh)?;
+//! assert_eq!(fs.readdir(&ctx, &vpath("/shared"))?.value.len(), 1);
+//! # Ok::<(), vfs::error::FsError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod error;
+pub mod fs;
+pub mod memfs;
+pub mod path;
+pub mod types;
+
+/// Convenient glob-import of the most commonly used items.
+pub mod prelude {
+    pub use crate::driver::{run, Action, ClientScript, RunReport, Step};
+    pub use crate::error::{Errno, FsError};
+    pub use crate::fs::{FileSystem, FsResult, OpCtx, Timed};
+    pub use crate::memfs::MemFs;
+    pub use crate::path::{vpath, VPath};
+    pub use crate::types::{
+        DirEntry, FileAttr, FileHandle, FileType, FsStats, Gid, Ino, Mode, OpenFlags, SetAttr, Uid,
+    };
+}

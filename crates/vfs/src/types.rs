@@ -1,0 +1,388 @@
+//! Core filesystem value types: attributes, modes, handles, entries.
+
+use simcore::time::SimTime;
+use std::fmt;
+
+/// Inode number within one filesystem instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ino(pub u64);
+
+impl fmt::Display for Ino {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ino{}", self.0)
+    }
+}
+
+/// An open-file handle returned by `create`/`open`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FileHandle(pub u64);
+
+impl fmt::Display for FileHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fh{}", self.0)
+    }
+}
+
+/// Numeric user id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Uid(pub u32);
+
+/// Numeric group id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Gid(pub u32);
+
+/// Root user, exempt from permission checks.
+pub const ROOT_UID: Uid = Uid(0);
+
+/// What kind of object an inode is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FileType {
+    /// Regular file.
+    Regular,
+    /// Directory.
+    Directory,
+    /// Symbolic link.
+    Symlink,
+}
+
+impl fmt::Display for FileType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FileType::Regular => "file",
+            FileType::Directory => "dir",
+            FileType::Symlink => "symlink",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Permission bits (the low 9 bits of a POSIX mode, plus setuid-style
+/// bits are deliberately unsupported).
+///
+/// # Examples
+///
+/// ```
+/// use vfs::types::{Mode, Uid, Gid};
+///
+/// let m = Mode::new(0o640);
+/// assert!(m.allows_read(Uid(1), Gid(9), Uid(1), Gid(2)));   // owner
+/// assert!(m.allows_read(Uid(2), Gid(2), Uid(1), Gid(2)));   // group
+/// assert!(!m.allows_read(Uid(2), Gid(3), Uid(1), Gid(2)));  // other
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Mode(u16);
+
+impl Mode {
+    /// Creates a mode from the low 9 permission bits; higher bits are
+    /// masked off.
+    pub const fn new(bits: u16) -> Self {
+        Mode(bits & 0o777)
+    }
+
+    /// `0o755` — the common directory default.
+    pub const fn dir_default() -> Self {
+        Mode::new(0o755)
+    }
+
+    /// `0o644` — the common file default.
+    pub const fn file_default() -> Self {
+        Mode::new(0o644)
+    }
+
+    /// Raw permission bits.
+    pub const fn bits(self) -> u16 {
+        self.0
+    }
+
+    fn class_bits(self, accessor_uid: Uid, accessor_gid: Gid, owner: Uid, group: Gid) -> u16 {
+        if accessor_uid == owner {
+            (self.0 >> 6) & 0o7
+        } else if accessor_gid == group {
+            (self.0 >> 3) & 0o7
+        } else {
+            self.0 & 0o7
+        }
+    }
+
+    /// True if the accessor may read.
+    pub fn allows_read(self, uid: Uid, gid: Gid, owner: Uid, group: Gid) -> bool {
+        uid == ROOT_UID || self.class_bits(uid, gid, owner, group) & 0o4 != 0
+    }
+
+    /// True if the accessor may write.
+    pub fn allows_write(self, uid: Uid, gid: Gid, owner: Uid, group: Gid) -> bool {
+        uid == ROOT_UID || self.class_bits(uid, gid, owner, group) & 0o2 != 0
+    }
+
+    /// True if the accessor may execute / traverse.
+    pub fn allows_exec(self, uid: Uid, gid: Gid, owner: Uid, group: Gid) -> bool {
+        uid == ROOT_UID || self.class_bits(uid, gid, owner, group) & 0o1 != 0
+    }
+}
+
+impl Default for Mode {
+    fn default() -> Self {
+        Mode::file_default()
+    }
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:03o}", self.0)
+    }
+}
+
+/// Full attributes of an inode, as returned by `stat`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileAttr {
+    /// Inode number.
+    pub ino: Ino,
+    /// Object kind.
+    pub ftype: FileType,
+    /// Permission bits.
+    pub mode: Mode,
+    /// Owning user.
+    pub uid: Uid,
+    /// Owning group.
+    pub gid: Gid,
+    /// Hard-link count.
+    pub nlink: u32,
+    /// Size in bytes (directory sizes are entry counts × a nominal
+    /// entry size, mirroring how real filesystems report them).
+    pub size: u64,
+    /// Last access time.
+    pub atime: SimTime,
+    /// Last content-modification time.
+    pub mtime: SimTime,
+    /// Last attribute-change time.
+    pub ctime: SimTime,
+}
+
+impl FileAttr {
+    /// True for directories.
+    pub fn is_dir(&self) -> bool {
+        self.ftype == FileType::Directory
+    }
+
+    /// True for regular files.
+    pub fn is_file(&self) -> bool {
+        self.ftype == FileType::Regular
+    }
+
+    /// True for symbolic links.
+    pub fn is_symlink(&self) -> bool {
+        self.ftype == FileType::Symlink
+    }
+}
+
+/// Attribute changes for `setattr` (every field optional, like the
+/// FUSE `setattr` request).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SetAttr {
+    /// New permission bits.
+    pub mode: Option<Mode>,
+    /// New owner.
+    pub uid: Option<Uid>,
+    /// New group.
+    pub gid: Option<Gid>,
+    /// New size (truncate/extend).
+    pub size: Option<u64>,
+    /// New access time.
+    pub atime: Option<SimTime>,
+    /// New modification time.
+    pub mtime: Option<SimTime>,
+}
+
+impl SetAttr {
+    /// A `utime`-style update of both timestamps — the operation the
+    /// paper's metarates benchmark exercises.
+    pub fn utime(atime: SimTime, mtime: SimTime) -> Self {
+        SetAttr {
+            atime: Some(atime),
+            mtime: Some(mtime),
+            ..SetAttr::default()
+        }
+    }
+
+    /// A pure truncate.
+    pub fn truncate(size: u64) -> Self {
+        SetAttr {
+            size: Some(size),
+            ..SetAttr::default()
+        }
+    }
+
+    /// True if no field is set.
+    pub fn is_empty(&self) -> bool {
+        *self == SetAttr::default()
+    }
+}
+
+/// Flags for `open`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OpenFlags {
+    /// Open for reading.
+    pub read: bool,
+    /// Open for writing.
+    pub write: bool,
+    /// Truncate to zero length on open.
+    pub truncate: bool,
+    /// Position writes at end of file.
+    pub append: bool,
+}
+
+impl OpenFlags {
+    /// `O_RDONLY`.
+    pub const RDONLY: OpenFlags = OpenFlags {
+        read: true,
+        write: false,
+        truncate: false,
+        append: false,
+    };
+    /// `O_WRONLY`.
+    pub const WRONLY: OpenFlags = OpenFlags {
+        read: false,
+        write: true,
+        truncate: false,
+        append: false,
+    };
+    /// `O_RDWR`.
+    pub const RDWR: OpenFlags = OpenFlags {
+        read: true,
+        write: true,
+        truncate: false,
+        append: false,
+    };
+
+    /// Adds `O_TRUNC`.
+    pub const fn with_truncate(mut self) -> Self {
+        self.truncate = true;
+        self
+    }
+
+    /// Adds `O_APPEND`.
+    pub const fn with_append(mut self) -> Self {
+        self.append = true;
+        self
+    }
+}
+
+impl Default for OpenFlags {
+    fn default() -> Self {
+        OpenFlags::RDONLY
+    }
+}
+
+/// One entry in a directory listing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirEntry {
+    /// Component name within the directory.
+    pub name: String,
+    /// Inode the entry refers to.
+    pub ino: Ino,
+    /// Kind of the referenced object.
+    pub ftype: FileType,
+}
+
+/// Aggregate filesystem statistics, as returned by `statfs`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FsStats {
+    /// Number of live inodes.
+    pub inodes: u64,
+    /// Number of directories.
+    pub directories: u64,
+    /// Sum of regular-file sizes in bytes.
+    pub bytes_used: u64,
+}
+
+/// Maximum component length accepted by the simulated filesystems.
+pub const MAX_NAME_LEN: usize = 255;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_masks_extra_bits() {
+        assert_eq!(Mode::new(0o7777).bits(), 0o777);
+        assert_eq!(Mode::dir_default().bits(), 0o755);
+        assert_eq!(Mode::file_default().bits(), 0o644);
+        assert_eq!(Mode::new(0o640).to_string(), "640");
+    }
+
+    #[test]
+    fn permission_classes() {
+        let m = Mode::new(0o754);
+        let owner = Uid(10);
+        let group = Gid(20);
+        // Owner: rwx
+        assert!(m.allows_read(Uid(10), Gid(99), owner, group));
+        assert!(m.allows_write(Uid(10), Gid(99), owner, group));
+        assert!(m.allows_exec(Uid(10), Gid(99), owner, group));
+        // Group: r-x
+        assert!(m.allows_read(Uid(11), Gid(20), owner, group));
+        assert!(!m.allows_write(Uid(11), Gid(20), owner, group));
+        assert!(m.allows_exec(Uid(11), Gid(20), owner, group));
+        // Other: r--
+        assert!(m.allows_read(Uid(11), Gid(21), owner, group));
+        assert!(!m.allows_write(Uid(11), Gid(21), owner, group));
+        assert!(!m.allows_exec(Uid(11), Gid(21), owner, group));
+    }
+
+    #[test]
+    fn root_bypasses_permissions() {
+        let m = Mode::new(0o000);
+        assert!(m.allows_read(ROOT_UID, Gid(0), Uid(5), Gid(5)));
+        assert!(m.allows_write(ROOT_UID, Gid(0), Uid(5), Gid(5)));
+        assert!(m.allows_exec(ROOT_UID, Gid(0), Uid(5), Gid(5)));
+    }
+
+    #[test]
+    fn setattr_constructors() {
+        let t = SimTime::from_millis(5);
+        let u = SetAttr::utime(t, t);
+        assert_eq!(u.atime, Some(t));
+        assert_eq!(u.mtime, Some(t));
+        assert_eq!(u.mode, None);
+        assert!(!u.is_empty());
+        assert!(SetAttr::default().is_empty());
+        assert_eq!(SetAttr::truncate(0).size, Some(0));
+    }
+
+    #[test]
+    fn open_flags_builders() {
+        let f = OpenFlags::WRONLY.with_truncate().with_append();
+        assert!(f.write && f.truncate && f.append && !f.read);
+        assert_eq!(OpenFlags::default(), OpenFlags::RDONLY);
+    }
+
+    #[test]
+    fn file_attr_kind_helpers() {
+        let mut a = FileAttr {
+            ino: Ino(1),
+            ftype: FileType::Regular,
+            mode: Mode::file_default(),
+            uid: Uid(0),
+            gid: Gid(0),
+            nlink: 1,
+            size: 0,
+            atime: SimTime::ZERO,
+            mtime: SimTime::ZERO,
+            ctime: SimTime::ZERO,
+        };
+        assert!(a.is_file() && !a.is_dir() && !a.is_symlink());
+        a.ftype = FileType::Directory;
+        assert!(a.is_dir());
+        a.ftype = FileType::Symlink;
+        assert!(a.is_symlink());
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(Ino(4).to_string(), "ino4");
+        assert_eq!(FileHandle(2).to_string(), "fh2");
+        assert_eq!(FileType::Regular.to_string(), "file");
+        assert_eq!(FileType::Directory.to_string(), "dir");
+        assert_eq!(FileType::Symlink.to_string(), "symlink");
+    }
+}

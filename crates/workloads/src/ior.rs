@@ -1,0 +1,361 @@
+//! The IOR (Interleaved Or Random) benchmark, v2-style (LLNL).
+//!
+//! Reimplemented from the paper's description (§IV): "IOR … provides
+//! aggregate I/O data rates for both parallel and sequential
+//! read/write operations to shared and separate files in a parallel
+//! file system. The benchmark was executed using the POSIX interface
+//! with aggregate data sizes of 256MB, 1GB and 4GB."
+//!
+//! Each process transfers its share of the aggregate in fixed-size
+//! transfers; the aggregate data rate is total bytes over the
+//! (virtual) wall time of the phase. There is deliberately no barrier
+//! between `open` and the first transfer: the paper's key observation
+//! for separate-file sequential writes is that slow parallel opens
+//! stagger the transfer starts and waste bandwidth.
+
+use crate::target::BenchTarget;
+use netsim::ids::{NodeId, Pid};
+use simcore::rng::SimRng;
+use simcore::time::SimTime;
+use vfs::driver::{run, Action, ClientScript};
+use vfs::fs::OpCtx;
+use vfs::path::{vpath, VPath};
+use vfs::types::{Mode, OpenFlags};
+
+/// One file per process, or one file shared by all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FileMode {
+    /// Each process does I/O to its own file ("separate files").
+    FilePerProcess,
+    /// All processes share one file, each owning a disjoint segment.
+    Shared,
+}
+
+impl FileMode {
+    /// Report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            FileMode::FilePerProcess => "separate",
+            FileMode::Shared => "shared",
+        }
+    }
+}
+
+/// Sequential or random transfer order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Access {
+    /// Transfers in offset order.
+    Sequential,
+    /// Transfers in a shuffled order.
+    Random,
+}
+
+impl Access {
+    /// Report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Access::Sequential => "sequential",
+            Access::Random => "random",
+        }
+    }
+}
+
+/// Read or write phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IoOp {
+    /// Measure reads (files are pre-written by the same nodes).
+    Read,
+    /// Measure writes.
+    Write,
+}
+
+impl IoOp {
+    /// Report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            IoOp::Read => "read",
+            IoOp::Write => "write",
+        }
+    }
+}
+
+/// IOR parameters.
+#[derive(Debug, Clone)]
+pub struct IorConfig {
+    /// Participating client nodes (one process each, as the paper's
+    /// trends "are determined by nodes as a whole").
+    pub nodes: usize,
+    /// Total bytes moved across all processes.
+    pub aggregate_bytes: u64,
+    /// Bytes per POSIX transfer.
+    pub transfer_bytes: u64,
+    /// Separate files or one shared file.
+    pub file_mode: FileMode,
+    /// Sequential or random order.
+    pub access: Access,
+    /// Directory holding the benchmark files (shared, as in the paper).
+    pub dir: VPath,
+    /// RNG seed for random access order.
+    pub seed: u64,
+}
+
+impl IorConfig {
+    /// A standard configuration: 1 MiB transfers in `/ior`.
+    pub fn new(nodes: usize, aggregate_bytes: u64, file_mode: FileMode, access: Access) -> Self {
+        IorConfig {
+            nodes,
+            aggregate_bytes,
+            transfer_bytes: 1024 * 1024,
+            file_mode,
+            access,
+            dir: vpath("/ior"),
+            seed: 0xC0F5,
+        }
+    }
+
+    /// Bytes each process moves.
+    pub fn bytes_per_proc(&self) -> u64 {
+        self.aggregate_bytes / self.nodes as u64
+    }
+
+    fn transfers_per_proc(&self) -> u64 {
+        self.bytes_per_proc().div_ceil(self.transfer_bytes).max(1)
+    }
+
+    fn file_of(&self, client: usize) -> VPath {
+        match self.file_mode {
+            FileMode::FilePerProcess => self.dir.join(&format!("data.{client}")),
+            FileMode::Shared => self.dir.join("data.shared"),
+        }
+    }
+
+    /// Byte offset of transfer `k` for `client` within its file.
+    fn offset_of(&self, client: usize, k: u64) -> u64 {
+        let base = match self.file_mode {
+            FileMode::FilePerProcess => 0,
+            FileMode::Shared => self.bytes_per_proc() * client as u64,
+        };
+        base + k * self.transfer_bytes
+    }
+}
+
+/// Result of one IOR phase.
+#[derive(Debug)]
+pub struct IorResult {
+    /// What ran.
+    pub op: IoOp,
+    /// Aggregate data rate in MiB/s (the figure IOR prints).
+    pub aggregate_mib_s: f64,
+    /// Virtual wall time of the measured phase.
+    pub makespan: SimTime,
+    /// Total bytes moved.
+    pub bytes: u64,
+}
+
+/// Builds the transfer order for one client.
+fn order(cfg: &IorConfig, client: usize) -> Vec<u64> {
+    let n = cfg.transfers_per_proc();
+    let mut ks: Vec<u64> = (0..n).collect();
+    if cfg.access == Access::Random {
+        let mut rng = SimRng::seed_from(cfg.seed ^ (client as u64).wrapping_mul(0x9E37));
+        rng.shuffle(&mut ks);
+    }
+    ks
+}
+
+/// Runs one IOR phase (read or write) on a fresh filesystem.
+///
+/// Write phases create (or open) the files and write them. Read
+/// phases first run an unmeasured write pass *from the same nodes*
+/// (the paper notes files "were created and written in the same node
+/// they were accessed", which is what lets bare GPFS serve small
+/// separate files from its cache), then measure the reads.
+///
+/// # Panics
+///
+/// Panics if any scripted operation fails.
+pub fn run_ior_op<F: BenchTarget>(fs: &mut F, cfg: &IorConfig, op: IoOp) -> IorResult {
+    run_ior_inner(fs, cfg, op)
+}
+
+fn write_scripts(cfg: &IorConfig, measured: bool) -> Vec<ClientScript> {
+    let mut scripts = Vec::new();
+    for c in 0..cfg.nodes {
+        let mut s = ClientScript::new(NodeId(c as u32), Pid(1));
+        s.push(Action::Barrier);
+        let path = cfg.file_of(c);
+        // Separate files: each process creates its own file (in the
+        // shared directory — the contended open/create path).
+        // Shared file: client 0 creates it; everyone else opens it.
+        let open_label = if measured { Some("open") } else { None };
+        match (cfg.file_mode, c) {
+            (FileMode::FilePerProcess, _) | (FileMode::Shared, 0) => {
+                let a = Action::Create {
+                    path,
+                    mode: Mode::file_default(),
+                    slot: 0,
+                };
+                match open_label {
+                    Some(l) => s.push_measured(l, a),
+                    None => s.push(a),
+                };
+            }
+            (FileMode::Shared, _) => {
+                let a = Action::Open {
+                    path,
+                    flags: OpenFlags::WRONLY,
+                    slot: 0,
+                };
+                match open_label {
+                    Some(l) => s.push_measured(l, a),
+                    None => s.push(a),
+                };
+            }
+        }
+        for k in order(cfg, c) {
+            let a = Action::Write {
+                slot: 0,
+                offset: cfg.offset_of(c, k),
+                len: cfg.transfer_bytes,
+            };
+            if measured {
+                s.push_measured("xfer", a);
+            } else {
+                s.push(a);
+            }
+        }
+        s.push(Action::Close { slot: 0 });
+        scripts.push(s);
+    }
+    scripts
+}
+
+fn read_scripts(cfg: &IorConfig) -> Vec<ClientScript> {
+    let mut scripts = Vec::new();
+    for c in 0..cfg.nodes {
+        let mut s = ClientScript::new(NodeId(c as u32), Pid(1));
+        s.push(Action::Barrier);
+        s.push_measured(
+            "open",
+            Action::Open {
+                path: cfg.file_of(c),
+                flags: OpenFlags::RDONLY,
+                slot: 0,
+            },
+        );
+        for k in order(cfg, c) {
+            s.push_measured(
+                "xfer",
+                Action::Read {
+                    slot: 0,
+                    offset: cfg.offset_of(c, k),
+                    len: cfg.transfer_bytes,
+                },
+            );
+        }
+        s.push(Action::Close { slot: 0 });
+        scripts.push(s);
+    }
+    scripts
+}
+
+fn run_ior_inner<F: BenchTarget>(fs: &mut F, cfg: &IorConfig, op: IoOp) -> IorResult {
+    assert!(cfg.nodes > 0, "IOR needs at least one process");
+    let setup = OpCtx::test(NodeId(0));
+    fs.mkdir(&setup, &cfg.dir, Mode::dir_default())
+        .expect("setup mkdir");
+
+    if op == IoOp::Read {
+        // Unmeasured write pass to materialize the data on the same
+        // nodes that will read it.
+        let mut shuffled = cfg.clone();
+        shuffled.access = Access::Sequential;
+        let report = run(fs, write_scripts(&shuffled, false));
+        report.expect_clean();
+        fs.phase_reset();
+    }
+
+    let scripts = match op {
+        IoOp::Write => {
+            // Write measurement runs against fresh file names when a
+            // read pre-pass did not happen; it did not, so just go.
+            write_scripts(cfg, true)
+        }
+        IoOp::Read => read_scripts(cfg),
+    };
+    let report = run(fs, scripts);
+    report.expect_clean();
+    let bytes = cfg.transfers_per_proc() * cfg.transfer_bytes * cfg.nodes as u64;
+    let secs = report.makespan.as_secs_f64().max(1e-9);
+    IorResult {
+        op,
+        aggregate_mib_s: bytes as f64 / (1024.0 * 1024.0) / secs,
+        makespan: report.makespan,
+        bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vfs::fs::FileSystem;
+    use vfs::memfs::MemFs;
+
+    const MB: u64 = 1024 * 1024;
+
+    #[test]
+    fn write_phase_moves_all_bytes() {
+        let cfg = IorConfig::new(4, 64 * MB, FileMode::FilePerProcess, Access::Sequential);
+        let r = run_ior_op(&mut MemFs::new(), &cfg, IoOp::Write);
+        assert_eq!(r.bytes, 64 * MB);
+        assert!(r.aggregate_mib_s > 0.0);
+    }
+
+    #[test]
+    fn read_phase_prewrites_then_reads() {
+        let cfg = IorConfig::new(2, 16 * MB, FileMode::FilePerProcess, Access::Sequential);
+        let mut fs = MemFs::new();
+        let r = run_ior_op(&mut fs, &cfg, IoOp::Read);
+        assert_eq!(r.op, IoOp::Read);
+        assert_eq!(r.bytes, 16 * MB);
+    }
+
+    #[test]
+    fn shared_file_mode_uses_one_file() {
+        let cfg = IorConfig::new(4, 16 * MB, FileMode::Shared, Access::Sequential);
+        let mut fs = MemFs::new();
+        run_ior_op(&mut fs, &cfg, IoOp::Write);
+        let ctx = OpCtx::test(NodeId(0));
+        let entries = fs.readdir(&ctx, &cfg.dir).unwrap().value;
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].name, "data.shared");
+        // The shared file holds the whole aggregate.
+        let attr = fs.stat(&ctx, &cfg.dir.join("data.shared")).unwrap().value;
+        assert_eq!(attr.size, 16 * MB);
+    }
+
+    #[test]
+    fn random_order_is_a_permutation() {
+        let cfg = IorConfig::new(1, 8 * MB, FileMode::FilePerProcess, Access::Random);
+        let mut ks = order(&cfg, 0);
+        ks.sort_unstable();
+        assert_eq!(ks, (0..8).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn offsets_partition_shared_file() {
+        let cfg = IorConfig::new(4, 64 * MB, FileMode::Shared, Access::Sequential);
+        assert_eq!(cfg.offset_of(0, 0), 0);
+        assert_eq!(cfg.offset_of(1, 0), 16 * MB);
+        assert_eq!(cfg.offset_of(1, 3), 16 * MB + 3 * MB);
+        assert_eq!(cfg.bytes_per_proc(), 16 * MB);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(FileMode::Shared.label(), "shared");
+        assert_eq!(FileMode::FilePerProcess.label(), "separate");
+        assert_eq!(Access::Random.label(), "random");
+        assert_eq!(IoOp::Read.label(), "read");
+    }
+}

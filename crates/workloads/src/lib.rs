@@ -1,0 +1,30 @@
+//! # workloads — the paper's benchmarks, reimplemented
+//!
+//! - [`metarates`] — parallel metadata rates (create / stat / utime /
+//!   open-close on a shared directory), the main benchmark of the
+//!   paper's evaluation (Figs 1, 2, 4, 5, 6);
+//! - [`ior`] — IOR-style aggregate data rates (sequential/random ×
+//!   read/write × shared/separate files), for Table I;
+//! - [`scenarios`] — the motivating application patterns from the
+//!   introduction (checkpoint storms, job bundles);
+//! - [`report`] — aligned text tables and CSV output;
+//! - [`target`] — the [`target::BenchTarget`] trait hooking phase
+//!   resets into each filesystem.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ior;
+pub mod metarates;
+pub mod report;
+pub mod scenarios;
+pub mod target;
+
+/// Convenient glob-import of the most commonly used items.
+pub mod prelude {
+    pub use crate::ior::{Access, FileMode, IoOp, IorConfig, IorResult, run_ior_op};
+    pub use crate::metarates::{run_all, run_phase, run_phase_fresh, MetaOp, MetaratesConfig, PhaseResult};
+    pub use crate::report::{mibs, ms, Table};
+    pub use crate::scenarios::{CheckpointStorm, JobBundle, ScenarioResult};
+    pub use crate::target::BenchTarget;
+}

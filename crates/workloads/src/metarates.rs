@@ -1,0 +1,275 @@
+//! The metarates benchmark (UCAR / NCAR Scientific Computing Division).
+//!
+//! Reimplemented from the paper's description (§II-A): "The operations
+//! exercised are create, stat and utime; additionally, we also
+//! included code for open/close sequences. The four measurements are
+//! taken consecutively: first all files are created in parallel, and
+//! then deleted; for each of the other operations, the first node
+//! sequentially creates all files, which are then accessed (stat'd,
+//! utime'd or open/close'd) in parallel, and then deleted again by the
+//! first node." All files live in a single shared directory.
+
+use crate::target::BenchTarget;
+use netsim::ids::{NodeId, Pid};
+use simcore::stats::Summary;
+use simcore::time::SimTime;
+use vfs::driver::{run, Action, ClientScript};
+use vfs::fs::OpCtx;
+use vfs::path::VPath;
+use vfs::types::{Mode, OpenFlags};
+
+/// Which metadata operation a phase measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MetaOp {
+    /// Parallel file creation.
+    Create,
+    /// Parallel `stat`.
+    Stat,
+    /// Parallel `utime`.
+    Utime,
+    /// Parallel `open` + `close` (measured as one sample).
+    OpenClose,
+}
+
+impl MetaOp {
+    /// All four operations, in the paper's order.
+    pub const ALL: [MetaOp; 4] = [MetaOp::Create, MetaOp::Stat, MetaOp::Utime, MetaOp::OpenClose];
+
+    /// The measurement label used in driver reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            MetaOp::Create => "create",
+            MetaOp::Stat => "stat",
+            MetaOp::Utime => "utime",
+            MetaOp::OpenClose => "open_close",
+        }
+    }
+}
+
+/// metarates parameters.
+#[derive(Debug, Clone)]
+pub struct MetaratesConfig {
+    /// Client nodes participating.
+    pub nodes: usize,
+    /// Processes per node (the paper coalesces 1 and 2).
+    pub procs_per_node: usize,
+    /// Files accessed per process.
+    pub files_per_proc: usize,
+    /// The shared directory everything happens in.
+    pub shared_dir: VPath,
+}
+
+impl MetaratesConfig {
+    /// A standard configuration with one process per node.
+    pub fn new(nodes: usize, files_per_node: usize) -> Self {
+        MetaratesConfig {
+            nodes,
+            procs_per_node: 1,
+            files_per_proc: files_per_node,
+            shared_dir: vfs::path::vpath("/shared"),
+        }
+    }
+
+    /// Total files in the shared directory.
+    pub fn total_files(&self) -> usize {
+        self.nodes * self.procs_per_node * self.files_per_proc
+    }
+
+    fn clients(&self) -> Vec<(NodeId, Pid)> {
+        let mut v = Vec::new();
+        for n in 0..self.nodes {
+            for p in 0..self.procs_per_node {
+                v.push((NodeId(n as u32), Pid(p as u32 + 1)));
+            }
+        }
+        v
+    }
+}
+
+/// Result of one measured phase.
+#[derive(Debug)]
+pub struct PhaseResult {
+    /// Which operation was measured.
+    pub op: MetaOp,
+    /// Per-operation latency samples.
+    pub summary: Summary,
+    /// Wall-clock (virtual) time of the measured phase.
+    pub makespan: SimTime,
+}
+
+impl PhaseResult {
+    /// The figure the paper plots: average time per operation, in ms.
+    pub fn mean_ms(&self) -> f64 {
+        self.summary.mean_millis()
+    }
+}
+
+fn file_name(idx: usize) -> String {
+    format!("f{idx}")
+}
+
+/// Runs one metarates phase on a fresh filesystem.
+///
+/// For [`MetaOp::Create`], every client creates (and closes) its own
+/// files in the shared directory, in parallel. For the other
+/// operations, node 0 first creates all files sequentially
+/// (unmeasured), then all clients access disjoint contiguous ranges in
+/// parallel.
+///
+/// # Panics
+///
+/// Panics if any scripted operation fails — a failing script
+/// invalidates the measurement.
+pub fn run_phase<F: BenchTarget>(fs: &mut F, cfg: &MetaratesConfig, op: MetaOp) -> PhaseResult {
+    let clients = cfg.clients();
+    let total = cfg.total_files();
+    let dir = &cfg.shared_dir;
+
+    // Setup: the shared directory (as node 0, before the clock starts).
+    let setup = OpCtx::test(NodeId(0));
+    fs.mkdir(&setup, dir, Mode::dir_default())
+        .expect("setup mkdir");
+
+    if op != MetaOp::Create {
+        // Node 0 sequentially creates all files (paper: "the first
+        // node sequentially creates all files").
+        let mut now = SimTime::ZERO;
+        for i in 0..total {
+            let ctx = setup.at(now);
+            let t = fs
+                .create(&ctx, &dir.join(&file_name(i)), Mode::file_default())
+                .expect("setup create");
+            let ctx2 = setup.at(t.end);
+            now = fs.close(&ctx2, t.value).expect("setup close").end;
+        }
+    }
+    fs.phase_reset();
+
+    // Measured phase.
+    let mut scripts = Vec::new();
+    for (ci, &(node, pid)) in clients.iter().enumerate() {
+        let mut s = ClientScript::new(node, pid);
+        s.push(Action::Barrier);
+        match op {
+            MetaOp::Create => {
+                for i in 0..cfg.files_per_proc {
+                    let path = dir.join(&format!("c{ci}.{i}"));
+                    s.push_measured(
+                        "create",
+                        Action::Create {
+                            path,
+                            mode: Mode::file_default(),
+                            slot: 0,
+                        },
+                    );
+                    s.push(Action::Close { slot: 0 });
+                }
+            }
+            MetaOp::Stat | MetaOp::Utime | MetaOp::OpenClose => {
+                let base = ci * cfg.files_per_proc;
+                for i in 0..cfg.files_per_proc {
+                    let path = dir.join(&file_name(base + i));
+                    let action = match op {
+                        MetaOp::Stat => Action::Stat(path),
+                        MetaOp::Utime => Action::Utime(path),
+                        MetaOp::OpenClose => Action::OpenClose(path, OpenFlags::RDONLY),
+                        MetaOp::Create => unreachable!(),
+                    };
+                    s.push_measured(op.label(), action);
+                }
+            }
+        }
+        scripts.push(s);
+    }
+    let report = run(fs, scripts);
+    report.expect_clean();
+    let summary = report
+        .per_label
+        .get(op.label())
+        .cloned()
+        .unwrap_or_else(|| Summary::new(op.label()));
+    PhaseResult {
+        op,
+        summary,
+        makespan: report.makespan,
+    }
+}
+
+/// Runs one phase on a filesystem built by `factory` (each phase gets
+/// a pristine filesystem, mirroring independent benchmark runs).
+pub fn run_phase_fresh<F: BenchTarget>(
+    factory: impl FnOnce() -> F,
+    cfg: &MetaratesConfig,
+    op: MetaOp,
+) -> PhaseResult {
+    let mut fs = factory();
+    run_phase(&mut fs, cfg, op)
+}
+
+/// Runs all four phases, each on a fresh filesystem.
+pub fn run_all<F: BenchTarget>(
+    mut factory: impl FnMut() -> F,
+    cfg: &MetaratesConfig,
+) -> Vec<PhaseResult> {
+    MetaOp::ALL
+        .iter()
+        .map(|&op| run_phase_fresh(&mut factory, cfg, op))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vfs::memfs::MemFs;
+
+    fn cfg(nodes: usize, fpn: usize) -> MetaratesConfig {
+        MetaratesConfig::new(nodes, fpn)
+    }
+
+    #[test]
+    fn create_phase_counts_match() {
+        let c = cfg(4, 8);
+        let r = run_phase(&mut MemFs::new(), &c, MetaOp::Create);
+        assert_eq!(r.op, MetaOp::Create);
+        assert_eq!(r.summary.count(), 32);
+        assert!(r.mean_ms() >= 0.0);
+    }
+
+    #[test]
+    fn stat_phase_counts_match() {
+        let c = cfg(2, 16);
+        let r = run_phase(&mut MemFs::new(), &c, MetaOp::Stat);
+        assert_eq!(r.summary.count(), 32);
+    }
+
+    #[test]
+    fn utime_and_openclose_run() {
+        let c = cfg(2, 4);
+        for op in [MetaOp::Utime, MetaOp::OpenClose] {
+            let r = run_phase_fresh(MemFs::new, &c, op);
+            assert_eq!(r.summary.count(), 8, "{:?}", op);
+        }
+    }
+
+    #[test]
+    fn run_all_produces_four_phases() {
+        let c = cfg(2, 4);
+        let results = run_all(MemFs::new, &c);
+        assert_eq!(results.len(), 4);
+        let labels: Vec<&str> = results.iter().map(|r| r.op.label()).collect();
+        assert_eq!(labels, vec!["create", "stat", "utime", "open_close"]);
+    }
+
+    #[test]
+    fn multiple_procs_per_node() {
+        let c = MetaratesConfig {
+            nodes: 2,
+            procs_per_node: 2,
+            files_per_proc: 4,
+            shared_dir: vfs::path::vpath("/shared"),
+        };
+        assert_eq!(c.total_files(), 16);
+        let r = run_phase(&mut MemFs::new(), &c, MetaOp::Create);
+        assert_eq!(r.summary.count(), 16);
+    }
+}

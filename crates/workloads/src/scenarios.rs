@@ -1,0 +1,217 @@
+//! The motivating application scenarios from the paper's introduction.
+//!
+//! §II: "Large parallel applications usually create per-node auxiliary
+//! files and/or generate checkpoints by having each node dump its
+//! relevant data into a different file; not unlikely, applications
+//! place these files in a common directory. On the other hand, smaller
+//! applications are typically launched in large bunches, and users
+//! configure them to write the different output files also in a shared
+//! directory."
+
+use crate::target::BenchTarget;
+use netsim::ids::{NodeId, Pid};
+use simcore::time::SimTime;
+use vfs::driver::{run, Action, ClientScript, RunReport};
+use vfs::fs::OpCtx;
+use vfs::path::{vpath, VPath};
+use vfs::types::Mode;
+
+/// A parallel application writing a checkpoint: every node dumps its
+/// state into its own file in a common directory.
+#[derive(Debug, Clone)]
+pub struct CheckpointStorm {
+    /// Nodes dumping state.
+    pub nodes: usize,
+    /// Bytes each node writes per checkpoint.
+    pub bytes_per_node: u64,
+    /// Checkpoint rounds.
+    pub rounds: usize,
+    /// The common directory.
+    pub dir: VPath,
+}
+
+impl Default for CheckpointStorm {
+    fn default() -> Self {
+        CheckpointStorm {
+            nodes: 8,
+            bytes_per_node: 4 * 1024 * 1024,
+            rounds: 3,
+            dir: vpath("/checkpoints"),
+        }
+    }
+}
+
+/// Outcome of a scenario run.
+#[derive(Debug)]
+pub struct ScenarioResult {
+    /// Virtual wall time to complete the whole scenario.
+    pub makespan: SimTime,
+    /// Mean time per file creation, in ms.
+    pub mean_create_ms: f64,
+    /// Total files created.
+    pub files: usize,
+}
+
+impl CheckpointStorm {
+    /// Runs the checkpoint storm and reports completion time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any scripted operation fails.
+    pub fn run<F: BenchTarget>(&self, fs: &mut F) -> ScenarioResult {
+        let setup = OpCtx::test(NodeId(0));
+        fs.mkdir(&setup, &self.dir, Mode::dir_default())
+            .expect("setup mkdir");
+        fs.phase_reset();
+        let chunk = 1024 * 1024;
+        let mut scripts = Vec::new();
+        for n in 0..self.nodes {
+            let mut s = ClientScript::new(NodeId(n as u32), Pid(1));
+            for r in 0..self.rounds {
+                s.push(Action::Barrier);
+                s.push_measured(
+                    "create",
+                    Action::Create {
+                        path: self.dir.join(&format!("ckpt.{r}.{n}")),
+                        mode: Mode::file_default(),
+                        slot: 0,
+                    },
+                );
+                let mut off = 0;
+                while off < self.bytes_per_node {
+                    let len = chunk.min(self.bytes_per_node - off);
+                    s.push(Action::Write {
+                        slot: 0,
+                        offset: off,
+                        len,
+                    });
+                    off += len;
+                }
+                s.push(Action::Close { slot: 0 });
+            }
+            scripts.push(s);
+        }
+        let report = run(fs, scripts);
+        report.expect_clean();
+        summarize(report, self.nodes * self.rounds)
+    }
+}
+
+/// A bundle of loosely coupled small jobs, all configured to write
+/// their outputs into one shared directory.
+#[derive(Debug, Clone)]
+pub struct JobBundle {
+    /// Nodes running jobs.
+    pub nodes: usize,
+    /// Jobs per node (each its own process).
+    pub jobs_per_node: usize,
+    /// Output files per job (e.g. result + log).
+    pub files_per_job: usize,
+    /// Bytes per output file.
+    pub bytes_per_file: u64,
+    /// The shared output directory.
+    pub dir: VPath,
+}
+
+impl Default for JobBundle {
+    fn default() -> Self {
+        JobBundle {
+            nodes: 8,
+            jobs_per_node: 16,
+            files_per_job: 2,
+            bytes_per_file: 64 * 1024,
+            dir: vpath("/results"),
+        }
+    }
+}
+
+impl JobBundle {
+    /// Runs the job bundle and reports completion time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any scripted operation fails.
+    pub fn run<F: BenchTarget>(&self, fs: &mut F) -> ScenarioResult {
+        let setup = OpCtx::test(NodeId(0));
+        fs.mkdir(&setup, &self.dir, Mode::dir_default())
+            .expect("setup mkdir");
+        fs.phase_reset();
+        let mut scripts = Vec::new();
+        for n in 0..self.nodes {
+            for j in 0..self.jobs_per_node {
+                // Each job is its own process — placement treats it as
+                // a distinct stream.
+                let mut s = ClientScript::new(NodeId(n as u32), Pid(j as u32 + 1));
+                for f in 0..self.files_per_job {
+                    s.push_measured(
+                        "create",
+                        Action::Create {
+                            path: self.dir.join(&format!("out.{n}.{j}.{f}")),
+                            mode: Mode::file_default(),
+                            slot: 0,
+                        },
+                    );
+                    s.push(Action::Write {
+                        slot: 0,
+                        offset: 0,
+                        len: self.bytes_per_file,
+                    });
+                    s.push(Action::Close { slot: 0 });
+                }
+                scripts.push(s);
+            }
+        }
+        let files = self.nodes * self.jobs_per_node * self.files_per_job;
+        let report = run(fs, scripts);
+        report.expect_clean();
+        summarize(report, files)
+    }
+}
+
+fn summarize(report: RunReport, files: usize) -> ScenarioResult {
+    ScenarioResult {
+        makespan: report.makespan,
+        mean_create_ms: report.mean_millis("create"),
+        files,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vfs::fs::FileSystem;
+    use vfs::memfs::MemFs;
+
+    #[test]
+    fn checkpoint_storm_creates_all_files() {
+        let storm = CheckpointStorm {
+            nodes: 4,
+            bytes_per_node: 1024,
+            rounds: 2,
+            ..CheckpointStorm::default()
+        };
+        let mut fs = MemFs::new();
+        let r = storm.run(&mut fs);
+        assert_eq!(r.files, 8);
+        let ctx = OpCtx::test(NodeId(0));
+        assert_eq!(fs.readdir(&ctx, &storm.dir).unwrap().value.len(), 8);
+        assert!(r.makespan > SimTime::ZERO);
+    }
+
+    #[test]
+    fn job_bundle_creates_all_outputs() {
+        let bundle = JobBundle {
+            nodes: 2,
+            jobs_per_node: 3,
+            files_per_job: 2,
+            bytes_per_file: 128,
+            ..JobBundle::default()
+        };
+        let mut fs = MemFs::new();
+        let r = bundle.run(&mut fs);
+        assert_eq!(r.files, 12);
+        let ctx = OpCtx::test(NodeId(0));
+        assert_eq!(fs.readdir(&ctx, &bundle.dir).unwrap().value.len(), 12);
+        assert!(r.mean_create_ms >= 0.0);
+    }
+}

@@ -1,0 +1,85 @@
+//! Benchmark targets: filesystems plus the between-phase reset hook.
+//!
+//! metarates and IOR run in *phases* separated by barriers; in the real
+//! testbed the gap between phases lets write-behind daemons drain and
+//! queues empty. [`BenchTarget::phase_reset`] models that gap: it
+//! completes background work and rewinds queueing resources to virtual
+//! time zero so the next phase's driver run starts clean, while cache
+//! and token state (deliberately) survive.
+
+use cofs::fs::CofsFs;
+use pfs::fs::PfsFs;
+use vfs::fs::FileSystem;
+use vfs::memfs::MemFs;
+
+/// A filesystem that can host benchmark phases.
+pub trait BenchTarget: FileSystem {
+    /// Completes background work and rewinds per-phase queue state.
+    fn phase_reset(&mut self) {}
+
+    /// A short label for report tables.
+    fn target_label(&self) -> &'static str {
+        "fs"
+    }
+}
+
+impl BenchTarget for MemFs {
+    fn target_label(&self) -> &'static str {
+        "memfs"
+    }
+}
+
+impl BenchTarget for PfsFs {
+    fn phase_reset(&mut self) {
+        self.quiesce();
+    }
+
+    fn target_label(&self) -> &'static str {
+        "gpfs"
+    }
+}
+
+impl<U: BenchTarget> BenchTarget for CofsFs<U> {
+    fn phase_reset(&mut self) {
+        self.reset_time();
+        self.under_mut().phase_reset();
+    }
+
+    fn target_label(&self) -> &'static str {
+        "cofs"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cofs::config::{CofsConfig, MdsNetwork};
+    use netsim::cluster::ClusterBuilder;
+    use pfs::config::PfsConfig;
+    use simcore::time::SimDuration;
+
+    #[test]
+    fn labels() {
+        let cluster = ClusterBuilder::new().clients(2).servers(2).build();
+        let gpfs = PfsFs::new(cluster, PfsConfig::default());
+        assert_eq!(gpfs.target_label(), "gpfs");
+        let cofs = CofsFs::new(
+            MemFs::new(),
+            CofsConfig::default(),
+            MdsNetwork::uniform(SimDuration::from_micros(200)),
+            1,
+        );
+        assert_eq!(cofs.target_label(), "cofs");
+        assert_eq!(MemFs::new().target_label(), "memfs");
+    }
+
+    #[test]
+    fn reset_is_idempotent() {
+        let cluster = ClusterBuilder::new().clients(2).servers(2).build();
+        let mut gpfs = PfsFs::new(cluster, PfsConfig::default());
+        gpfs.phase_reset();
+        gpfs.phase_reset();
+        let mut mem = MemFs::new();
+        mem.phase_reset();
+    }
+}

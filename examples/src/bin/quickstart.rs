@@ -1,0 +1,61 @@
+//! Quickstart: COFS in five minutes.
+//!
+//! Creates a virtual directory tree through the COFS layer, then shows
+//! the decoupling: the user-visible view keeps the layout applications
+//! want, while the underlying filesystem sees small hashed
+//! directories.
+
+use cofs_examples::demo_stack;
+use netsim::ids::NodeId;
+use vfs::fs::{FileSystem, OpCtx};
+use vfs::path::vpath;
+use vfs::types::{Gid, Mode, Uid};
+
+fn main() -> Result<(), vfs::error::FsError> {
+    let mut fs = demo_stack(4);
+    let ctx = OpCtx::test(NodeId(0));
+
+    // The layout the application wants: everything in one directory.
+    fs.mkdir(&ctx, &vpath("/results"), Mode::dir_default())?;
+    for node in 0..4u32 {
+        let nctx = OpCtx::test(NodeId(node));
+        for i in 0..8 {
+            let p = vpath(&format!("/results/out.{node}.{i}"));
+            let t = fs.create(&nctx, &p, Mode::file_default())?;
+            let c = nctx.at(t.end);
+            let w = fs.write(&c, t.value, 0, 4096)?;
+            fs.close(&nctx.at(w.end), t.value)?;
+        }
+    }
+
+    println!("virtual view of /results:");
+    for e in fs.readdir(&ctx, &vpath("/results"))?.value {
+        println!("  {} ({})", e.name, e.ftype);
+    }
+
+    // Under the hood: no /results at all, just hashed directories.
+    let daemon = OpCtx {
+        uid: Uid(0),
+        gid: Gid(0),
+        ..ctx
+    };
+    println!("\nunderlying layout (what GPFS actually sees):");
+    let mut stack = vec![vpath("/.cofs")];
+    while let Some(dir) = stack.pop() {
+        let entries = fs.under_mut().readdir(&daemon, &dir)?.value;
+        let files = entries
+            .iter()
+            .filter(|e| e.ftype == vfs::types::FileType::Regular)
+            .count();
+        if files > 0 {
+            println!("  {dir}  ({files} files)");
+        }
+        for e in entries {
+            if e.ftype == vfs::types::FileType::Directory {
+                stack.push(dir.join(&e.name));
+            }
+        }
+    }
+    println!("\nunderlying token revocations: {}", fs.under().token_stats().get("revocations"));
+    Ok(())
+}

@@ -1,0 +1,83 @@
+//! Semantics of the virtual-time driver itself: FIFO fairness,
+//! barrier correctness, and determinism of whole benchmark runs.
+
+use netsim::ids::{NodeId, Pid};
+use simcore::time::SimDuration;
+use vfs::driver::{run, Action, ClientScript};
+use vfs::memfs::MemFs;
+use vfs::path::vpath;
+use vfs::types::Mode;
+
+/// Whole metarates phases are bit-for-bit deterministic: two identical
+/// runs on identical stacks produce identical means and makespans.
+#[test]
+fn benchmark_runs_are_deterministic() {
+    use cofs_tests::cofs_over_gpfs;
+    use workloads::metarates::{run_phase, MetaOp, MetaratesConfig};
+    let cfg = MetaratesConfig::new(4, 64);
+    let a = run_phase(&mut cofs_over_gpfs(4), &cfg, MetaOp::Create);
+    let b = run_phase(&mut cofs_over_gpfs(4), &cfg, MetaOp::Create);
+    assert_eq!(a.summary.samples(), b.summary.samples());
+    assert_eq!(a.makespan, b.makespan);
+}
+
+/// Barriers release everyone at the same instant, in every round.
+#[test]
+fn barrier_rounds_stay_aligned() {
+    let mut scripts = Vec::new();
+    for n in 0..4u32 {
+        let mut s = ClientScript::new(NodeId(n), Pid(1));
+        for round in 0..3 {
+            s.push(Action::Barrier);
+            // Uneven work per client per round.
+            for i in 0..=(n as usize) {
+                s.push(Action::Create {
+                    path: vpath(&format!("/f{n}.{round}.{i}")),
+                    mode: Mode::file_default(),
+                    slot: 0,
+                });
+                s.push(Action::Close { slot: 0 });
+            }
+        }
+        scripts.push(s);
+    }
+    let report = run(&mut MemFs::new(), scripts);
+    report.expect_clean();
+    // Every client's end lies within one round of the makespan: nobody
+    // raced ahead through a barrier.
+    for (i, end) in report.client_end.iter().enumerate() {
+        let lag = report.makespan.saturating_since(*end);
+        assert!(
+            lag < SimDuration::from_millis(1),
+            "client {i} lagged {lag} behind the makespan"
+        );
+    }
+}
+
+/// The min-clock discipline is fair: with identical scripts, per-client
+/// measured work is identical.
+#[test]
+fn identical_clients_measure_identically() {
+    let mut scripts = Vec::new();
+    for n in 0..3u32 {
+        let mut s = ClientScript::new(NodeId(n), Pid(1));
+        s.push(Action::Mkdir(vpath(&format!("/d{n}")), Mode::dir_default()));
+        for i in 0..10 {
+            s.push_measured(
+                "create",
+                Action::Create {
+                    path: vpath(&format!("/d{n}/f{i}")),
+                    mode: Mode::file_default(),
+                    slot: 0,
+                },
+            );
+            s.push(Action::Close { slot: 0 });
+        }
+        scripts.push(s);
+    }
+    let report = run(&mut MemFs::new(), scripts);
+    report.expect_clean();
+    assert_eq!(report.per_label["create"].count(), 30);
+    // On MemFs every op costs the same: zero variance.
+    assert!(report.per_label["create"].std_dev_millis() < 1e-6);
+}

@@ -1,0 +1,174 @@
+//! Cross-crate integration tests: full stacks exercised end to end,
+//! including the motivating scenarios and failure-path behaviour.
+
+use cofs_tests::{cofs_over_gpfs, gpfs};
+use netsim::ids::NodeId;
+use vfs::error::Errno;
+use vfs::fs::{FileSystem, OpCtx};
+use vfs::path::vpath;
+use vfs::types::{Gid, Mode, OpenFlags, Uid};
+use workloads::scenarios::{CheckpointStorm, JobBundle};
+use workloads::target::BenchTarget;
+
+#[test]
+fn checkpoint_storm_is_faster_on_cofs() {
+    let storm = CheckpointStorm {
+        nodes: 8,
+        bytes_per_node: 512 * 1024,
+        rounds: 2,
+        ..CheckpointStorm::default()
+    };
+    let g = storm.run(&mut gpfs(8));
+    let c = storm.run(&mut cofs_over_gpfs(8));
+    assert_eq!(g.files, c.files);
+    assert!(
+        c.mean_create_ms < g.mean_create_ms,
+        "COFS should create checkpoints faster: {:.2} vs {:.2} ms",
+        c.mean_create_ms,
+        g.mean_create_ms
+    );
+}
+
+#[test]
+fn job_bundle_is_faster_on_cofs() {
+    let bundle = JobBundle {
+        nodes: 4,
+        jobs_per_node: 8,
+        files_per_job: 2,
+        bytes_per_file: 16 * 1024,
+        ..JobBundle::default()
+    };
+    let g = bundle.run(&mut gpfs(4));
+    let c = bundle.run(&mut cofs_over_gpfs(4));
+    assert!(
+        c.makespan < g.makespan,
+        "COFS should finish the bundle sooner: {} vs {}",
+        c.makespan,
+        g.makespan
+    );
+}
+
+#[test]
+fn virtual_namespace_survives_heavy_churn() {
+    let mut fs = cofs_over_gpfs(4);
+    let ctx = OpCtx::test(NodeId(0));
+    fs.mkdir(&ctx, &vpath("/work"), Mode::dir_default()).unwrap();
+    // Create, rename, link, and delete in waves; the virtual view must
+    // stay exact.
+    for wave in 0..5 {
+        for i in 0..40 {
+            let p = vpath(&format!("/work/f{wave}.{i}"));
+            let fh = fs.create(&ctx, &p, Mode::file_default()).unwrap().value;
+            fs.close(&ctx, fh).unwrap();
+        }
+        for i in 0..20 {
+            fs.rename(
+                &ctx,
+                &vpath(&format!("/work/f{wave}.{i}")),
+                &vpath(&format!("/work/r{wave}.{i}")),
+            )
+            .unwrap();
+        }
+        for i in 20..40 {
+            fs.unlink(&ctx, &vpath(&format!("/work/f{wave}.{i}"))).unwrap();
+        }
+    }
+    let listing = fs.readdir(&ctx, &vpath("/work")).unwrap().value;
+    assert_eq!(listing.len(), 5 * 20);
+    assert!(listing.iter().all(|e| e.name.starts_with('r')));
+}
+
+#[test]
+fn multi_user_permissions_end_to_end() {
+    let mut fs = cofs_over_gpfs(2);
+    let alice = OpCtx::test(NodeId(0));
+    let bob = OpCtx {
+        uid: Uid(2000),
+        gid: Gid(2000),
+        ..OpCtx::test(NodeId(1))
+    };
+    fs.mkdir(&alice, &vpath("/proj"), Mode::new(0o775)).unwrap();
+    let fh = fs.create(&alice, &vpath("/proj/data"), Mode::new(0o640)).unwrap().value;
+    fs.write(&alice, fh, 0, 1000).unwrap();
+    fs.close(&alice, fh).unwrap();
+    // Bob is not in the group: no read.
+    assert!(fs
+        .open(&bob, &vpath("/proj/data"), OpenFlags::RDONLY)
+        .unwrap_err()
+        .is(Errno::EACCES));
+    // Alice opens group access.
+    fs.setattr(
+        &alice,
+        &vpath("/proj/data"),
+        vfs::types::SetAttr {
+            mode: Some(Mode::new(0o644)),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let fh = fs.open(&bob, &vpath("/proj/data"), OpenFlags::RDONLY).unwrap().value;
+    assert_eq!(fs.read(&bob, fh, 0, 4096).unwrap().value, 1000);
+    fs.close(&bob, fh).unwrap();
+}
+
+#[test]
+fn phase_reset_keeps_state_but_rewinds_time() {
+    let mut fs = gpfs(2);
+    let ctx = OpCtx::test(NodeId(0));
+    fs.mkdir(&ctx, &vpath("/d"), Mode::dir_default()).unwrap();
+    for i in 0..50 {
+        let fh = fs
+            .create(&ctx, &vpath(&format!("/d/f{i}")), Mode::file_default())
+            .unwrap()
+            .value;
+        fs.close(&ctx, fh).unwrap();
+    }
+    fs.phase_reset();
+    // Namespace intact after the reset.
+    assert_eq!(fs.readdir(&ctx, &vpath("/d")).unwrap().value.len(), 50);
+    // And a fresh op at t=0 completes quickly (no stale queues).
+    let t = fs.stat(&ctx, &vpath("/d/f0")).unwrap().end;
+    assert!(t.as_millis() < 100);
+}
+
+#[test]
+fn deep_paths_and_long_names() {
+    let mut fs = cofs_over_gpfs(2);
+    let ctx = OpCtx::test(NodeId(0));
+    let mut dir = vpath("/");
+    for depth in 0..12 {
+        dir = dir.join(&format!("level{depth}"));
+        fs.mkdir(&ctx, &dir, Mode::dir_default()).unwrap();
+    }
+    let deep = dir.join("leaf");
+    let fh = fs.create(&ctx, &deep, Mode::file_default()).unwrap().value;
+    fs.close(&ctx, fh).unwrap();
+    assert!(fs.stat(&ctx, &deep).unwrap().value.is_file());
+    // Over-long names are rejected with ENAMETOOLONG everywhere.
+    let long = "x".repeat(300);
+    assert!(fs
+        .create(&ctx, &dir.join(&long), Mode::file_default())
+        .unwrap_err()
+        .is(Errno::ENAMETOOLONG));
+}
+
+#[test]
+fn error_paths_do_not_poison_state() {
+    let mut fs = cofs_over_gpfs(2);
+    let ctx = OpCtx::test(NodeId(0));
+    fs.mkdir(&ctx, &vpath("/d"), Mode::dir_default()).unwrap();
+    // A burst of failing operations...
+    for _ in 0..20 {
+        let _ = fs.stat(&ctx, &vpath("/missing"));
+        let _ = fs.unlink(&ctx, &vpath("/d"));
+        let _ = fs.rmdir(&ctx, &vpath("/nope"));
+        let _ = fs.open(&ctx, &vpath("/ghost"), OpenFlags::RDONLY);
+    }
+    // ...must leave the filesystem fully usable.
+    let fh = fs.create(&ctx, &vpath("/d/ok"), Mode::file_default()).unwrap().value;
+    fs.write(&ctx, fh, 0, 10).unwrap();
+    fs.close(&ctx, fh).unwrap();
+    assert_eq!(fs.stat(&ctx, &vpath("/d/ok")).unwrap().value.size, 10);
+    let stats = fs.statfs(&ctx).unwrap().value;
+    assert!(stats.inodes >= 3);
+}

@@ -1,0 +1,198 @@
+//! Property-based tests on core invariants: paths, placement, the
+//! metadata database, and the token manager.
+
+use proptest::prelude::*;
+
+mod path_props {
+    use super::*;
+    use vfs::path::VPath;
+
+    proptest! {
+        /// Normalization is idempotent: re-parsing a normalized path
+        /// yields the same path.
+        #[test]
+        fn normalization_is_idempotent(raw in "(/[a-z.]{1,8}){1,6}") {
+            if let Ok(p) = VPath::new(&raw) {
+                let again = VPath::new(p.as_str()).unwrap();
+                prop_assert_eq!(p, again);
+            }
+        }
+
+        /// parent/join round-trip: joining a parent with the file name
+        /// reproduces the original path.
+        #[test]
+        fn parent_join_round_trip(raw in "(/[a-z]{1,8}){1,6}") {
+            let p = VPath::new(&raw).unwrap();
+            if let (Some(parent), Some(name)) = (p.parent(), p.file_name()) {
+                prop_assert_eq!(parent.join(name), p);
+            }
+        }
+
+        /// Depth equals the component count, and every path starts
+        /// with the root.
+        #[test]
+        fn depth_and_prefix(raw in "(/[a-z]{1,8}){1,6}") {
+            let p = VPath::new(&raw).unwrap();
+            prop_assert_eq!(p.depth(), p.components().count());
+            prop_assert!(p.starts_with(&VPath::root()));
+        }
+    }
+}
+
+mod placement_props {
+    use super::*;
+    use cofs::placement::{HashedPlacement, PlacementPolicy};
+    use netsim::ids::{NodeId, Pid};
+    use std::collections::HashMap;
+    use vfs::path::{vpath, VPath};
+
+    proptest! {
+        /// The underlying-directory limit is never exceeded, for any
+        /// limit, spread, and operation count.
+        #[test]
+        fn dir_limit_invariant(
+            limit in 1u32..128,
+            spread in 1u32..8,
+            seed in 0u64..1000,
+            n in 1usize..600,
+        ) {
+            let mut p = HashedPlacement::new(vpath("/.u"), limit, spread, seed);
+            let mut counts: HashMap<VPath, u32> = HashMap::new();
+            for i in 0..n {
+                let d = p.place(NodeId(0), Pid(1), &vpath("/v"), &format!("f{i}"));
+                let c = counts.entry(d).or_insert(0);
+                *c += 1;
+                prop_assert!(*c <= limit);
+            }
+        }
+
+        /// Placement always lands under the configured root.
+        #[test]
+        fn placement_stays_under_root(seed in 0u64..1000, n in 1usize..100) {
+            let mut p = HashedPlacement::new(vpath("/.u"), 512, 4, seed);
+            for i in 0..n {
+                let d = p.place(NodeId((i % 5) as u32), Pid(1), &vpath("/v"), &format!("f{i}"));
+                prop_assert!(d.starts_with(&vpath("/.u")));
+            }
+        }
+    }
+}
+
+mod metadb_props {
+    use super::*;
+    use metadb::table::{Record, Table};
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Row {
+        k: u64,
+        v: u64,
+    }
+    impl Record for Row {
+        type Key = u64;
+        fn key(&self) -> u64 {
+            self.k
+        }
+    }
+
+    proptest! {
+        /// An aborted transaction leaves the table exactly as it was,
+        /// for any sequence of mutations inside the transaction.
+        #[test]
+        fn aborted_txn_restores_state(
+            initial in prop::collection::vec((0u64..32, 0u64..100), 0..20),
+            muts in prop::collection::vec((0u64..32, 0u64..100, 0u8..4), 1..20),
+        ) {
+            let mut t: Table<Row> = Table::new("t");
+            for (k, v) in &initial {
+                t.upsert(Row { k: *k, v: *v });
+            }
+            let snapshot: Vec<Row> = t.iter().cloned().collect();
+            let r: Result<(), ()> = t.txn(|view| {
+                for (k, v, kind) in &muts {
+                    match kind {
+                        0 => { let _ = view.insert(Row { k: *k, v: *v }); }
+                        1 => { view.upsert(Row { k: *k, v: *v }); }
+                        2 => { let _ = view.update(k, |r| r.v = *v); }
+                        _ => { let _ = view.delete(k); }
+                    }
+                }
+                Err(())
+            });
+            prop_assert!(r.is_err());
+            let after: Vec<Row> = t.iter().cloned().collect();
+            prop_assert_eq!(snapshot, after);
+        }
+
+        /// Committed transactions apply all mutations (spot check via
+        /// upserts: last writer wins).
+        #[test]
+        fn committed_txn_applies(writes in prop::collection::vec((0u64..16, 0u64..100), 1..20)) {
+            let mut t: Table<Row> = Table::new("t");
+            let r: Result<(), ()> = t.txn(|view| {
+                for (k, v) in &writes {
+                    view.upsert(Row { k: *k, v: *v });
+                }
+                Ok(())
+            });
+            prop_assert!(r.is_ok());
+            for (k, v) in writes.iter().rev() {
+                // The last write to key k must be visible.
+                let last = writes.iter().rev().find(|(k2, _)| k2 == k).unwrap().1;
+                prop_assert_eq!(t.get(k).unwrap().v, last);
+                let _ = v;
+            }
+        }
+    }
+}
+
+mod dlm_props {
+    use super::*;
+    use dlm::{TokenManager, TokenId, TokenMode};
+    use netsim::ids::NodeId;
+
+    proptest! {
+        /// Safety invariant: after any sequence of acquires/releases,
+        /// an exclusive holder is always the *only* holder.
+        #[test]
+        fn exclusive_means_alone(
+            steps in prop::collection::vec((0u32..6, 0u64..4, prop::bool::ANY, prop::bool::ANY), 1..200),
+        ) {
+            let mut tm = TokenManager::new();
+            for (node, token, exclusive, release) in steps {
+                let node = NodeId(node);
+                let token = TokenId(token);
+                if release {
+                    tm.release(node, token);
+                } else {
+                    let mode = if exclusive { TokenMode::Exclusive } else { TokenMode::Shared };
+                    tm.acquire(node, token, mode);
+                }
+                // Check the invariant on this token.
+                if tm.held_mode(node, token) == Some(TokenMode::Exclusive) {
+                    prop_assert_eq!(tm.holder_count(token), 1);
+                }
+            }
+        }
+    }
+}
+
+mod summary_props {
+    use super::*;
+    use simcore::stats::Summary;
+    use simcore::time::SimDuration;
+
+    proptest! {
+        /// Mean lies between min and max, and quantiles are monotone.
+        #[test]
+        fn summary_invariants(samples in prop::collection::vec(0u64..1_000_000, 1..100)) {
+            let mut s = Summary::new("x");
+            for v in &samples {
+                s.record(SimDuration::from_nanos(*v));
+            }
+            prop_assert!(s.min() <= s.mean());
+            prop_assert!(s.mean() <= s.max());
+            prop_assert!(s.quantile(0.25) <= s.quantile(0.75));
+            prop_assert_eq!(s.count(), samples.len());
+        }
+    }
+}
