@@ -3,8 +3,8 @@
 //! regenerating each experiment; the `fig*`/`table1` binaries print
 //! the paper-scale rows).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cofs_bench::{cofs_over_gpfs, gpfs};
+use criterion::{criterion_group, criterion_main, Criterion};
 use workloads::ior::{run_ior_op, Access, FileMode, IoOp, IorConfig};
 use workloads::metarates::{run_phase, MetaOp, MetaratesConfig};
 

@@ -15,30 +15,46 @@ use pfs::fs::PfsFs;
 use workloads::metarates::{run_phase, MetaOp, MetaratesConfig};
 use workloads::report::{ms, Table};
 
+use cofs_bench::{smoke_files, smoke_nodes};
+
 fn stack(cfg: CofsConfig, placement: Box<dyn PlacementPolicy>) -> CofsFs<PfsFs> {
     let cluster = ClusterBuilder::new()
-        .clients(8)
+        .clients(smoke_nodes(8))
         .servers(2)
         .with_metadata_host()
         .build();
     let host = cluster.metadata_host().expect("metadata host requested");
     let net = MdsNetwork::from_cluster(&cluster, host);
-    CofsFs::with_placement(PfsFs::new(cluster, PfsConfig::default()), cfg, net, placement)
+    CofsFs::with_placement(
+        PfsFs::new(cluster, PfsConfig::default()),
+        cfg,
+        net,
+        placement,
+    )
 }
 
 fn main() {
-    println!("== Ablations (8 nodes, 1024 files/node, create phase) ==\n");
-    let bench = MetaratesConfig::new(8, 1024);
+    let (nodes, fpn) = (smoke_nodes(8), smoke_files(1024));
+    println!("== Ablations ({nodes} nodes, {fpn} files/node, create phase) ==\n");
+    let bench = MetaratesConfig::new(nodes, fpn);
     let mut table = Table::new(vec!["variant", "create (ms)"]);
 
     let base = CofsConfig::default();
     let hashed = |cfg: &CofsConfig, spread: u32, limit: u32| -> Box<dyn PlacementPolicy> {
-        Box::new(HashedPlacement::new(cfg.under_root.clone(), limit, spread, 7))
+        Box::new(HashedPlacement::new(
+            cfg.under_root.clone(),
+            limit,
+            spread,
+            7,
+        ))
     };
 
     let mut fs = stack(base.clone(), hashed(&base, 8, 512));
     let r = run_phase(&mut fs, &bench, MetaOp::Create);
-    table.row(vec!["paper (hash, spread 8, limit 512)".into(), ms(r.mean_ms())]);
+    table.row(vec![
+        "paper (hash, spread 8, limit 512)".into(),
+        ms(r.mean_ms()),
+    ]);
 
     let mut fs = stack(base.clone(), hashed(&base, 1, 512));
     let r = run_phase(&mut fs, &bench, MetaOp::Create);
@@ -55,7 +71,10 @@ fn main() {
         Box::new(PassthroughPlacement::new(base.under_root.clone())),
     );
     let r = run_phase(&mut fs, &bench, MetaOp::Create);
-    table.row(vec!["passthrough (no placement decoupling)".into(), ms(r.mean_ms())]);
+    table.row(vec![
+        "passthrough (no placement decoupling)".into(),
+        ms(r.mean_ms()),
+    ]);
 
     println!("{}", table.render());
 }

@@ -7,19 +7,15 @@
 //! network rates beyond; create shows a steady increase above ~512
 //! entries.
 
-use cofs_bench::{gpfs, FIG1_DIR_SIZES};
+use cofs_bench::{fig1_dir_sizes, gpfs};
 use workloads::metarates::{run_phase, MetaOp, MetaratesConfig};
 use workloads::report::{ms, Table};
 
 fn main() {
     println!("== Fig 1: single-node GPFS op times vs files per directory ==\n");
     for op in MetaOp::ALL {
-        let mut table = Table::new(vec![
-            "files/dir",
-            "1 process (ms)",
-            "2 processes (ms)",
-        ]);
-        for &size in &FIG1_DIR_SIZES {
+        let mut table = Table::new(vec!["files/dir", "1 process (ms)", "2 processes (ms)"]);
+        for &size in &fig1_dir_sizes() {
             let mut row = vec![size.to_string()];
             for procs in [1usize, 2] {
                 let cfg = MetaratesConfig {

@@ -7,20 +7,16 @@
 //! on the file count; stat/utime/open-close are elevated versus the
 //! single-node case, most strongly for the smaller directories.
 
-use cofs_bench::gpfs;
+use cofs_bench::{gpfs, smoke_or};
 use workloads::metarates::{run_phase, MetaOp, MetaratesConfig};
 use workloads::report::{ms, Table};
 
 fn main() {
     println!("== Fig 2: parallel metadata behavior of GPFS ==\n");
-    let totals = [1024usize, 4096, 16384];
-    let mut table = Table::new(vec![
-        "operation",
-        "nodes",
-        "1024 files (ms)",
-        "4096 files (ms)",
-        "16384 files (ms)",
-    ]);
+    let totals = smoke_or(vec![256], vec![1024, 4096, 16384]);
+    let mut header = vec!["operation".to_string(), "nodes".to_string()];
+    header.extend(totals.iter().map(|t| format!("{t} files (ms)")));
+    let mut table = Table::new(header);
     for op in MetaOp::ALL {
         for nodes in [4usize, 8] {
             let mut row = vec![op.label().to_string(), format!("{nodes} n.")];

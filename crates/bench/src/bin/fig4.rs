@@ -6,7 +6,7 @@
 //! ≈ 30 ms (8 nodes); COFS cuts this to 2–5 ms and eliminates the
 //! 4→8-node degradation — speed-up factors of 5–10.
 
-use cofs_bench::{cofs_over_gpfs, gpfs, FILES_PER_NODE_SWEEP};
+use cofs_bench::{cofs_over_gpfs, files_per_node_sweep, gpfs};
 use workloads::metarates::{run_phase, MetaOp, MetaratesConfig};
 use workloads::report::{ms, Table};
 
@@ -19,7 +19,7 @@ fn main() {
             "cofs create (ms)",
             "speedup",
         ]);
-        for &fpn in &FILES_PER_NODE_SWEEP {
+        for &fpn in &files_per_node_sweep() {
             let cfg = MetaratesConfig::new(nodes, fpn);
             let mut g = gpfs(nodes);
             let rg = run_phase(&mut g, &cfg, MetaOp::Create);

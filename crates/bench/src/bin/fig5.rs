@@ -7,7 +7,7 @@
 //! for very small per-node counts both systems are elevated, with
 //! COFS comparable or slightly better.
 
-use cofs_bench::{cofs_over_gpfs, gpfs, FILES_PER_NODE_SWEEP};
+use cofs_bench::{cofs_over_gpfs, files_per_node_sweep, gpfs};
 use workloads::metarates::{run_phase, MetaOp, MetaratesConfig};
 use workloads::report::{ms, Table};
 
@@ -15,13 +15,8 @@ fn main() {
     println!("== Fig 5: stat/utime/open-close time, pure GPFS vs COFS over GPFS ==\n");
     for op in [MetaOp::Stat, MetaOp::Utime, MetaOp::OpenClose] {
         for nodes in [4usize, 8] {
-            let mut table = Table::new(vec![
-                "files/node",
-                "gpfs (ms)",
-                "cofs (ms)",
-                "speedup",
-            ]);
-            for &fpn in &FILES_PER_NODE_SWEEP {
+            let mut table = Table::new(vec!["files/node", "gpfs (ms)", "cofs (ms)", "speedup"]);
+            for &fpn in &files_per_node_sweep() {
                 let cfg = MetaratesConfig::new(nodes, fpn);
                 let mut g = gpfs(nodes);
                 let rg = run_phase(&mut g, &cfg, op);
@@ -39,7 +34,11 @@ fn main() {
                     format!("{speedup:.1}x"),
                 ]);
             }
-            println!("avg. time per {} — {nodes} nodes:\n{}", op.label(), table.render());
+            println!(
+                "avg. time per {} — {nodes} nodes:\n{}",
+                op.label(),
+                table.render()
+            );
         }
     }
 }

@@ -8,15 +8,15 @@
 //! directory, while COFS seems to be able to avoid such conflicts" —
 //! the virtualization benefit *increases* at larger scale.
 
-use cofs_bench::{cofs_over_gpfs_on, gpfs_on};
+use cofs_bench::{cofs_over_gpfs_on, gpfs_on, smoke_files, smoke_nodes};
 use netsim::topology::Topology;
 use workloads::metarates::{run_phase, MetaOp, MetaratesConfig};
 use workloads::report::{ms, Table};
 
 fn main() {
-    println!("== Fig 6: operation times on 64 nodes (256 files/node, shared dir) ==\n");
-    let nodes = 64usize;
-    let fpn = 256usize;
+    let nodes = smoke_nodes(64);
+    let fpn = smoke_files(256);
+    println!("== Fig 6: operation times on {nodes} nodes ({fpn} files/node, shared dir) ==\n");
     let cfg = MetaratesConfig::new(nodes, fpn);
     let mut table = Table::new(vec!["operation", "gpfs (ms)", "cofs (ms)", "speedup"]);
     for op in MetaOp::ALL {

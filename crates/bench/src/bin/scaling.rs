@@ -4,13 +4,14 @@
 //! virtualization are not only maintained but increased in larger
 //! scales").
 
-use cofs_bench::{cofs_over_gpfs_on, gpfs_on};
+use cofs_bench::{cofs_over_gpfs_on, gpfs_on, smoke_files, smoke_or};
 use netsim::topology::Topology;
 use workloads::metarates::{run_phase, MetaOp, MetaratesConfig};
 use workloads::report::{ms, Table};
 
 fn main() {
-    println!("== Scaling: create & stat vs node count (hierarchical, 256 files/node) ==\n");
+    let fpn = smoke_files(256);
+    println!("== Scaling: create & stat vs node count (hierarchical, {fpn} files/node) ==\n");
     let mut table = Table::new(vec![
         "nodes",
         "gpfs create",
@@ -18,8 +19,9 @@ fn main() {
         "gpfs stat",
         "cofs stat",
     ]);
-    for nodes in [4usize, 8, 16, 32, 64] {
-        let cfg = MetaratesConfig::new(nodes, 256);
+    let node_counts = smoke_or(vec![4, 8], vec![4, 8, 16, 32, 64]);
+    for nodes in node_counts {
+        let cfg = MetaratesConfig::new(nodes, fpn);
         let topo = || Topology::hierarchical(16);
         let gc = run_phase(&mut gpfs_on(nodes, topo()), &cfg, MetaOp::Create);
         let cc = run_phase(&mut cofs_over_gpfs_on(nodes, topo()), &cfg, MetaOp::Create);

@@ -11,7 +11,7 @@
 //! serialization) and COFS does not; (c) single-node writes, where
 //! COFS pays the FUSE copy.
 
-use cofs_bench::{cofs_over_gpfs, gpfs};
+use cofs_bench::{cofs_over_gpfs, gpfs, smoke_or};
 use workloads::ior::{run_ior_op, Access, FileMode, IoOp, IorConfig};
 use workloads::report::{mibs, Table};
 
@@ -19,7 +19,11 @@ const MB: u64 = 1024 * 1024;
 
 fn main() {
     println!("== Table I: IOR aggregate data rates (MiB/s), GPFS vs COFS over GPFS ==\n");
-    let sizes: [(u64, &str); 3] = [(256 * MB, "256MB"), (1024 * MB, "1GB"), (4096 * MB, "4GB")];
+    let sizes = smoke_or(
+        vec![(256 * MB, "256MB")],
+        vec![(256 * MB, "256MB"), (1024 * MB, "1GB"), (4096 * MB, "4GB")],
+    );
+    let node_counts = smoke_or(vec![1, 4], vec![1, 4, 8]);
     for (access, op) in [
         (Access::Sequential, IoOp::Read),
         (Access::Random, IoOp::Read),
@@ -36,7 +40,7 @@ fn main() {
                 "cofs/gpfs",
             ]);
             for &(bytes, label) in &sizes {
-                for nodes in [1usize, 4, 8] {
+                for &nodes in &node_counts {
                     let cfg = IorConfig::new(nodes, bytes, file_mode, access);
                     let mut g = gpfs(nodes);
                     let rg = run_ior_op(&mut g, &cfg, op);

@@ -71,6 +71,59 @@ pub const FILES_PER_NODE_SWEEP: [usize; 9] = [32, 64, 128, 256, 512, 1024, 2048,
 /// The directory-size sweep of Fig 1.
 pub const FIG1_DIR_SIZES: [usize; 9] = [128, 256, 512, 768, 1024, 1280, 1536, 2048, 2560];
 
+/// True when `COFS_SMOKE` is set in the environment: the figure
+/// binaries then run drastically reduced sweeps so the smoke tests can
+/// execute every entrypoint in seconds instead of minutes. Paper-scale
+/// output is the default.
+pub fn smoke_mode() -> bool {
+    std::env::var_os("COFS_SMOKE").is_some_and(|v| !v.is_empty() && v != "0")
+}
+
+/// The Fig 4/5 files-per-node sweep, truncated in smoke mode.
+pub fn files_per_node_sweep() -> Vec<usize> {
+    if smoke_mode() {
+        vec![32, 64]
+    } else {
+        FILES_PER_NODE_SWEEP.to_vec()
+    }
+}
+
+/// The Fig 1 directory-size sweep, truncated in smoke mode.
+pub fn fig1_dir_sizes() -> Vec<usize> {
+    if smoke_mode() {
+        vec![128, 256]
+    } else {
+        FIG1_DIR_SIZES.to_vec()
+    }
+}
+
+/// Caps a node count in smoke mode (e.g. Fig 6's 64 nodes → 8).
+pub fn smoke_nodes(full: usize) -> usize {
+    if smoke_mode() {
+        full.min(8)
+    } else {
+        full
+    }
+}
+
+/// Caps a per-node file count in smoke mode.
+pub fn smoke_files(full: usize) -> usize {
+    if smoke_mode() {
+        full.min(64)
+    } else {
+        full
+    }
+}
+
+/// Picks the reduced sweep in smoke mode, the full sweep otherwise.
+pub fn smoke_or<T>(smoke: Vec<T>, full: Vec<T>) -> Vec<T> {
+    if smoke_mode() {
+        smoke
+    } else {
+        full
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -86,7 +139,10 @@ mod tests {
         g.mkdir(&ctx, &vpath("/d"), Mode::dir_default()).unwrap();
         let mut c = cofs_over_gpfs(4);
         c.mkdir(&ctx, &vpath("/d"), Mode::dir_default()).unwrap();
-        let fh = c.create(&ctx, &vpath("/d/f"), Mode::file_default()).unwrap().value;
+        let fh = c
+            .create(&ctx, &vpath("/d/f"), Mode::file_default())
+            .unwrap()
+            .value;
         c.close(&ctx, fh).unwrap();
         assert_eq!(c.readdir(&ctx, &vpath("/d")).unwrap().value.len(), 1);
     }

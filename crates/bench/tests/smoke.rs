@@ -1,0 +1,66 @@
+//! Smoke tests: every figure/table binary must run to completion and
+//! print its report header, so entrypoints cannot silently rot.
+//!
+//! `COFS_SMOKE=1` makes the binaries run drastically reduced sweeps
+//! (see `cofs_bench::smoke_mode`), keeping this suite fast while still
+//! executing the real `main` of each artifact.
+
+use std::process::Command;
+
+fn run_smoke(exe: &str, expect: &str) {
+    let out = Command::new(exe)
+        .env("COFS_SMOKE", "1")
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn {exe}: {e}"));
+    assert!(
+        out.status.success(),
+        "{exe} exited with {:?}\nstderr:\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains(expect),
+        "{exe} output missing {expect:?}; got:\n{stdout}"
+    );
+}
+
+#[test]
+fn fig1_runs() {
+    run_smoke(env!("CARGO_BIN_EXE_fig1"), "Fig 1");
+}
+
+#[test]
+fn fig2_runs() {
+    run_smoke(env!("CARGO_BIN_EXE_fig2"), "Fig 2");
+}
+
+#[test]
+fn fig4_runs() {
+    run_smoke(env!("CARGO_BIN_EXE_fig4"), "Fig 4");
+}
+
+#[test]
+fn fig5_runs() {
+    run_smoke(env!("CARGO_BIN_EXE_fig5"), "Fig 5");
+}
+
+#[test]
+fn fig6_runs() {
+    run_smoke(env!("CARGO_BIN_EXE_fig6"), "Fig 6");
+}
+
+#[test]
+fn table1_runs() {
+    run_smoke(env!("CARGO_BIN_EXE_table1"), "Table I");
+}
+
+#[test]
+fn scaling_runs() {
+    run_smoke(env!("CARGO_BIN_EXE_scaling"), "Scaling");
+}
+
+#[test]
+fn ablation_runs() {
+    run_smoke(env!("CARGO_BIN_EXE_ablation"), "Ablations");
+}

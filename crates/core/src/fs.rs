@@ -14,13 +14,13 @@ use crate::placement::{HashedPlacement, PlacementPolicy};
 use metadb::cost::DbCostTracker;
 use netsim::ids::NodeId;
 use simcore::prelude::*;
+use std::collections::{HashMap, HashSet};
 use vfs::error::{Errno, FsError};
 use vfs::fs::{FileSystem, FsResult, OpCtx, Timed};
 use vfs::path::VPath;
 use vfs::types::{
     DirEntry, FileAttr, FileHandle, FileType, FsStats, Gid, Mode, OpenFlags, SetAttr, Uid,
 };
-use std::collections::{HashMap, HashSet};
 
 #[derive(Debug, Clone)]
 struct CHandle {
@@ -170,7 +170,12 @@ impl<U: FileSystem> CofsFs<U> {
 
     /// Charges one metadata-service RPC: network round trip plus
     /// queueing at the service CPU for the database work performed.
-    fn rpc(&mut self, node: NodeId, ops: DbOps, t: simcore::time::SimTime) -> simcore::time::SimTime {
+    fn rpc(
+        &mut self,
+        node: NodeId,
+        ops: DbOps,
+        t: simcore::time::SimTime,
+    ) -> simcore::time::SimTime {
         self.counters.bump("mds_rpcs");
         let mut t = t;
         if self.sessions.insert(node) {
@@ -531,7 +536,14 @@ impl<U: FileSystem> FileSystem for CofsFs<U> {
             bytes_used: under.value.bytes_used,
         };
         // Directory count comes from the virtual namespace.
-        let t = self.rpc(ctx.node, DbOps { reads: 2, writes: 0 }, under.end);
+        let t = self.rpc(
+            ctx.node,
+            DbOps {
+                reads: 2,
+                writes: 0,
+            },
+            under.end,
+        );
         Ok(Timed::new(stats, t))
     }
 }
@@ -557,7 +569,8 @@ mod tests {
     fn virtual_view_decouples_from_layout() {
         let mut fs = new_fs();
         let ctx = OpCtx::test(NodeId(0));
-        fs.mkdir(&ctx, &vpath("/shared"), Mode::dir_default()).unwrap();
+        fs.mkdir(&ctx, &vpath("/shared"), Mode::dir_default())
+            .unwrap();
         for i in 0..10 {
             let fh = fs
                 .create(&ctx, &vpath(&format!("/shared/f{i}")), Mode::file_default())
@@ -580,7 +593,11 @@ mod tests {
             .readdir(&dctx, &vpath("/shared"))
             .unwrap_err()
             .is(Errno::ENOENT));
-        let under_root = fs.under_mut().readdir(&dctx, &vpath("/.cofs")).unwrap().value;
+        let under_root = fs
+            .under_mut()
+            .readdir(&dctx, &vpath("/.cofs"))
+            .unwrap()
+            .value;
         assert!(!under_root.is_empty());
     }
 
@@ -590,15 +607,27 @@ mod tests {
         let a = OpCtx::test(NodeId(0));
         let b = OpCtx::test(NodeId(1));
         fs.mkdir(&a, &vpath("/d"), Mode::dir_default()).unwrap();
-        let fa = fs.create(&a, &vpath("/d/x"), Mode::file_default()).unwrap().value;
-        let fb = fs.create(&b, &vpath("/d/y"), Mode::file_default()).unwrap().value;
+        let fa = fs
+            .create(&a, &vpath("/d/x"), Mode::file_default())
+            .unwrap()
+            .value;
+        let fb = fs
+            .create(&b, &vpath("/d/y"), Mode::file_default())
+            .unwrap()
+            .value;
         fs.close(&a, fa).unwrap();
         fs.close(&b, fb).unwrap();
         let ma = fs.mds().inode_count();
         assert!(ma >= 4); // root + /d + two files
-        // The two files' mappings differ in their hash directory.
-        let (rx, _) = fs.mds.getattr(CofsFs::<MemFs>::cred(&a), &vpath("/d/x")).unwrap();
-        let (ry, _) = fs.mds.getattr(CofsFs::<MemFs>::cred(&b), &vpath("/d/y")).unwrap();
+                          // The two files' mappings differ in their hash directory.
+        let (rx, _) = fs
+            .mds
+            .getattr(CofsFs::<MemFs>::cred(&a), &vpath("/d/x"))
+            .unwrap();
+        let (ry, _) = fs
+            .mds
+            .getattr(CofsFs::<MemFs>::cred(&b), &vpath("/d/y"))
+            .unwrap();
         let hx = rx.mapping.unwrap().parent().unwrap().parent().unwrap();
         let hy = ry.mapping.unwrap().parent().unwrap().parent().unwrap();
         assert_ne!(hx, hy);
@@ -608,7 +637,10 @@ mod tests {
     fn write_then_close_publishes_size() {
         let mut fs = new_fs();
         let ctx = OpCtx::test(NodeId(0));
-        let fh = fs.create(&ctx, &vpath("/f"), Mode::file_default()).unwrap().value;
+        let fh = fs
+            .create(&ctx, &vpath("/f"), Mode::file_default())
+            .unwrap()
+            .value;
         fs.write(&ctx, fh, 0, 12345).unwrap();
         fs.close(&ctx, fh).unwrap();
         assert_eq!(fs.stat(&ctx, &vpath("/f")).unwrap().value.size, 12345);
@@ -618,13 +650,17 @@ mod tests {
     fn stat_never_touches_underlying() {
         let mut fs = new_fs();
         let ctx = OpCtx::test(NodeId(0));
-        let fh = fs.create(&ctx, &vpath("/f"), Mode::file_default()).unwrap().value;
+        let fh = fs
+            .create(&ctx, &vpath("/f"), Mode::file_default())
+            .unwrap()
+            .value;
         fs.close(&ctx, fh).unwrap();
         let under_before = fs.counters().get("under_opens");
         let rpcs_before = fs.counters().get("mds_rpcs");
         for _ in 0..5 {
             fs.stat(&ctx, &vpath("/f")).unwrap();
-            fs.utime(&ctx, &vpath("/f"), SimTime::ZERO, SimTime::ZERO).unwrap();
+            fs.utime(&ctx, &vpath("/f"), SimTime::ZERO, SimTime::ZERO)
+                .unwrap();
         }
         assert_eq!(fs.counters().get("under_opens"), under_before);
         assert_eq!(fs.counters().get("mds_rpcs"), rpcs_before + 10);
@@ -636,7 +672,10 @@ mod tests {
         let ctx = OpCtx::test(NodeId(0));
         fs.mkdir(&ctx, &vpath("/a"), Mode::dir_default()).unwrap();
         fs.mkdir(&ctx, &vpath("/b"), Mode::dir_default()).unwrap();
-        let fh = fs.create(&ctx, &vpath("/a/f"), Mode::file_default()).unwrap().value;
+        let fh = fs
+            .create(&ctx, &vpath("/a/f"), Mode::file_default())
+            .unwrap()
+            .value;
         fs.write(&ctx, fh, 0, 99).unwrap();
         fs.close(&ctx, fh).unwrap();
         let under_creates = fs.counters().get("under_creates");
@@ -651,9 +690,15 @@ mod tests {
     fn rename_over_file_cleans_underlying() {
         let mut fs = new_fs();
         let ctx = OpCtx::test(NodeId(0));
-        let f1 = fs.create(&ctx, &vpath("/a"), Mode::file_default()).unwrap().value;
+        let f1 = fs
+            .create(&ctx, &vpath("/a"), Mode::file_default())
+            .unwrap()
+            .value;
         fs.close(&ctx, f1).unwrap();
-        let f2 = fs.create(&ctx, &vpath("/b"), Mode::file_default()).unwrap().value;
+        let f2 = fs
+            .create(&ctx, &vpath("/b"), Mode::file_default())
+            .unwrap()
+            .value;
         fs.close(&ctx, f2).unwrap();
         fs.rename(&ctx, &vpath("/a"), &vpath("/b")).unwrap();
         assert_eq!(fs.counters().get("under_unlinks"), 1);
@@ -664,7 +709,10 @@ mod tests {
     fn unlink_removes_underlying_on_last_link() {
         let mut fs = new_fs();
         let ctx = OpCtx::test(NodeId(0));
-        let fh = fs.create(&ctx, &vpath("/f"), Mode::file_default()).unwrap().value;
+        let fh = fs
+            .create(&ctx, &vpath("/f"), Mode::file_default())
+            .unwrap()
+            .value;
         fs.close(&ctx, fh).unwrap();
         fs.link(&ctx, &vpath("/f"), &vpath("/g")).unwrap();
         fs.unlink(&ctx, &vpath("/f")).unwrap();
@@ -677,12 +725,19 @@ mod tests {
     fn symlinks_resolve_in_virtual_space() {
         let mut fs = new_fs();
         let ctx = OpCtx::test(NodeId(0));
-        fs.mkdir(&ctx, &vpath("/real"), Mode::dir_default()).unwrap();
-        let fh = fs.create(&ctx, &vpath("/real/f"), Mode::file_default()).unwrap().value;
+        fs.mkdir(&ctx, &vpath("/real"), Mode::dir_default())
+            .unwrap();
+        let fh = fs
+            .create(&ctx, &vpath("/real/f"), Mode::file_default())
+            .unwrap()
+            .value;
         fs.write(&ctx, fh, 0, 5).unwrap();
         fs.close(&ctx, fh).unwrap();
         fs.symlink(&ctx, "/real", &vpath("/alias")).unwrap();
-        let fh = fs.open(&ctx, &vpath("/alias/f"), OpenFlags::RDONLY).unwrap().value;
+        let fh = fs
+            .open(&ctx, &vpath("/alias/f"), OpenFlags::RDONLY)
+            .unwrap()
+            .value;
         assert_eq!(fs.read(&ctx, fh, 0, 100).unwrap().value, 5);
         fs.close(&ctx, fh).unwrap();
         assert_eq!(fs.readlink(&ctx, &vpath("/alias")).unwrap().value, "/real");
@@ -699,9 +754,15 @@ mod tests {
             ..OpCtx::test(NodeId(1))
         };
         fs.mkdir(&owner, &vpath("/priv"), Mode::new(0o700)).unwrap();
-        let fh = fs.create(&owner, &vpath("/priv/f"), Mode::new(0o600)).unwrap().value;
+        let fh = fs
+            .create(&owner, &vpath("/priv/f"), Mode::new(0o600))
+            .unwrap()
+            .value;
         fs.close(&owner, fh).unwrap();
-        assert!(fs.stat(&other, &vpath("/priv/f")).unwrap_err().is(Errno::EACCES));
+        assert!(fs
+            .stat(&other, &vpath("/priv/f"))
+            .unwrap_err()
+            .is(Errno::EACCES));
         // Virtual chmod opens it up — no underlying chmod needed.
         fs.setattr(
             &owner,
@@ -721,7 +782,10 @@ mod tests {
             },
         )
         .unwrap();
-        let fh = fs.open(&other, &vpath("/priv/f"), OpenFlags::RDONLY).unwrap().value;
+        let fh = fs
+            .open(&other, &vpath("/priv/f"), OpenFlags::RDONLY)
+            .unwrap()
+            .value;
         fs.close(&other, fh).unwrap();
     }
 
@@ -729,9 +793,15 @@ mod tests {
     fn open_write_requires_flag() {
         let mut fs = new_fs();
         let ctx = OpCtx::test(NodeId(0));
-        let fh = fs.create(&ctx, &vpath("/f"), Mode::file_default()).unwrap().value;
+        let fh = fs
+            .create(&ctx, &vpath("/f"), Mode::file_default())
+            .unwrap()
+            .value;
         fs.close(&ctx, fh).unwrap();
-        let ro = fs.open(&ctx, &vpath("/f"), OpenFlags::RDONLY).unwrap().value;
+        let ro = fs
+            .open(&ctx, &vpath("/f"), OpenFlags::RDONLY)
+            .unwrap()
+            .value;
         assert!(fs.write(&ctx, ro, 0, 1).unwrap_err().is(Errno::EBADF));
         fs.close(&ctx, ro).unwrap();
         assert!(fs.close(&ctx, ro).unwrap_err().is(Errno::EBADF));
@@ -741,7 +811,10 @@ mod tests {
     fn truncate_on_open_resets_size() {
         let mut fs = new_fs();
         let ctx = OpCtx::test(NodeId(0));
-        let fh = fs.create(&ctx, &vpath("/f"), Mode::file_default()).unwrap().value;
+        let fh = fs
+            .create(&ctx, &vpath("/f"), Mode::file_default())
+            .unwrap()
+            .value;
         fs.write(&ctx, fh, 0, 100).unwrap();
         fs.close(&ctx, fh).unwrap();
         let fh = fs
@@ -797,7 +870,10 @@ mod tests {
         let mut fs = new_fs();
         let ctx = OpCtx::test(NodeId(0));
         fs.mkdir(&ctx, &vpath("/d"), Mode::dir_default()).unwrap();
-        let fh = fs.create(&ctx, &vpath("/d/f"), Mode::file_default()).unwrap().value;
+        let fh = fs
+            .create(&ctx, &vpath("/d/f"), Mode::file_default())
+            .unwrap()
+            .value;
         fs.write(&ctx, fh, 0, 777).unwrap();
         fs.close(&ctx, fh).unwrap();
         let stats = fs.statfs(&ctx).unwrap().value;
@@ -809,7 +885,10 @@ mod tests {
     fn timing_is_monotonic_and_includes_fuse() {
         let mut fs = new_fs();
         let ctx = OpCtx::test(NodeId(0)).at(SimTime::from_millis(5));
-        let t = fs.mkdir(&ctx, &vpath("/d"), Mode::dir_default()).unwrap().end;
+        let t = fs
+            .mkdir(&ctx, &vpath("/d"), Mode::dir_default())
+            .unwrap()
+            .end;
         assert!(t >= ctx.now + fs.config().fuse_dispatch);
     }
 }

@@ -216,7 +216,10 @@ impl Mds {
             if node.ftype != FileType::Directory {
                 return Err(FsError::new(Errno::ENOTDIR, op, path.as_str()));
             }
-            if !node.mode.allows_exec(cred.uid, cred.gid, node.uid, node.gid) {
+            if !node
+                .mode
+                .allows_exec(cred.uid, cred.gid, node.uid, node.gid)
+            {
                 return Err(FsError::new(Errno::EACCES, op, path.as_str()));
             }
             let dent = self
@@ -466,9 +469,7 @@ impl Mds {
         if node.entries > 0 {
             return Err(FsError::new(Errno::ENOTEMPTY, "rmdir", path.as_str()));
         }
-        self.dentries
-            .delete(&(pino, name))
-            .expect("entry existed");
+        self.dentries.delete(&(pino, name)).expect("entry existed");
         self.inodes.delete(&dent.ino).expect("inode existed");
         self.inodes
             .update(&pino, |r| r.nlink -= 1)
@@ -549,13 +550,17 @@ impl Mds {
         }
         if (set.atime.is_some() || set.mtime.is_some())
             && !is_owner
-            && !node.mode.allows_write(cred.uid, cred.gid, node.uid, node.gid)
+            && !node
+                .mode
+                .allows_write(cred.uid, cred.gid, node.uid, node.gid)
         {
             return Err(FsError::new(Errno::EPERM, "setattr", path.as_str()));
         }
         if set.size.is_some()
             && !is_owner
-            && !node.mode.allows_write(cred.uid, cred.gid, node.uid, node.gid)
+            && !node
+                .mode
+                .allows_write(cred.uid, cred.gid, node.uid, node.gid)
         {
             return Err(FsError::new(Errno::EACCES, "setattr", path.as_str()));
         }
@@ -625,7 +630,10 @@ impl Mds {
         if node.ftype != FileType::Directory {
             return Err(FsError::new(Errno::ENOTDIR, "readdir", path.as_str()));
         }
-        if !node.mode.allows_read(cred.uid, cred.gid, node.uid, node.gid) {
+        if !node
+            .mode
+            .allows_read(cred.uid, cred.gid, node.uid, node.gid)
+        {
             return Err(FsError::new(Errno::EACCES, "readdir", path.as_str()));
         }
         let list: Vec<DirEntry> = self
@@ -874,7 +882,13 @@ mod tests {
     fn create_and_getattr() {
         let mut mds = Mds::new();
         let (rec, ops) = mds
-            .create(cred(), &vpath("/f"), Mode::file_default(), vpath("/.u/f"), t(1))
+            .create(
+                cred(),
+                &vpath("/f"),
+                Mode::file_default(),
+                vpath("/.u/f"),
+                t(1),
+            )
             .unwrap();
         assert_eq!(rec.ftype, FileType::Regular);
         assert_eq!(rec.mapping, Some(vpath("/.u/f")));
@@ -887,10 +901,22 @@ mod tests {
     #[test]
     fn duplicate_create_is_eexist() {
         let mut mds = Mds::new();
-        mds.create(cred(), &vpath("/f"), Mode::file_default(), vpath("/.u/a"), t(1))
-            .unwrap();
+        mds.create(
+            cred(),
+            &vpath("/f"),
+            Mode::file_default(),
+            vpath("/.u/a"),
+            t(1),
+        )
+        .unwrap();
         let err = mds
-            .create(cred(), &vpath("/f"), Mode::file_default(), vpath("/.u/b"), t(2))
+            .create(
+                cred(),
+                &vpath("/f"),
+                Mode::file_default(),
+                vpath("/.u/b"),
+                t(2),
+            )
             .unwrap_err();
         assert!(err.is(Errno::EEXIST));
     }
@@ -898,7 +924,8 @@ mod tests {
     #[test]
     fn virtual_directories_have_no_mapping() {
         let mut mds = Mds::new();
-        mds.mkdir(cred(), &vpath("/d"), Mode::dir_default(), t(1)).unwrap();
+        mds.mkdir(cred(), &vpath("/d"), Mode::dir_default(), t(1))
+            .unwrap();
         let (rec, _) = mds.getattr(cred(), &vpath("/d")).unwrap();
         assert_eq!(rec.ftype, FileType::Directory);
         assert_eq!(rec.mapping, None);
@@ -911,8 +938,14 @@ mod tests {
     #[test]
     fn unlink_returns_mapping_on_last_link() {
         let mut mds = Mds::new();
-        mds.create(cred(), &vpath("/f"), Mode::file_default(), vpath("/.u/f"), t(1))
-            .unwrap();
+        mds.create(
+            cred(),
+            &vpath("/f"),
+            Mode::file_default(),
+            vpath("/.u/f"),
+            t(1),
+        )
+        .unwrap();
         mds.link(cred(), &vpath("/f"), &vpath("/g"), t(2)).unwrap();
         let (gone, _) = mds.unlink(cred(), &vpath("/f"), t(3)).unwrap();
         assert_eq!(gone, None, "still linked via /g");
@@ -924,7 +957,8 @@ mod tests {
     #[test]
     fn readdir_lists_virtual_view() {
         let mut mds = Mds::new();
-        mds.mkdir(cred(), &vpath("/d"), Mode::dir_default(), t(1)).unwrap();
+        mds.mkdir(cred(), &vpath("/d"), Mode::dir_default(), t(1))
+            .unwrap();
         for name in ["c", "a", "b"] {
             mds.create(
                 cred(),
@@ -947,44 +981,83 @@ mod tests {
     #[test]
     fn rename_moves_mapping_with_inode() {
         let mut mds = Mds::new();
-        mds.mkdir(cred(), &vpath("/a"), Mode::dir_default(), t(1)).unwrap();
-        mds.mkdir(cred(), &vpath("/b"), Mode::dir_default(), t(1)).unwrap();
-        mds.create(cred(), &vpath("/a/f"), Mode::file_default(), vpath("/.u/x"), t(2))
+        mds.mkdir(cred(), &vpath("/a"), Mode::dir_default(), t(1))
             .unwrap();
-        mds.rename(cred(), &vpath("/a/f"), &vpath("/b/g"), t(3)).unwrap();
+        mds.mkdir(cred(), &vpath("/b"), Mode::dir_default(), t(1))
+            .unwrap();
+        mds.create(
+            cred(),
+            &vpath("/a/f"),
+            Mode::file_default(),
+            vpath("/.u/x"),
+            t(2),
+        )
+        .unwrap();
+        mds.rename(cred(), &vpath("/a/f"), &vpath("/b/g"), t(3))
+            .unwrap();
         let (rec, _) = mds.getattr(cred(), &vpath("/b/g")).unwrap();
         assert_eq!(rec.mapping, Some(vpath("/.u/x")), "mapping unchanged");
-        assert!(mds.getattr(cred(), &vpath("/a/f")).unwrap_err().is(Errno::ENOENT));
+        assert!(mds
+            .getattr(cred(), &vpath("/a/f"))
+            .unwrap_err()
+            .is(Errno::ENOENT));
     }
 
     #[test]
     fn rename_into_own_subtree_rejected() {
         let mut mds = Mds::new();
-        mds.mkdir(cred(), &vpath("/d"), Mode::dir_default(), t(1)).unwrap();
-        let err = mds.rename(cred(), &vpath("/d"), &vpath("/d/x"), t(2)).unwrap_err();
+        mds.mkdir(cred(), &vpath("/d"), Mode::dir_default(), t(1))
+            .unwrap();
+        let err = mds
+            .rename(cred(), &vpath("/d"), &vpath("/d/x"), t(2))
+            .unwrap_err();
         assert!(err.is(Errno::EINVAL));
     }
 
     #[test]
     fn rmdir_rules() {
         let mut mds = Mds::new();
-        mds.mkdir(cred(), &vpath("/d"), Mode::dir_default(), t(1)).unwrap();
-        mds.create(cred(), &vpath("/d/f"), Mode::file_default(), vpath("/.u/f"), t(2))
+        mds.mkdir(cred(), &vpath("/d"), Mode::dir_default(), t(1))
             .unwrap();
-        assert!(mds.rmdir(cred(), &vpath("/d"), t(3)).unwrap_err().is(Errno::ENOTEMPTY));
+        mds.create(
+            cred(),
+            &vpath("/d/f"),
+            Mode::file_default(),
+            vpath("/.u/f"),
+            t(2),
+        )
+        .unwrap();
+        assert!(mds
+            .rmdir(cred(), &vpath("/d"), t(3))
+            .unwrap_err()
+            .is(Errno::ENOTEMPTY));
         mds.unlink(cred(), &vpath("/d/f"), t(4)).unwrap();
         mds.rmdir(cred(), &vpath("/d"), t(5)).unwrap();
-        assert!(mds.getattr(cred(), &vpath("/d")).unwrap_err().is(Errno::ENOENT));
-        assert!(mds.rmdir(cred(), &VPath::root(), t(6)).unwrap_err().is(Errno::EINVAL));
+        assert!(mds
+            .getattr(cred(), &vpath("/d"))
+            .unwrap_err()
+            .is(Errno::ENOENT));
+        assert!(mds
+            .rmdir(cred(), &VPath::root(), t(6))
+            .unwrap_err()
+            .is(Errno::EINVAL));
     }
 
     #[test]
     fn symlink_resolution_through_service() {
         let mut mds = Mds::new();
-        mds.mkdir(cred(), &vpath("/real"), Mode::dir_default(), t(1)).unwrap();
-        mds.create(cred(), &vpath("/real/f"), Mode::file_default(), vpath("/.u/f"), t(2))
+        mds.mkdir(cred(), &vpath("/real"), Mode::dir_default(), t(1))
             .unwrap();
-        mds.symlink(cred(), "/real", &vpath("/alias"), t(3)).unwrap();
+        mds.create(
+            cred(),
+            &vpath("/real/f"),
+            Mode::file_default(),
+            vpath("/.u/f"),
+            t(2),
+        )
+        .unwrap();
+        mds.symlink(cred(), "/real", &vpath("/alias"), t(3))
+            .unwrap();
         let (rec, _) = mds.lookup(cred(), &vpath("/alias/f")).unwrap();
         assert_eq!(rec.mapping, Some(vpath("/.u/f")));
         // lstat of the link itself.
@@ -999,7 +1072,10 @@ mod tests {
         let mut mds = Mds::new();
         mds.symlink(cred(), "/b", &vpath("/a"), t(1)).unwrap();
         mds.symlink(cred(), "/a", &vpath("/b"), t(1)).unwrap();
-        assert!(mds.lookup(cred(), &vpath("/a")).unwrap_err().is(Errno::EINVAL));
+        assert!(mds
+            .lookup(cred(), &vpath("/a"))
+            .unwrap_err()
+            .is(Errno::EINVAL));
     }
 
     #[test]
@@ -1010,29 +1086,60 @@ mod tests {
             uid: Uid(2000),
             gid: Gid(2000),
         };
-        mds.mkdir(owner, &vpath("/priv"), Mode::new(0o700), t(1)).unwrap();
+        mds.mkdir(owner, &vpath("/priv"), Mode::new(0o700), t(1))
+            .unwrap();
         assert!(mds
-            .create(other, &vpath("/priv/f"), Mode::file_default(), vpath("/.u/f"), t(2))
+            .create(
+                other,
+                &vpath("/priv/f"),
+                Mode::file_default(),
+                vpath("/.u/f"),
+                t(2)
+            )
             .unwrap_err()
             .is(Errno::EACCES));
-        mds.create(owner, &vpath("/priv/f"), Mode::new(0o600), vpath("/.u/f"), t(2))
-            .unwrap();
-        assert!(mds.getattr(other, &vpath("/priv/f")).unwrap_err().is(Errno::EACCES));
+        mds.create(
+            owner,
+            &vpath("/priv/f"),
+            Mode::new(0o600),
+            vpath("/.u/f"),
+            t(2),
+        )
+        .unwrap();
+        assert!(mds
+            .getattr(other, &vpath("/priv/f"))
+            .unwrap_err()
+            .is(Errno::EACCES));
         // chmod by non-owner rejected.
-        mds.create(owner, &vpath("/pub"), Mode::new(0o644), vpath("/.u/p"), t(3))
-            .unwrap();
+        mds.create(
+            owner,
+            &vpath("/pub"),
+            Mode::new(0o644),
+            vpath("/.u/p"),
+            t(3),
+        )
+        .unwrap();
         let set = SetAttr {
             mode: Some(Mode::new(0o777)),
             ..SetAttr::default()
         };
-        assert!(mds.setattr(other, &vpath("/pub"), set, t(4)).unwrap_err().is(Errno::EPERM));
+        assert!(mds
+            .setattr(other, &vpath("/pub"), set, t(4))
+            .unwrap_err()
+            .is(Errno::EPERM));
     }
 
     #[test]
     fn set_size_updates_record() {
         let mut mds = Mds::new();
         let (rec, _) = mds
-            .create(cred(), &vpath("/f"), Mode::file_default(), vpath("/.u/f"), t(1))
+            .create(
+                cred(),
+                &vpath("/f"),
+                Mode::file_default(),
+                vpath("/.u/f"),
+                t(1),
+            )
             .unwrap();
         mds.set_size(rec.ino, 4096, t(2));
         let (got, _) = mds.getattr(cred(), &vpath("/f")).unwrap();
@@ -1045,8 +1152,14 @@ mod tests {
     #[test]
     fn utime_via_setattr() {
         let mut mds = Mds::new();
-        mds.create(cred(), &vpath("/f"), Mode::file_default(), vpath("/.u/f"), t(1))
-            .unwrap();
+        mds.create(
+            cred(),
+            &vpath("/f"),
+            Mode::file_default(),
+            vpath("/.u/f"),
+            t(1),
+        )
+        .unwrap();
         let stamp = t(42);
         let (rec, ops) = mds
             .setattr(cred(), &vpath("/f"), SetAttr::utime(stamp, stamp), t(43))

@@ -93,10 +93,7 @@ impl HashedPlacement {
 
     fn hash_of(node: NodeId, pid: Pid, vparent: &VPath) -> u64 {
         let h = stable_hash(vparent.as_str().as_bytes());
-        stable_hash_combine(
-            stable_hash_combine(h, node.index() as u64),
-            pid.0 as u64,
-        )
+        stable_hash_combine(stable_hash_combine(h, node.index() as u64), pid.0 as u64)
     }
 
     /// Entries placed so far in `dir` (for tests and invariants).
@@ -191,10 +188,7 @@ mod tests {
         let a = p.place(NodeId(0), Pid(1), &vpath("/v"), "a");
         let b = p.place(NodeId(0), Pid(1), &vpath("/v"), "b");
         // Same hash dir (parent of the slot dir) even if lanes differ.
-        assert_eq!(
-            a.parent().unwrap().parent(),
-            b.parent().unwrap().parent()
-        );
+        assert_eq!(a.parent().unwrap().parent(), b.parent().unwrap().parent());
         assert!(a.starts_with(&vpath("/.cofs")));
     }
 

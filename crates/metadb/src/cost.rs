@@ -62,7 +62,7 @@ impl DbCostTracker {
     pub fn txn_cost(&mut self, model: &DbCostModel, writes: u64) -> SimDuration {
         self.commits += 1;
         let mut d = model.commit + model.write * writes.max(1);
-        if model.sync_every > 0 && self.commits % model.sync_every == 0 {
+        if model.sync_every > 0 && self.commits.is_multiple_of(model.sync_every) {
             d += model.sync_cost;
         }
         d

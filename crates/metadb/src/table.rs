@@ -105,10 +105,7 @@ impl<R: Record> Table<R> {
         match self.rows.get_mut(key) {
             Some(r) => {
                 f(r);
-                debug_assert!(
-                    r.key() == *key,
-                    "update must not change the primary key"
-                );
+                debug_assert!(r.key() == *key, "update must not change the primary key");
                 Ok(())
             }
             None => Err(DbError::new(
@@ -126,9 +123,9 @@ impl<R: Record> Table<R> {
     /// [`DbErrorKind::NotFound`] if the key is absent.
     pub fn delete(&mut self, key: &R::Key) -> Result<R, DbError> {
         self.stats.bump("writes");
-        self.rows.remove(key).ok_or_else(|| {
-            DbError::new(DbErrorKind::NotFound, &self.name, format!("{key:?}"))
-        })
+        self.rows
+            .remove(key)
+            .ok_or_else(|| DbError::new(DbErrorKind::NotFound, &self.name, format!("{key:?}")))
     }
 
     /// Iterates over records whose keys lie in `range`, in key order.
@@ -186,7 +183,10 @@ impl<R: Record> Table<R> {
     /// assert!(r.is_err());
     /// assert!(t.is_empty()); // rolled back
     /// ```
-    pub fn txn<T, E>(&mut self, f: impl FnOnce(&mut TxnView<'_, R>) -> Result<T, E>) -> Result<T, E> {
+    pub fn txn<T, E>(
+        &mut self,
+        f: impl FnOnce(&mut TxnView<'_, R>) -> Result<T, E>,
+    ) -> Result<T, E> {
         let mut view = TxnView {
             table: self,
             undo: Vec::new(),
@@ -415,7 +415,8 @@ mod tests {
         t.insert(kv(1, "orig")).unwrap();
         t.insert(kv(2, "victim")).unwrap();
         let r: Result<(), &str> = t.txn(|view| {
-            view.update(&1, |r| r.v = "mutated".into()).map_err(|_| "nf")?;
+            view.update(&1, |r| r.v = "mutated".into())
+                .map_err(|_| "nf")?;
             view.delete(&2).map_err(|_| "nf")?;
             assert!(!view.contains(&2));
             Err("abort")

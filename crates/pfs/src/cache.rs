@@ -140,10 +140,7 @@ impl PagePool {
         while self.used > self.capacity {
             // Evict the least-recently-used file other than `ino`
             // when possible; otherwise trim `ino` itself.
-            let victim = self
-                .lru
-                .oldest_other_than(ino)
-                .unwrap_or(ino);
+            let victim = self.lru.oldest_other_than(ino).unwrap_or(ino);
             if victim == ino {
                 let b = self.bytes.get_mut(&ino).expect("present");
                 let trim = self.used - self.capacity;

@@ -28,14 +28,12 @@ use netsim::cluster::Cluster;
 use netsim::ids::NodeId;
 use simcore::prelude::*;
 use simcore::rng::{stable_hash, stable_hash_combine};
+use std::collections::HashMap;
 use vfs::error::FsError;
 use vfs::fs::{FileSystem, FsResult, OpCtx, Timed};
 use vfs::memfs::MemFs;
 use vfs::path::VPath;
-use vfs::types::{
-    DirEntry, FileAttr, FileHandle, FsStats, Mode, OpenFlags, SetAttr,
-};
-use std::collections::HashMap;
+use vfs::types::{DirEntry, FileAttr, FileHandle, FsStats, Mode, OpenFlags, SetAttr};
 
 /// Nominal bytes per directory entry in directory `size` attributes
 /// (must match `MemFs`, which defines the semantics).
@@ -219,7 +217,11 @@ impl PfsFs {
     /// driver run can start at `t = 0`. Cache and token state persist.
     pub fn reset_time(&mut self) {
         self.tm_cpu.reset();
-        for r in self.server_cpu.iter_mut().chain(self.server_data.iter_mut()) {
+        for r in self
+            .server_cpu
+            .iter_mut()
+            .chain(self.server_data.iter_mut())
+        {
             r.reset();
         }
         for r in self.server_media.iter_mut() {
@@ -234,7 +236,11 @@ impl PfsFs {
     fn cache_of(&mut self, node: NodeId) -> &mut NodeCache {
         let cfg = &self.cfg;
         self.caches.entry(node).or_insert_with(|| {
-            NodeCache::new(cfg.dir_cache_blocks, cfg.attr_cache_entries, cfg.pagepool_bytes)
+            NodeCache::new(
+                cfg.dir_cache_blocks,
+                cfg.attr_cache_entries,
+                cfg.pagepool_bytes,
+            )
         })
     }
 
@@ -354,7 +360,7 @@ impl PfsFs {
                     .cache_of(holder)
                     .dirty_dir
                     .get_mut(&dir)
-                    .map_or(false, |s| s.remove(&(blk, nb)));
+                    .is_some_and(|s| s.remove(&(blk, nb)));
                 if was_dirty {
                     self.counters.bump("revoke_flushes");
                     self.writeback_meta(holder, stable_hash_combine(dir, blk), t)
@@ -431,7 +437,9 @@ impl PfsFs {
         let idx = self.server_index_for(block_key);
         let server = self.server_node(idx);
         let sent = self.cluster.send(node, server, self.cfg.block_bytes, t);
-        let svc = self.server_cpu[idx].acquire(sent, self.cfg.server_service).end;
+        let svc = self.server_cpu[idx]
+            .acquire(sent, self.cfg.server_service)
+            .end;
         self.server_media[idx].acquire(svc, self.cfg.media_write);
         let backlog = self.server_media[idx].free_at().saturating_since(t);
         if backlog > self.cfg.writeback_backlog {
@@ -460,8 +468,12 @@ impl PfsFs {
         let idx = self.server_index_for(block_key);
         let server = self.server_node(idx);
         let now = self.cluster.send(node, server, self.cfg.block_bytes, t);
-        let now = self.server_cpu[idx].acquire(now, self.cfg.server_service).end;
-        let now = self.server_media[idx].acquire(now, self.cfg.media_write).end;
+        let now = self.server_cpu[idx]
+            .acquire(now, self.cfg.server_service)
+            .end;
+        let now = self.server_media[idx]
+            .acquire(now, self.cfg.media_write)
+            .end;
         // Small ack back to the client.
         self.cluster.send(server, node, self.cfg.msg_bytes, now)
     }
@@ -472,13 +484,19 @@ impl PfsFs {
         let idx = self.server_index_for(block_key);
         let server = self.server_node(idx);
         let sent = self.cluster.send(node, server, self.cfg.msg_bytes, t);
-        self.counters.add("w_req_us", sent.saturating_since(t).as_micros());
-        let cpu = self.server_cpu[idx].acquire(sent, self.cfg.server_service).end;
-        self.counters.add("w_cpu_us", cpu.saturating_since(sent).as_micros());
+        self.counters
+            .add("w_req_us", sent.saturating_since(t).as_micros());
+        let cpu = self.server_cpu[idx]
+            .acquire(sent, self.cfg.server_service)
+            .end;
+        self.counters
+            .add("w_cpu_us", cpu.saturating_since(sent).as_micros());
         let media = self.server_media[idx].acquire(cpu, self.cfg.media_read).end;
-        self.counters.add("w_media_us", media.saturating_since(cpu).as_micros());
+        self.counters
+            .add("w_media_us", media.saturating_since(cpu).as_micros());
         let resp = self.cluster.send(server, node, self.cfg.block_bytes, media);
-        self.counters.add("w_resp_us", resp.saturating_since(media).as_micros());
+        self.counters
+            .add("w_resp_us", resp.saturating_since(media).as_micros());
         resp
     }
 
@@ -550,6 +568,7 @@ impl PfsFs {
     /// Ensures the node has the directory-entry block for `name` in
     /// directory `dir` (with `entries` current entries) cached under a
     /// token of `mode`; marks it dirty when `dirty`.
+    #[allow(clippy::too_many_arguments)] // private helper; args mirror the protocol step
     fn touch_dir_block(
         &mut self,
         node: NodeId,
@@ -577,9 +596,13 @@ impl PfsFs {
                     .cache_of(node)
                     .dirty_dir
                     .get_mut(&victim.0)
-                    .map_or(false, |s| s.remove(&(victim.1, victim.2)));
+                    .is_some_and(|s| s.remove(&(victim.1, victim.2)));
                 if was_dirty {
-                    now = self.writeback_meta_async(node, stable_hash_combine(victim.0, victim.1), now);
+                    now = self.writeback_meta_async(
+                        node,
+                        stable_hash_combine(victim.0, victim.1),
+                        now,
+                    );
                 }
                 self.tm.release(
                     node,
@@ -639,9 +662,11 @@ impl PfsFs {
             }
             return self.writeback_meta_async(node, b, t);
         }
-        let victim = self.cache_of(node).dirty_dir.iter_mut().find_map(|(dir, set)| {
-            set.iter().next().copied().map(|bk| (*dir, bk))
-        });
+        let victim = self
+            .cache_of(node)
+            .dirty_dir
+            .iter_mut()
+            .find_map(|(dir, set)| set.iter().next().copied().map(|bk| (*dir, bk)));
         if let Some((dir, (blk, nb))) = victim {
             self.cache_of(node)
                 .dirty_dir
@@ -682,6 +707,7 @@ impl PfsFs {
     /// unless the disk backlog exceeds the write-behind window), and
     /// sequential reads ride the server's readahead (only the first
     /// chunk, or a seek, waits for the media).
+    #[allow(clippy::too_many_arguments)] // private helper; args mirror the protocol step
     fn transfer_data(
         &mut self,
         node: NodeId,
@@ -701,13 +727,13 @@ impl PfsFs {
             let this = remaining.min(chunk);
             let sidx = self.server_index_for(ino.wrapping_add(idx));
             let server = self.server_node(sidx);
-            let media = SimDuration::from_secs_f64(
-                this as f64 / self.cfg.disk_bytes_per_sec as f64,
-            ) + if seek && first {
-                self.cfg.seek_penalty
-            } else {
-                SimDuration::ZERO
-            };
+            let media =
+                SimDuration::from_secs_f64(this as f64 / self.cfg.disk_bytes_per_sec as f64)
+                    + if seek && first {
+                        self.cfg.seek_penalty
+                    } else {
+                        SimDuration::ZERO
+                    };
             if write {
                 now = self.cluster.send(node, server, this, now);
                 let grant = self.server_data[sidx].acquire(now, media);
@@ -880,7 +906,12 @@ impl FileSystem for PfsFs {
         let first = self.cfg.data_region_of(offset);
         let last = self.cfg.data_region_of(offset + got - 1);
         for region in first..=last {
-            t = self.acquire(ctx.node, Scope::Data { ino: h.ino, region }, TokenMode::Shared, t);
+            t = self.acquire(
+                ctx.node,
+                Scope::Data { ino: h.ino, region },
+                TokenMode::Shared,
+                t,
+            );
         }
         let cached = self.cache_of(ctx.node).pagepool.cached(h.ino);
         let seek = offset != h.last_end;
@@ -929,7 +960,7 @@ impl FileSystem for PfsFs {
         }
         // Into the page pool (write-behind), then drain if over limit.
         t += self.memcopy(wrote);
-        let end = if offset + wrote > 0 { offset + wrote } else { 0 };
+        let end = offset + wrote;
         let sz = self.sizes.entry(h.ino).or_insert(0);
         *sz = (*sz).max(end);
         self.cache_of(ctx.node).add_dirty_data(h.ino, wrote);
@@ -1030,14 +1061,35 @@ impl FileSystem for PfsFs {
         self.ns.rename(ctx, from, to)?;
         self.counters.bump("op_rename");
         let mut t = self.base(ctx);
-        t = self.acquire(ctx.node, Scope::DirInode(from_pino), TokenMode::Exclusive, t);
+        t = self.acquire(
+            ctx.node,
+            Scope::DirInode(from_pino),
+            TokenMode::Exclusive,
+            t,
+        );
         if to_pino != from_pino {
             t = self.acquire(ctx.node, Scope::DirInode(to_pino), TokenMode::Exclusive, t);
         }
         let fname = from.file_name().expect("rename source has a name");
         let tname = to.file_name().expect("rename target has a name");
-        t = self.touch_dir_block(ctx.node, from_pino, fname, from_entries, TokenMode::Exclusive, true, t);
-        t = self.touch_dir_block(ctx.node, to_pino, tname, to_entries, TokenMode::Exclusive, true, t);
+        t = self.touch_dir_block(
+            ctx.node,
+            from_pino,
+            fname,
+            from_entries,
+            TokenMode::Exclusive,
+            true,
+            t,
+        );
+        t = self.touch_dir_block(
+            ctx.node,
+            to_pino,
+            tname,
+            to_entries,
+            TokenMode::Exclusive,
+            true,
+            t,
+        );
         t = self.throttle_dirty_meta(ctx.node, t);
         Ok(Timed::new((), t))
     }
@@ -1114,7 +1166,10 @@ mod tests {
         let mut fs = small_fs();
         let ctx = OpCtx::test(NodeId(0));
         fs.mkdir(&ctx, &vpath("/d"), Mode::dir_default()).unwrap();
-        let fh = fs.create(&ctx, &vpath("/d/f"), Mode::file_default()).unwrap().value;
+        let fh = fs
+            .create(&ctx, &vpath("/d/f"), Mode::file_default())
+            .unwrap()
+            .value;
         fs.write(&ctx, fh, 0, 4096).unwrap();
         fs.close(&ctx, fh).unwrap();
         let attr = fs.stat(&ctx, &vpath("/d/f")).unwrap().value;
@@ -1136,7 +1191,10 @@ mod tests {
         let mut fs = PfsFs::new(cluster, quick_cfg());
         let ctx = OpCtx::test(NodeId(0));
         fs.mkdir(&ctx, &vpath("/d"), Mode::dir_default()).unwrap();
-        let fh = fs.create(&ctx, &vpath("/d/f"), Mode::file_default()).unwrap().value;
+        let fh = fs
+            .create(&ctx, &vpath("/d/f"), Mode::file_default())
+            .unwrap()
+            .value;
         fs.close(&ctx, fh).unwrap();
         // First stat may fetch; the second must be a pure cache hit.
         let t1 = fs.stat(&ctx, &vpath("/d/f")).unwrap().end;
@@ -1154,8 +1212,12 @@ mod tests {
         let cluster = ClusterBuilder::new().clients(2).servers(2).build();
         let mut fs = PfsFs::new(cluster, quick_cfg());
         let creator = OpCtx::test(NodeId(0));
-        fs.mkdir(&creator, &vpath("/d"), Mode::dir_default()).unwrap();
-        let fh = fs.create(&creator, &vpath("/d/f"), Mode::file_default()).unwrap().value;
+        fs.mkdir(&creator, &vpath("/d"), Mode::dir_default())
+            .unwrap();
+        let fh = fs
+            .create(&creator, &vpath("/d/f"), Mode::file_default())
+            .unwrap()
+            .value;
         fs.close(&creator, fh).unwrap();
         let other = OpCtx::test(NodeId(1));
         let before = fs.token_stats().get("revocations");
@@ -1171,17 +1233,27 @@ mod tests {
         let mut fs = PfsFs::new(cluster, quick_cfg());
         let a = OpCtx::test(NodeId(0));
         let b = OpCtx::test(NodeId(1)).with_pid(Pid(2));
-        fs.mkdir(&a, &vpath("/shared"), Mode::dir_default()).unwrap();
+        fs.mkdir(&a, &vpath("/shared"), Mode::dir_default())
+            .unwrap();
         // Node 0 creates one file; cheap-ish (first token grabs).
-        let t0 = fs.create(&a, &vpath("/shared/f0"), Mode::file_default()).unwrap().end;
+        let t0 = fs
+            .create(&a, &vpath("/shared/f0"), Mode::file_default())
+            .unwrap()
+            .end;
         // Node 0 again: local tokens, cheap.
         let a2 = a.at(t0);
-        let t1 = fs.create(&a2, &vpath("/shared/f1"), Mode::file_default()).unwrap().end;
+        let t1 = fs
+            .create(&a2, &vpath("/shared/f1"), Mode::file_default())
+            .unwrap()
+            .end;
         let local_cost = t1.saturating_since(t0);
         // Node 1 creating in the same directory must revoke node 0's
         // parent-dir token and flush its dirty blocks.
         let b1 = b.at(t1);
-        let t2 = fs.create(&b1, &vpath("/shared/g0"), Mode::file_default()).unwrap().end;
+        let t2 = fs
+            .create(&b1, &vpath("/shared/g0"), Mode::file_default())
+            .unwrap()
+            .end;
         let remote_cost = t2.saturating_since(t1);
         assert!(
             remote_cost > local_cost * 3,
@@ -1285,7 +1357,9 @@ mod tests {
         let cluster = ClusterBuilder::new().clients(2).servers(2).build();
         let mut fs = PfsFs::new(cluster, quick_cfg());
         let writer = OpCtx::test(NodeId(0));
-        let tc = fs.create(&writer, &vpath("/f"), Mode::file_default()).unwrap();
+        let tc = fs
+            .create(&writer, &vpath("/f"), Mode::file_default())
+            .unwrap();
         let fh = tc.value;
         let mb = 1024 * 1024;
         let t0 = fs.write(&writer.at(tc.end), fh, 0, 8 * mb).unwrap().end;
@@ -1293,7 +1367,10 @@ mod tests {
         let t1 = fs.close(&c, fh).unwrap().end;
         // Another node reads: must come from servers.
         let reader = OpCtx::test(NodeId(1)).at(t1);
-        let rfh = fs.open(&reader, &vpath("/f"), OpenFlags::RDONLY).unwrap().value;
+        let rfh = fs
+            .open(&reader, &vpath("/f"), OpenFlags::RDONLY)
+            .unwrap()
+            .value;
         let r1 = reader.at(fs.stat(&reader, &vpath("/f")).unwrap().end);
         let t2 = fs.read(&r1, rfh, 0, 8 * mb).unwrap().end;
         let cost = t2.saturating_since(r1.now);
@@ -1348,7 +1425,10 @@ mod tests {
         let ctx = OpCtx::test(NodeId(0));
         fs.mkdir(&ctx, &vpath("/a"), Mode::dir_default()).unwrap();
         fs.mkdir(&ctx, &vpath("/b"), Mode::dir_default()).unwrap();
-        let fh = fs.create(&ctx, &vpath("/a/f"), Mode::file_default()).unwrap().value;
+        let fh = fs
+            .create(&ctx, &vpath("/a/f"), Mode::file_default())
+            .unwrap()
+            .value;
         fs.close(&ctx, fh).unwrap();
         fs.link(&ctx, &vpath("/a/f"), &vpath("/a/g")).unwrap();
         fs.rename(&ctx, &vpath("/a/f"), &vpath("/b/f")).unwrap();
@@ -1366,7 +1446,10 @@ mod tests {
         let mut fs = PfsFs::new(cluster, PfsConfig::default());
         let ctx = OpCtx::test(NodeId(0));
         fs.mkdir(&ctx, &vpath("/d"), Mode::dir_default()).unwrap();
-        let fh = fs.create(&ctx, &vpath("/d/f"), Mode::file_default()).unwrap().value;
+        let fh = fs
+            .create(&ctx, &vpath("/d/f"), Mode::file_default())
+            .unwrap()
+            .value;
         fs.close(&ctx, fh).unwrap();
         let attaches_before = fs.counters().get("dir_attaches");
         fs.stat(&ctx, &vpath("/d/f")).unwrap();

@@ -237,7 +237,10 @@ mod tests {
         assert_eq!(g.start, SimTime::from_millis(5));
         assert_eq!(g.end, SimTime::from_millis(7));
         assert_eq!(g.queue_wait(SimTime::from_millis(5)), SimDuration::ZERO);
-        assert_eq!(g.latency(SimTime::from_millis(5)), SimDuration::from_millis(2));
+        assert_eq!(
+            g.latency(SimTime::from_millis(5)),
+            SimDuration::from_millis(2)
+        );
     }
 
     #[test]

@@ -129,7 +129,10 @@ impl SimDuration {
     ///
     /// Panics if `s` is negative or not finite.
     pub fn from_secs_f64(s: f64) -> Self {
-        assert!(s.is_finite() && s >= 0.0, "duration must be finite and non-negative");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "duration must be finite and non-negative"
+        );
         SimDuration((s * 1e9).round() as u64)
     }
 
@@ -139,7 +142,10 @@ impl SimDuration {
     ///
     /// Panics if `ms` is negative or not finite.
     pub fn from_millis_f64(ms: f64) -> Self {
-        assert!(ms.is_finite() && ms >= 0.0, "duration must be finite and non-negative");
+        assert!(
+            ms.is_finite() && ms >= 0.0,
+            "duration must be finite and non-negative"
+        );
         SimDuration((ms * 1e6).round() as u64)
     }
 
@@ -194,7 +200,10 @@ impl SimDuration {
     ///
     /// Panics if `f` is negative or not finite.
     pub fn mul_f64(self, f: f64) -> SimDuration {
-        assert!(f.is_finite() && f >= 0.0, "factor must be finite and non-negative");
+        assert!(
+            f.is_finite() && f >= 0.0,
+            "factor must be finite and non-negative"
+        );
         SimDuration((self.0 as f64 * f).round() as u64)
     }
 }

@@ -438,7 +438,10 @@ mod tests {
         c.push(Action::Close { slot: 0 });
         c.push_measured("stat", Action::Stat(vpath("/d/f")));
         c.push_measured("utime", Action::Utime(vpath("/d/f")));
-        c.push_measured("open_close", Action::OpenClose(vpath("/d/f"), OpenFlags::RDONLY));
+        c.push_measured(
+            "open_close",
+            Action::OpenClose(vpath("/d/f"), OpenFlags::RDONLY),
+        );
         c.push(Action::Unlink(vpath("/d/f")));
         c.push(Action::Rmdir(vpath("/d")));
         let report = run(&mut MemFs::new(), vec![c]);
@@ -528,7 +531,10 @@ mod tests {
 
     #[test]
     fn report_mean_millis_defaults_to_zero() {
-        let report = run(&mut MemFs::new(), vec![ClientScript::new(NodeId(0), Pid(1))]);
+        let report = run(
+            &mut MemFs::new(),
+            vec![ClientScript::new(NodeId(0), Pid(1))],
+        );
         assert_eq!(report.mean_millis("absent"), 0.0);
         assert!(report.label("absent").is_none());
     }

@@ -176,8 +176,7 @@ mod tests {
 
     #[test]
     fn error_trait_object() {
-        let e: Box<dyn Error + Send + Sync> =
-            Box::new(FsError::new(Errno::EINVAL, "mkdir", "/x"));
+        let e: Box<dyn Error + Send + Sync> = Box::new(FsError::new(Errno::EINVAL, "mkdir", "/x"));
         assert!(e.to_string().contains("invalid argument"));
     }
 }

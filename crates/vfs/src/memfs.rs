@@ -326,7 +326,12 @@ impl FileSystem for MemFs {
     fn mkdir(&mut self, ctx: &OpCtx, path: &VPath, mode: Mode) -> FsResult<()> {
         let (pino, name) = self.resolve_parent(ctx, path, "mkdir")?;
         self.check_parent_write(ctx, pino, "mkdir", path)?;
-        if self.node(pino).entries().expect("parent is dir").contains_key(&name) {
+        if self
+            .node(pino)
+            .entries()
+            .expect("parent is dir")
+            .contains_key(&name)
+        {
             return Err(FsError::new(Errno::EEXIST, "mkdir", path.as_str()));
         }
         let ino = self.alloc_ino();
@@ -347,7 +352,10 @@ impl FileSystem for MemFs {
             },
         );
         let parent = self.node_mut(pino);
-        parent.entries_mut().expect("parent is dir").insert(name, ino);
+        parent
+            .entries_mut()
+            .expect("parent is dir")
+            .insert(name, ino);
         parent.nlink += 1; // the child's ".." entry
         self.touch_parent(pino, ctx.now);
         self.done(ctx, ())
@@ -386,7 +394,12 @@ impl FileSystem for MemFs {
     fn create(&mut self, ctx: &OpCtx, path: &VPath, mode: Mode) -> FsResult<FileHandle> {
         let (pino, name) = self.resolve_parent(ctx, path, "create")?;
         self.check_parent_write(ctx, pino, "create", path)?;
-        if self.node(pino).entries().expect("parent is dir").contains_key(&name) {
+        if self
+            .node(pino)
+            .entries()
+            .expect("parent is dir")
+            .contains_key(&name)
+        {
             return Err(FsError::new(Errno::EEXIST, "create", path.as_str()));
         }
         let ino = self.alloc_ino();
@@ -610,12 +623,15 @@ impl FileSystem for MemFs {
             .ok_or_else(|| FsError::new(Errno::ENOENT, "rename", from.as_str()))?;
         let src_is_dir = self.node(src_ino).ftype == FileType::Directory;
         // Handle an existing target.
-        if let Some(&dst_ino) = self.node(to_pino).entries().expect("parent is dir").get(&to_name) {
+        if let Some(&dst_ino) = self
+            .node(to_pino)
+            .entries()
+            .expect("parent is dir")
+            .get(&to_name)
+        {
             let dst = self.node(dst_ino);
             match (src_is_dir, dst.ftype == FileType::Directory) {
-                (true, false) => {
-                    return Err(FsError::new(Errno::ENOTDIR, "rename", to.as_str()))
-                }
+                (true, false) => return Err(FsError::new(Errno::ENOTDIR, "rename", to.as_str())),
                 (false, true) => return Err(FsError::new(Errno::EISDIR, "rename", to.as_str())),
                 (true, true) => {
                     if !dst.entries().expect("dst is dir").is_empty() {
@@ -665,7 +681,12 @@ impl FileSystem for MemFs {
         }
         let (pino, name) = self.resolve_parent(ctx, new, "link")?;
         self.check_parent_write(ctx, pino, "link", new)?;
-        if self.node(pino).entries().expect("parent is dir").contains_key(&name) {
+        if self
+            .node(pino)
+            .entries()
+            .expect("parent is dir")
+            .contains_key(&name)
+        {
             return Err(FsError::new(Errno::EEXIST, "link", new.as_str()));
         }
         self.node_mut(pino)
@@ -682,7 +703,12 @@ impl FileSystem for MemFs {
     fn symlink(&mut self, ctx: &OpCtx, target: &str, new: &VPath) -> FsResult<()> {
         let (pino, name) = self.resolve_parent(ctx, new, "symlink")?;
         self.check_parent_write(ctx, pino, "symlink", new)?;
-        if self.node(pino).entries().expect("parent is dir").contains_key(&name) {
+        if self
+            .node(pino)
+            .entries()
+            .expect("parent is dir")
+            .contains_key(&name)
+        {
             return Err(FsError::new(Errno::EEXIST, "symlink", new.as_str()));
         }
         let ino = self.alloc_ino();
@@ -779,14 +805,19 @@ mod tests {
     fn create_duplicate_is_eexist() {
         let (mut fs, ctx) = fs_and_ctx();
         fs.create(&ctx, &vpath("/f"), Mode::file_default()).unwrap();
-        let err = fs.create(&ctx, &vpath("/f"), Mode::file_default()).unwrap_err();
+        let err = fs
+            .create(&ctx, &vpath("/f"), Mode::file_default())
+            .unwrap_err();
         assert!(err.is(Errno::EEXIST));
     }
 
     #[test]
     fn write_extends_and_read_clamps() {
         let (mut fs, ctx) = fs_and_ctx();
-        let fh = fs.create(&ctx, &vpath("/f"), Mode::file_default()).unwrap().value;
+        let fh = fs
+            .create(&ctx, &vpath("/f"), Mode::file_default())
+            .unwrap()
+            .value;
         assert_eq!(fs.write(&ctx, fh, 100, 50).unwrap().value, 50);
         assert_eq!(fs.stat(&ctx, &vpath("/f")).unwrap().value.size, 150);
         assert_eq!(fs.read(&ctx, fh, 100, 500).unwrap().value, 50);
@@ -796,7 +827,10 @@ mod tests {
     #[test]
     fn append_writes_at_end() {
         let (mut fs, ctx) = fs_and_ctx();
-        let fh = fs.create(&ctx, &vpath("/f"), Mode::file_default()).unwrap().value;
+        let fh = fs
+            .create(&ctx, &vpath("/f"), Mode::file_default())
+            .unwrap()
+            .value;
         fs.write(&ctx, fh, 0, 10).unwrap();
         fs.close(&ctx, fh).unwrap();
         let fh2 = fs
@@ -810,7 +844,10 @@ mod tests {
     #[test]
     fn truncate_on_open() {
         let (mut fs, ctx) = fs_and_ctx();
-        let fh = fs.create(&ctx, &vpath("/f"), Mode::file_default()).unwrap().value;
+        let fh = fs
+            .create(&ctx, &vpath("/f"), Mode::file_default())
+            .unwrap()
+            .value;
         fs.write(&ctx, fh, 0, 10).unwrap();
         fs.close(&ctx, fh).unwrap();
         let fh2 = fs
@@ -824,7 +861,10 @@ mod tests {
     #[test]
     fn close_twice_is_ebadf() {
         let (mut fs, ctx) = fs_and_ctx();
-        let fh = fs.create(&ctx, &vpath("/f"), Mode::file_default()).unwrap().value;
+        let fh = fs
+            .create(&ctx, &vpath("/f"), Mode::file_default())
+            .unwrap()
+            .value;
         fs.close(&ctx, fh).unwrap();
         assert!(fs.close(&ctx, fh).unwrap_err().is(Errno::EBADF));
         assert_eq!(fs.open_handles(), 0);
@@ -833,18 +873,30 @@ mod tests {
     #[test]
     fn read_requires_read_flag() {
         let (mut fs, ctx) = fs_and_ctx();
-        let fh = fs.create(&ctx, &vpath("/f"), Mode::file_default()).unwrap().value;
+        let fh = fs
+            .create(&ctx, &vpath("/f"), Mode::file_default())
+            .unwrap()
+            .value;
         fs.close(&ctx, fh).unwrap();
-        let wo = fs.open(&ctx, &vpath("/f"), OpenFlags::WRONLY).unwrap().value;
+        let wo = fs
+            .open(&ctx, &vpath("/f"), OpenFlags::WRONLY)
+            .unwrap()
+            .value;
         assert!(fs.read(&ctx, wo, 0, 1).unwrap_err().is(Errno::EBADF));
-        let ro = fs.open(&ctx, &vpath("/f"), OpenFlags::RDONLY).unwrap().value;
+        let ro = fs
+            .open(&ctx, &vpath("/f"), OpenFlags::RDONLY)
+            .unwrap()
+            .value;
         assert!(fs.write(&ctx, ro, 0, 1).unwrap_err().is(Errno::EBADF));
     }
 
     #[test]
     fn unlink_frees_on_last_link() {
         let (mut fs, ctx) = fs_and_ctx();
-        let fh = fs.create(&ctx, &vpath("/f"), Mode::file_default()).unwrap().value;
+        let fh = fs
+            .create(&ctx, &vpath("/f"), Mode::file_default())
+            .unwrap()
+            .value;
         fs.close(&ctx, fh).unwrap();
         fs.link(&ctx, &vpath("/f"), &vpath("/g")).unwrap();
         assert_eq!(fs.stat(&ctx, &vpath("/f")).unwrap().value.nlink, 2);
@@ -869,9 +921,16 @@ mod tests {
     fn rmdir_non_empty_fails() {
         let (mut fs, ctx) = fs_and_ctx();
         fs.mkdir(&ctx, &vpath("/d"), Mode::dir_default()).unwrap();
-        fs.create(&ctx, &vpath("/d/f"), Mode::file_default()).unwrap();
-        assert!(fs.rmdir(&ctx, &vpath("/d")).unwrap_err().is(Errno::ENOTEMPTY));
-        assert!(fs.rmdir(&ctx, &VPath::root()).unwrap_err().is(Errno::EINVAL));
+        fs.create(&ctx, &vpath("/d/f"), Mode::file_default())
+            .unwrap();
+        assert!(fs
+            .rmdir(&ctx, &vpath("/d"))
+            .unwrap_err()
+            .is(Errno::ENOTEMPTY));
+        assert!(fs
+            .rmdir(&ctx, &VPath::root())
+            .unwrap_err()
+            .is(Errno::EINVAL));
     }
 
     #[test]
@@ -890,13 +949,19 @@ mod tests {
             .map(|e| e.name)
             .collect();
         assert_eq!(names, vec!["a", "b", "c"]);
-        assert!(fs.readdir(&ctx, &vpath("/d/a")).unwrap_err().is(Errno::ENOTDIR));
+        assert!(fs
+            .readdir(&ctx, &vpath("/d/a"))
+            .unwrap_err()
+            .is(Errno::ENOTDIR));
     }
 
     #[test]
     fn rename_file_replaces_target() {
         let (mut fs, ctx) = fs_and_ctx();
-        let fh = fs.create(&ctx, &vpath("/a"), Mode::file_default()).unwrap().value;
+        let fh = fs
+            .create(&ctx, &vpath("/a"), Mode::file_default())
+            .unwrap()
+            .value;
         fs.write(&ctx, fh, 0, 7).unwrap();
         fs.close(&ctx, fh).unwrap();
         fs.create(&ctx, &vpath("/b"), Mode::file_default()).unwrap();
@@ -909,7 +974,8 @@ mod tests {
     fn rename_dir_rules() {
         let (mut fs, ctx) = fs_and_ctx();
         fs.mkdir(&ctx, &vpath("/d"), Mode::dir_default()).unwrap();
-        fs.mkdir(&ctx, &vpath("/d/sub"), Mode::dir_default()).unwrap();
+        fs.mkdir(&ctx, &vpath("/d/sub"), Mode::dir_default())
+            .unwrap();
         // Moving a directory beneath itself is EINVAL.
         assert!(fs
             .rename(&ctx, &vpath("/d"), &vpath("/d/sub/x"))
@@ -940,21 +1006,29 @@ mod tests {
         fs.mkdir(&ctx, &vpath("/a/x"), Mode::dir_default()).unwrap();
         let a_links = fs.stat(&ctx, &vpath("/a")).unwrap().value.nlink;
         fs.rename(&ctx, &vpath("/a/x"), &vpath("/b/x")).unwrap();
-        assert_eq!(fs.stat(&ctx, &vpath("/a")).unwrap().value.nlink, a_links - 1);
+        assert_eq!(
+            fs.stat(&ctx, &vpath("/a")).unwrap().value.nlink,
+            a_links - 1
+        );
         assert_eq!(fs.stat(&ctx, &vpath("/b")).unwrap().value.nlink, 3);
     }
 
     #[test]
     fn symlink_resolution() {
         let (mut fs, ctx) = fs_and_ctx();
-        fs.mkdir(&ctx, &vpath("/real"), Mode::dir_default()).unwrap();
-        fs.create(&ctx, &vpath("/real/f"), Mode::file_default()).unwrap();
+        fs.mkdir(&ctx, &vpath("/real"), Mode::dir_default())
+            .unwrap();
+        fs.create(&ctx, &vpath("/real/f"), Mode::file_default())
+            .unwrap();
         fs.symlink(&ctx, "/real", &vpath("/alias")).unwrap();
         // Intermediate symlink is followed.
         assert!(fs.stat(&ctx, &vpath("/alias/f")).unwrap().value.is_file());
         // Trailing symlink: stat does not follow, open does.
         assert!(fs.stat(&ctx, &vpath("/alias")).unwrap().value.is_symlink());
-        let fh = fs.open(&ctx, &vpath("/alias/f"), OpenFlags::RDONLY).unwrap().value;
+        let fh = fs
+            .open(&ctx, &vpath("/alias/f"), OpenFlags::RDONLY)
+            .unwrap()
+            .value;
         fs.close(&ctx, fh).unwrap();
         assert_eq!(fs.readlink(&ctx, &vpath("/alias")).unwrap().value, "/real");
         assert!(fs
@@ -967,12 +1041,19 @@ mod tests {
     fn relative_symlink_resolution() {
         let (mut fs, ctx) = fs_and_ctx();
         fs.mkdir(&ctx, &vpath("/d"), Mode::dir_default()).unwrap();
-        fs.create(&ctx, &vpath("/d/target"), Mode::file_default()).unwrap();
+        fs.create(&ctx, &vpath("/d/target"), Mode::file_default())
+            .unwrap();
         fs.symlink(&ctx, "target", &vpath("/d/lnk")).unwrap();
-        let fh = fs.open(&ctx, &vpath("/d/lnk"), OpenFlags::RDONLY).unwrap().value;
+        let fh = fs
+            .open(&ctx, &vpath("/d/lnk"), OpenFlags::RDONLY)
+            .unwrap()
+            .value;
         fs.close(&ctx, fh).unwrap();
         fs.symlink(&ctx, "../d/target", &vpath("/d/up")).unwrap();
-        let fh = fs.open(&ctx, &vpath("/d/up"), OpenFlags::RDONLY).unwrap().value;
+        let fh = fs
+            .open(&ctx, &vpath("/d/up"), OpenFlags::RDONLY)
+            .unwrap()
+            .value;
         fs.close(&ctx, fh).unwrap();
     }
 
@@ -995,9 +1076,13 @@ mod tests {
             ..OpCtx::test(NodeId(1))
         };
         fs.mkdir(&owner, &vpath("/priv"), Mode::new(0o700)).unwrap();
-        fs.create(&owner, &vpath("/priv/f"), Mode::file_default()).unwrap();
+        fs.create(&owner, &vpath("/priv/f"), Mode::file_default())
+            .unwrap();
         // Other user cannot traverse the 0700 directory.
-        assert!(fs.stat(&other, &vpath("/priv/f")).unwrap_err().is(Errno::EACCES));
+        assert!(fs
+            .stat(&other, &vpath("/priv/f"))
+            .unwrap_err()
+            .is(Errno::EACCES));
         // Other user cannot create in it either.
         assert!(fs
             .create(&other, &vpath("/priv/g"), Mode::file_default())
@@ -1005,7 +1090,8 @@ mod tests {
             .is(Errno::EACCES));
         // Other user cannot chmod the owner's file.
         fs.mkdir(&owner, &vpath("/pub"), Mode::new(0o777)).unwrap();
-        fs.create(&owner, &vpath("/pub/f"), Mode::new(0o600)).unwrap();
+        fs.create(&owner, &vpath("/pub/f"), Mode::new(0o600))
+            .unwrap();
         assert!(fs
             .setattr(
                 &other,
@@ -1040,7 +1126,8 @@ mod tests {
         let (mut fs, ctx) = fs_and_ctx();
         fs.mkdir(&ctx, &vpath("/d"), Mode::dir_default()).unwrap();
         let later = ctx.at(SimTime::from_secs(5));
-        fs.create(&later, &vpath("/d/f"), Mode::file_default()).unwrap();
+        fs.create(&later, &vpath("/d/f"), Mode::file_default())
+            .unwrap();
         assert_eq!(fs.stat(&ctx, &vpath("/d")).unwrap().value.mtime, later.now);
         let even_later = ctx.at(SimTime::from_secs(9));
         fs.unlink(&even_later, &vpath("/d/f")).unwrap();
@@ -1054,7 +1141,10 @@ mod tests {
     fn statfs_counts() {
         let (mut fs, ctx) = fs_and_ctx();
         fs.mkdir(&ctx, &vpath("/d"), Mode::dir_default()).unwrap();
-        let fh = fs.create(&ctx, &vpath("/d/f"), Mode::file_default()).unwrap().value;
+        let fh = fs
+            .create(&ctx, &vpath("/d/f"), Mode::file_default())
+            .unwrap()
+            .value;
         fs.write(&ctx, fh, 0, 1000).unwrap();
         fs.close(&ctx, fh).unwrap();
         let stats = fs.statfs(&ctx).unwrap().value;
@@ -1067,14 +1157,20 @@ mod tests {
     fn timing_is_monotonic() {
         let (mut fs, _) = fs_and_ctx();
         let ctx = OpCtx::test(NodeId(0)).at(SimTime::from_millis(10));
-        let t = fs.create(&ctx, &vpath("/f"), Mode::file_default()).unwrap().end;
+        let t = fs
+            .create(&ctx, &vpath("/f"), Mode::file_default())
+            .unwrap()
+            .end;
         assert!(t > ctx.now);
     }
 
     #[test]
     fn truncate_helper() {
         let (mut fs, ctx) = fs_and_ctx();
-        let fh = fs.create(&ctx, &vpath("/f"), Mode::file_default()).unwrap().value;
+        let fh = fs
+            .create(&ctx, &vpath("/f"), Mode::file_default())
+            .unwrap()
+            .value;
         fs.write(&ctx, fh, 0, 100).unwrap();
         fs.close(&ctx, fh).unwrap();
         fs.truncate(&ctx, &vpath("/f"), 10).unwrap();

@@ -133,7 +133,8 @@ impl VPath {
             return true;
         }
         self.0 == prefix.0
-            || (self.0.starts_with(&prefix.0) && self.0.as_bytes().get(prefix.0.len()) == Some(&b'/'))
+            || (self.0.starts_with(&prefix.0)
+                && self.0.as_bytes().get(prefix.0.len()) == Some(&b'/'))
     }
 
     /// Re-roots `self` from `from` onto `to`; `None` if `self` is not
@@ -255,7 +256,9 @@ mod tests {
         );
         assert_eq!(p.rebase(&vpath("/other"), &vpath("/real")), None);
         assert_eq!(
-            vpath("/virt").rebase(&vpath("/virt"), &vpath("/real")).unwrap(),
+            vpath("/virt")
+                .rebase(&vpath("/virt"), &vpath("/real"))
+                .unwrap(),
             vpath("/real")
         );
         assert_eq!(

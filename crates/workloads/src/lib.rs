@@ -22,8 +22,10 @@ pub mod target;
 
 /// Convenient glob-import of the most commonly used items.
 pub mod prelude {
-    pub use crate::ior::{Access, FileMode, IoOp, IorConfig, IorResult, run_ior_op};
-    pub use crate::metarates::{run_all, run_phase, run_phase_fresh, MetaOp, MetaratesConfig, PhaseResult};
+    pub use crate::ior::{run_ior_op, Access, FileMode, IoOp, IorConfig, IorResult};
+    pub use crate::metarates::{
+        run_all, run_phase, run_phase_fresh, MetaOp, MetaratesConfig, PhaseResult,
+    };
     pub use crate::report::{mibs, ms, Table};
     pub use crate::scenarios::{CheckpointStorm, JobBundle, ScenarioResult};
     pub use crate::target::BenchTarget;

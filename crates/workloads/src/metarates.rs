@@ -33,7 +33,12 @@ pub enum MetaOp {
 
 impl MetaOp {
     /// All four operations, in the paper's order.
-    pub const ALL: [MetaOp; 4] = [MetaOp::Create, MetaOp::Stat, MetaOp::Utime, MetaOp::OpenClose];
+    pub const ALL: [MetaOp; 4] = [
+        MetaOp::Create,
+        MetaOp::Stat,
+        MetaOp::Utime,
+        MetaOp::OpenClose,
+    ];
 
     /// The measurement label used in driver reports.
     pub fn label(self) -> &'static str {

@@ -27,9 +27,9 @@ pub struct Table {
 
 impl Table {
     /// Creates a table with the given column headers.
-    pub fn new(headers: Vec<&str>) -> Self {
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
         Table {
-            headers: headers.into_iter().map(String::from).collect(),
+            headers: headers.into_iter().map(Into::into).collect(),
             rows: Vec::new(),
         }
     }

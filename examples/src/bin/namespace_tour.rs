@@ -25,8 +25,14 @@ fn main() -> Result<(), vfs::error::FsError> {
     let after = fs.counters().get("under_creates") + fs.counters().get("under_unlinks");
 
     println!("rename + hard link + symlink performed.");
-    println!("underlying file operations during all three: {}", after - before);
-    println!("nlink of /v2/data: {}", fs.stat(&ctx, &vpath("/v2/data"))?.value.nlink);
+    println!(
+        "underlying file operations during all three: {}",
+        after - before
+    );
+    println!(
+        "nlink of /v2/data: {}",
+        fs.stat(&ctx, &vpath("/v2/data"))?.value.nlink
+    );
     println!("read through the symlink:");
     let t = fs.open(&ctx, &vpath("/v1/sym"), vfs::types::OpenFlags::RDONLY)?;
     let r = fs.read(&ctx.at(t.end), t.value, 0, 1 << 20)?;

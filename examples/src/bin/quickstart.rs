@@ -56,6 +56,9 @@ fn main() -> Result<(), vfs::error::FsError> {
             }
         }
     }
-    println!("\nunderlying token revocations: {}", fs.under().token_stats().get("revocations"));
+    println!(
+        "\nunderlying token revocations: {}",
+        fs.under().token_stats().get("revocations")
+    );
     Ok(())
 }

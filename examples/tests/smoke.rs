@@ -1,0 +1,40 @@
+//! Smoke tests: every example binary must run to completion, so the
+//! documented entrypoints cannot silently rot.
+
+use std::process::Command;
+
+fn run_smoke(exe: &str) {
+    let out = Command::new(exe)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn {exe}: {e}"));
+    assert!(
+        out.status.success(),
+        "{exe} exited with {:?}\nstderr:\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        !out.stdout.is_empty(),
+        "{exe} produced no output — examples are expected to narrate"
+    );
+}
+
+#[test]
+fn quickstart_runs() {
+    run_smoke(env!("CARGO_BIN_EXE_quickstart"));
+}
+
+#[test]
+fn checkpoint_storm_runs() {
+    run_smoke(env!("CARGO_BIN_EXE_checkpoint_storm"));
+}
+
+#[test]
+fn job_bundle_runs() {
+    run_smoke(env!("CARGO_BIN_EXE_job_bundle"));
+}
+
+#[test]
+fn namespace_tour_runs() {
+    run_smoke(env!("CARGO_BIN_EXE_namespace_tour"));
+}

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Full local CI gate. Everything here must pass before merging.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo bench -p cofs-bench --no-run"
+cargo bench -p cofs-bench --no-run
+
+echo "All checks passed."

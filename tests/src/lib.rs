@@ -33,7 +33,12 @@ pub fn cofs_over_gpfs(nodes: usize) -> CofsFs<PfsFs> {
         .build();
     let host = cluster.metadata_host().expect("metadata host requested");
     let net = MdsNetwork::from_cluster(&cluster, host);
-    CofsFs::new(PfsFs::new(cluster, PfsConfig::default()), CofsConfig::default(), net, 7)
+    CofsFs::new(
+        PfsFs::new(cluster, PfsConfig::default()),
+        CofsConfig::default(),
+        net,
+        7,
+    )
 }
 
 /// COFS over the plain reference filesystem.
@@ -84,17 +89,21 @@ pub fn gen_ops(seed: u64, n: usize) -> Vec<GenOp> {
         let f = *rng.choose(&names);
         vpath(&format!("{d}/{f}"))
     };
+    let pick_dir = |rng: &mut SimRng| {
+        let d = *rng.choose(&dirs);
+        vpath(d)
+    };
     let mut ops = Vec::with_capacity(n);
     for _ in 0..n {
         let op = match rng.below(11) {
-            0 => GenOp::Mkdir(vpath(*rng.choose(&dirs))),
+            0 => GenOp::Mkdir(pick_dir(&mut rng)),
             1 => GenOp::CreateWrite(pick_path(&mut rng), rng.range(0, 4096)),
             2 => GenOp::OpenRead(pick_path(&mut rng), rng.range(1, 8192)),
             3 => GenOp::Stat(pick_path(&mut rng)),
             4 => GenOp::Utime(pick_path(&mut rng)),
-            5 => GenOp::Readdir(vpath(*rng.choose(&dirs))),
+            5 => GenOp::Readdir(pick_dir(&mut rng)),
             6 => GenOp::Unlink(pick_path(&mut rng)),
-            7 => GenOp::Rmdir(vpath(*rng.choose(&dirs))),
+            7 => GenOp::Rmdir(pick_dir(&mut rng)),
             8 => GenOp::Rename(pick_path(&mut rng), pick_path(&mut rng)),
             9 => GenOp::Link(pick_path(&mut rng), pick_path(&mut rng)),
             _ => GenOp::Symlink(format!("/{}", rng.choose(&names)), pick_path(&mut rng)),
@@ -121,10 +130,7 @@ pub fn apply<F: FileSystem>(fs: &mut F, node: NodeId, op: &GenOp) -> Outcome {
     let norm_attr = |a: vfs::types::FileAttr| {
         format!(
             "{:?} mode={} nlink={} size={}",
-            a.ftype,
-            a.mode,
-            a.nlink,
-            a.size
+            a.ftype, a.mode, a.nlink, a.size
         )
     };
     let r: Result<String, vfs::error::FsError> = match op {

@@ -181,10 +181,7 @@ fn table1_small_separate_reads_favor_gpfs() {
     let gs = run_ior_op(&mut gpfs(4), &shared, IoOp::Read);
     let cs = run_ior_op(&mut cofs_over_gpfs(4), &shared, IoOp::Read);
     let rs = cs.aggregate_mib_s / gs.aggregate_mib_s;
-    assert!(
-        rs > 0.8,
-        "shared reads should be comparable, ratio {rs:.2}"
-    );
+    assert!(rs > 0.8, "shared reads should be comparable, ratio {rs:.2}");
 }
 
 /// Table I: single-node sequential writes show the COFS drawback

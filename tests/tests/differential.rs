@@ -6,7 +6,7 @@
 //! the virtualization layer reorganizes the physical layout
 //! arbitrarily, yet no sequence of operations may be able to tell.
 
-use cofs_tests::{apply, cofs_over_gpfs, cofs_over_memfs, gen_ops, gpfs, Outcome};
+use cofs_tests::{apply, cofs_over_gpfs, cofs_over_memfs, gen_ops, gpfs};
 use netsim::ids::NodeId;
 use vfs::memfs::MemFs;
 

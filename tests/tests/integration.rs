@@ -52,7 +52,8 @@ fn job_bundle_is_faster_on_cofs() {
 fn virtual_namespace_survives_heavy_churn() {
     let mut fs = cofs_over_gpfs(4);
     let ctx = OpCtx::test(NodeId(0));
-    fs.mkdir(&ctx, &vpath("/work"), Mode::dir_default()).unwrap();
+    fs.mkdir(&ctx, &vpath("/work"), Mode::dir_default())
+        .unwrap();
     // Create, rename, link, and delete in waves; the virtual view must
     // stay exact.
     for wave in 0..5 {
@@ -70,7 +71,8 @@ fn virtual_namespace_survives_heavy_churn() {
             .unwrap();
         }
         for i in 20..40 {
-            fs.unlink(&ctx, &vpath(&format!("/work/f{wave}.{i}"))).unwrap();
+            fs.unlink(&ctx, &vpath(&format!("/work/f{wave}.{i}")))
+                .unwrap();
         }
     }
     let listing = fs.readdir(&ctx, &vpath("/work")).unwrap().value;
@@ -88,7 +90,10 @@ fn multi_user_permissions_end_to_end() {
         ..OpCtx::test(NodeId(1))
     };
     fs.mkdir(&alice, &vpath("/proj"), Mode::new(0o775)).unwrap();
-    let fh = fs.create(&alice, &vpath("/proj/data"), Mode::new(0o640)).unwrap().value;
+    let fh = fs
+        .create(&alice, &vpath("/proj/data"), Mode::new(0o640))
+        .unwrap()
+        .value;
     fs.write(&alice, fh, 0, 1000).unwrap();
     fs.close(&alice, fh).unwrap();
     // Bob is not in the group: no read.
@@ -106,7 +111,10 @@ fn multi_user_permissions_end_to_end() {
         },
     )
     .unwrap();
-    let fh = fs.open(&bob, &vpath("/proj/data"), OpenFlags::RDONLY).unwrap().value;
+    let fh = fs
+        .open(&bob, &vpath("/proj/data"), OpenFlags::RDONLY)
+        .unwrap()
+        .value;
     assert_eq!(fs.read(&bob, fh, 0, 4096).unwrap().value, 1000);
     fs.close(&bob, fh).unwrap();
 }
@@ -165,7 +173,10 @@ fn error_paths_do_not_poison_state() {
         let _ = fs.open(&ctx, &vpath("/ghost"), OpenFlags::RDONLY);
     }
     // ...must leave the filesystem fully usable.
-    let fh = fs.create(&ctx, &vpath("/d/ok"), Mode::file_default()).unwrap().value;
+    let fh = fs
+        .create(&ctx, &vpath("/d/ok"), Mode::file_default())
+        .unwrap()
+        .value;
     fs.write(&ctx, fh, 0, 10).unwrap();
     fs.close(&ctx, fh).unwrap();
     assert_eq!(fs.stat(&ctx, &vpath("/d/ok")).unwrap().value.size, 10);

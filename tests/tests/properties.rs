@@ -147,7 +147,7 @@ mod metadb_props {
 
 mod dlm_props {
     use super::*;
-    use dlm::{TokenManager, TokenId, TokenMode};
+    use dlm::{TokenId, TokenManager, TokenMode};
     use netsim::ids::NodeId;
 
     proptest! {

@@ -1,0 +1,137 @@
+//! Minimal, dependency-free shim of the [proptest](https://crates.io/crates/proptest)
+//! API surface used by this workspace.
+//!
+//! The build container has no network access to crates.io, so the real
+//! proptest cannot be fetched. This shim keeps the test sources
+//! byte-identical to what they would be against real proptest by
+//! implementing exactly the subset they use:
+//!
+//! - the `proptest!` macro over `#[test] fn name(pat in strategy, ...)`
+//! - `prop_assert!` / `prop_assert_eq!`
+//! - integer range strategies (`0u64..1000` etc.)
+//! - tuple strategies (arity 2–4)
+//! - `prop::collection::vec(strategy, size_range)`
+//! - `prop::bool::ANY`
+//! - string strategies from a regex *subset*: literals, `[a-z.]`
+//!   classes (with ranges), `(...)` groups, and `{m,n}`/`{n}`/`*`/`+`/`?`
+//!   quantifiers — enough for patterns like `"(/[a-z.]{1,8}){1,6}"`.
+//!
+//! Generation is deterministic (fixed base seed, one stream per case)
+//! so failures reproduce. There is no shrinking: on failure the
+//! generated inputs are printed as-is.
+
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Strategy combinators grouped like real proptest's `prop` module.
+pub mod prop {
+    /// Collection strategies (`vec`).
+    pub mod collection {
+        use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+        /// Strategy producing a `Vec` whose length is drawn from
+        /// `size` and whose elements are drawn from `element`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+    }
+
+    /// Boolean strategies.
+    pub mod bool {
+        use crate::strategy::BoolStrategy;
+
+        /// Uniformly random boolean.
+        pub const ANY: BoolStrategy = BoolStrategy;
+    }
+}
+
+/// One-stop import mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Declares property tests. Each body runs [`test_runner::CASES`]
+/// times (or the count from an optional leading
+/// `#![proptest_config(ProptestConfig::with_cases(n))]`) with freshly
+/// generated inputs; `prop_assert*` failures abort the case and panic
+/// with the generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (@impl ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases: u32 = ($cfg).cases;
+                for case in 0..cases {
+                    let mut rng = $crate::test_runner::Rng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    let dbg_args = format!(
+                        concat!($(stringify!($arg), " = {:?}; ",)+),
+                        $(&$arg),+
+                    );
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!(
+                            "proptest case {}/{} failed: {}\n  inputs: {}",
+                            case + 1,
+                            cases,
+                            e,
+                            dbg_args,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @impl ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! { @impl ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Like `assert!`, but aborts only the current generated case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Like `assert_eq!`, but aborts only the current generated case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+                l, r
+            )));
+        }
+    }};
+}

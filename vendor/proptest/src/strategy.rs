@@ -1,0 +1,124 @@
+//! The `Strategy` trait and the built-in strategies the workspace uses.
+
+use std::fmt::Debug;
+use std::ops::Range;
+
+use crate::string::gen_from_pattern;
+use crate::test_runner::Rng;
+
+/// A source of generated values. Unlike real proptest this shim has no
+/// shrinking, so a strategy is just a deterministic generator.
+pub trait Strategy {
+    /// The generated value type.
+    type Value: Debug;
+    /// Draws one value from `rng`.
+    fn generate(&self, rng: &mut Rng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut Rng) -> $t {
+                    rng.range_u64(self.start as u64, self.end as u64) as $t
+                }
+            }
+        )*
+    };
+}
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<i32> {
+    type Value = i32;
+    fn generate(&self, rng: &mut Rng) -> i32 {
+        let span = (self.end as i64 - self.start as i64) as u64;
+        (self.start as i64 + rng.range_u64(0, span) as i64) as i32
+    }
+}
+
+impl Strategy for Range<i64> {
+    type Value = i64;
+    fn generate(&self, rng: &mut Rng) -> i64 {
+        let span = self.end.wrapping_sub(self.start) as u64;
+        self.start.wrapping_add(rng.range_u64(0, span) as i64)
+    }
+}
+
+/// String strategy from a regex-subset pattern (e.g. `"(/[a-z]{1,8}){1,6}"`).
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut Rng) -> String {
+        gen_from_pattern(self, rng)
+    }
+}
+
+/// Uniform boolean strategy (`prop::bool::ANY`).
+#[derive(Clone, Copy, Debug)]
+pub struct BoolStrategy;
+
+impl Strategy for BoolStrategy {
+    type Value = bool;
+    fn generate(&self, rng: &mut Rng) -> bool {
+        rng.bool()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident/$i:tt),+))*) => {
+        $(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut Rng) -> Self::Value {
+                    ($(self.$i.generate(rng),)+)
+                }
+            }
+        )*
+    };
+}
+tuple_strategy! {
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+}
+
+/// Inclusive-exclusive length bound for collection strategies.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+/// Strategy for `Vec`s of another strategy's values.
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    pub(crate) element: S,
+    pub(crate) size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut Rng) -> Vec<S::Value> {
+        let len = rng.range_u64(
+            self.size.lo as u64,
+            self.size.hi.max(self.size.lo + 1) as u64,
+        );
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

@@ -1,0 +1,184 @@
+//! Generator for a small regex subset: literals, character classes
+//! with ranges, groups, and `{m,n}` / `{n}` / `*` / `+` / `?`
+//! quantifiers. Enough for patterns like `"(/[a-z.]{1,8}){1,6}"`.
+
+use crate::test_runner::Rng;
+
+#[derive(Debug)]
+enum Node {
+    Literal(char),
+    Class(Vec<(char, char)>),
+    Group(Vec<Quantified>),
+}
+
+#[derive(Debug)]
+struct Quantified {
+    node: Node,
+    min: u32,
+    max: u32,
+}
+
+/// Generates one string matching `pattern`. Panics on syntax this
+/// subset does not understand, which surfaces as a test error rather
+/// than silently generating the wrong language.
+pub fn gen_from_pattern(pattern: &str, rng: &mut Rng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let (seq, rest) = parse_seq(&chars, 0);
+    assert!(
+        rest == chars.len(),
+        "unsupported regex pattern {pattern:?}: trailing input at {rest}"
+    );
+    let mut out = String::new();
+    emit_seq(&seq, rng, &mut out);
+    out
+}
+
+fn parse_seq(chars: &[char], mut i: usize) -> (Vec<Quantified>, usize) {
+    let mut seq = Vec::new();
+    while i < chars.len() && chars[i] != ')' {
+        let (node, next) = parse_atom(chars, i);
+        let (min, max, next) = parse_quantifier(chars, next);
+        seq.push(Quantified { node, min, max });
+        i = next;
+    }
+    (seq, i)
+}
+
+fn parse_atom(chars: &[char], i: usize) -> (Node, usize) {
+    match chars[i] {
+        '(' => {
+            let (seq, after) = parse_seq(chars, i + 1);
+            assert!(
+                after < chars.len() && chars[after] == ')',
+                "unsupported regex: unterminated group"
+            );
+            (Node::Group(seq), after + 1)
+        }
+        '[' => parse_class(chars, i + 1),
+        '\\' => {
+            assert!(i + 1 < chars.len(), "unsupported regex: trailing backslash");
+            (Node::Literal(chars[i + 1]), i + 2)
+        }
+        c => {
+            assert!(
+                !matches!(c, '*' | '+' | '?' | '{' | '}' | ']' | '|' | '^' | '$'),
+                "unsupported regex metacharacter {c:?}"
+            );
+            (Node::Literal(c), i + 1)
+        }
+    }
+}
+
+fn parse_class(chars: &[char], mut i: usize) -> (Node, usize) {
+    let mut ranges = Vec::new();
+    while i < chars.len() && chars[i] != ']' {
+        let lo = if chars[i] == '\\' {
+            i += 1;
+            chars[i]
+        } else {
+            chars[i]
+        };
+        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+            ranges.push((lo, chars[i + 2]));
+            i += 3;
+        } else {
+            ranges.push((lo, lo));
+            i += 1;
+        }
+    }
+    assert!(i < chars.len(), "unsupported regex: unterminated class");
+    (Node::Class(ranges), i + 1)
+}
+
+fn parse_quantifier(chars: &[char], i: usize) -> (u32, u32, usize) {
+    if i >= chars.len() {
+        return (1, 1, i);
+    }
+    match chars[i] {
+        '*' => (0, 8, i + 1),
+        '+' => (1, 8, i + 1),
+        '?' => (0, 1, i + 1),
+        '{' => {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .expect("unsupported regex: unterminated quantifier")
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            let (min, max) = match body.split_once(',') {
+                Some((m, "")) => {
+                    let m: u32 = m.parse().expect("bad quantifier");
+                    (m, m + 8)
+                }
+                Some((m, n)) => (
+                    m.parse().expect("bad quantifier"),
+                    n.parse().expect("bad quantifier"),
+                ),
+                None => {
+                    let n: u32 = body.parse().expect("bad quantifier");
+                    (n, n)
+                }
+            };
+            (min, max, close + 1)
+        }
+        _ => (1, 1, i),
+    }
+}
+
+fn emit_seq(seq: &[Quantified], rng: &mut Rng, out: &mut String) {
+    for q in seq {
+        let reps = rng.range_u64(u64::from(q.min), u64::from(q.max) + 1) as u32;
+        for _ in 0..reps {
+            emit_node(&q.node, rng, out);
+        }
+    }
+}
+
+fn emit_node(node: &Node, rng: &mut Rng, out: &mut String) {
+    match node {
+        Node::Literal(c) => out.push(*c),
+        Node::Class(ranges) => {
+            let total: u64 = ranges
+                .iter()
+                .map(|(lo, hi)| u64::from(*hi as u32 - *lo as u32 + 1))
+                .sum();
+            let mut pick = rng.range_u64(0, total);
+            for (lo, hi) in ranges {
+                let span = u64::from(*hi as u32 - *lo as u32 + 1);
+                if pick < span {
+                    out.push(char::from_u32(*lo as u32 + pick as u32).unwrap());
+                    break;
+                }
+                pick -= span;
+            }
+        }
+        Node::Group(seq) => emit_seq(seq, rng, out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paths_match_shape() {
+        let mut rng = Rng::for_case("string::paths", 7);
+        for _ in 0..200 {
+            let s = gen_from_pattern("(/[a-z.]{1,8}){1,6}", &mut rng);
+            assert!(s.starts_with('/'));
+            for seg in s.split('/').skip(1) {
+                assert!(!seg.is_empty() && seg.len() <= 8, "bad segment in {s:?}");
+                assert!(seg.chars().all(|c| c.is_ascii_lowercase() || c == '.'));
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_count_and_optional() {
+        let mut rng = Rng::for_case("string::fixed", 1);
+        for _ in 0..50 {
+            let s = gen_from_pattern("a{3}b?", &mut rng);
+            assert!(s == "aaa" || s == "aaab");
+        }
+    }
+}
