@@ -10,6 +10,71 @@ use workloads::metarates::{run_phase, MetaOp, MetaratesConfig};
 
 const MB: u64 = 1024 * 1024;
 
+/// Raw MDS op throughput: drives an [`cofs::mds_cluster::MdsCluster`]
+/// directly (no underlying filesystem, no driver) through the same
+/// namespace-op + charge-RPC sequence `CofsFs` performs, so MDS
+/// refactors show up here without workload noise.
+fn mds_raw_ops(shards: usize) {
+    use cofs::config::{CofsConfig, MdsNetwork, ShardPolicyKind};
+    use cofs::mds::Cred;
+    use cofs::mds_cluster::MdsCluster;
+    use netsim::ids::NodeId;
+    use simcore::time::{SimDuration, SimTime};
+    use vfs::path::vpath;
+    use vfs::types::{Gid, Mode, Uid};
+
+    let cfg = CofsConfig::default().with_shards(shards, ShardPolicyKind::HashByParent);
+    let net = MdsNetwork::uniform(SimDuration::from_micros(250));
+    let mut cluster = MdsCluster::new(cfg.build_shard_policy());
+    let cred = Cred {
+        uid: Uid(1000),
+        gid: Gid(1000),
+    };
+    let node = NodeId(0);
+    let mut now = SimTime::ZERO;
+    const DIRS: usize = 8;
+    for d in 0..DIRS {
+        let dir = vpath(&format!("/d{d}"));
+        let ops = cluster
+            .namespace_mut()
+            .mkdir(cred, &dir, Mode::dir_default(), now)
+            .unwrap();
+        let shard = cluster.route(&dir);
+        now = cluster.rpc(&cfg, &net, node, shard, ops, now);
+    }
+    for i in 0..256usize {
+        let path = vpath(&format!("/d{}/f{i}", i % DIRS));
+        let (_, ops) = cluster
+            .namespace_mut()
+            .create(cred, &path, Mode::file_default(), vpath("/.u/x"), now)
+            .unwrap();
+        let shard = cluster.route(&path);
+        now = cluster.rpc(&cfg, &net, node, shard, ops, now);
+        let (_, ops) = cluster.namespace().getattr(cred, &path).unwrap();
+        now = cluster.rpc(&cfg, &net, node, shard, ops, now);
+        let to = vpath(&format!("/d{}/g{i}", (i + 3) % DIRS));
+        let ops = cluster
+            .namespace_mut()
+            .rename(cred, &path, &to, now)
+            .unwrap();
+        let (a, b) = (cluster.route(&path), cluster.route(&to));
+        now = if a == b {
+            cluster.rpc(&cfg, &net, node, a, ops, now)
+        } else {
+            cluster.rpc_cross(&cfg, &net, node, (a, b), ops, now)
+        };
+    }
+}
+
+fn bench_mds(c: &mut Criterion) {
+    c.bench_function("mds_raw_create_getattr_rename_1shard", |b| {
+        b.iter(|| mds_raw_ops(1))
+    });
+    c.bench_function("mds_raw_create_getattr_rename_4shards", |b| {
+        b.iter(|| mds_raw_ops(4))
+    });
+}
+
 fn bench_fig1(c: &mut Criterion) {
     c.bench_function("fig1_single_node_stat_1536", |b| {
         b.iter(|| {
@@ -84,6 +149,6 @@ fn bench_table1(c: &mut Criterion) {
 criterion_group! {
     name = paper;
     config = Criterion::default().sample_size(10);
-    targets = bench_fig1, bench_fig2, bench_fig4, bench_fig5, bench_fig6, bench_table1
+    targets = bench_fig1, bench_fig2, bench_fig4, bench_fig5, bench_fig6, bench_table1, bench_mds
 }
 criterion_main!(paper);

@@ -5,8 +5,11 @@
 //!    how much of the win is placement vs. the metadata service.
 //! 2. *Underlying directory limit*: 128 / 512 (paper) / 2048.
 //! 3. *Randomization spread*: 1 (off) vs. 8 (paper).
+//! 4. *MDS sharding*: shard count × partitioning policy under the
+//!    shared-directory storm (extension; the single-shard row is the
+//!    paper's centralized service).
 
-use cofs::config::{CofsConfig, MdsNetwork};
+use cofs::config::{CofsConfig, MdsNetwork, ShardPolicyKind};
 use cofs::fs::CofsFs;
 use cofs::placement::{HashedPlacement, PassthroughPlacement, PlacementPolicy};
 use netsim::cluster::ClusterBuilder;
@@ -14,8 +17,9 @@ use pfs::config::PfsConfig;
 use pfs::fs::PfsFs;
 use workloads::metarates::{run_phase, MetaOp, MetaratesConfig};
 use workloads::report::{ms, Table};
+use workloads::scenarios::SharedDirStorm;
 
-use cofs_bench::{smoke_files, smoke_nodes};
+use cofs_bench::{cofs_mds_limit, smoke_files, smoke_nodes};
 
 fn stack(cfg: CofsConfig, placement: Box<dyn PlacementPolicy>) -> CofsFs<PfsFs> {
     let cluster = ClusterBuilder::new()
@@ -76,5 +80,35 @@ fn main() {
         ms(r.mean_ms()),
     ]);
 
+    println!("{}", table.render());
+
+    // ---- MDS sharding ablation (shared-directory storm, run in the
+    // metadata-service limit so the MDS is the measured server) ----
+    let storm = SharedDirStorm {
+        files_per_node: smoke_files(16),
+        ..SharedDirStorm::default()
+    };
+    println!(
+        "\n== MDS sharding ablation (storm: {} nodes, {} dirs, {} files/node) ==\n",
+        storm.nodes, storm.dirs, storm.files_per_node
+    );
+    let mut table = Table::new(vec!["variant", "create (ms)", "makespan (ms)"]);
+    for (shards, policy, label) in [
+        (1, ShardPolicyKind::Single, "1 shard (paper, centralized)"),
+        (2, ShardPolicyKind::HashByParent, "2 shards, hash-by-parent"),
+        (4, ShardPolicyKind::HashByParent, "4 shards, hash-by-parent"),
+        // All storm dirs share the top-level /storm subtree, so this
+        // partitioning degenerates to one hot shard — the policy
+        // choice, not the shard count, decides whether sharding helps.
+        (4, ShardPolicyKind::Subtree, "4 shards, subtree (hotspot)"),
+    ] {
+        let mut fs = cofs_mds_limit(shards, policy);
+        let r = storm.run(&mut fs);
+        table.row(vec![
+            label.into(),
+            ms(r.mean_create_ms),
+            ms(r.makespan.as_millis_f64()),
+        ]);
+    }
     println!("{}", table.render());
 }

@@ -1,13 +1,20 @@
-//! Extension experiment: node-count sweep 4→64 on the hierarchical
-//! topology (the paper measured only the 64-node endpoint; this sweep
-//! shows where the curves separate — §IV-A: "the benefits of
-//! virtualization are not only maintained but increased in larger
-//! scales").
+//! Extension experiments beyond the paper's measured points:
+//!
+//! 1. Node-count sweep 4→64 on the hierarchical topology (the paper
+//!    measured only the 64-node endpoint; this sweep shows where the
+//!    curves separate — §IV-A: "the benefits of virtualization are not
+//!    only maintained but increased in larger scales").
+//! 2. MDS shard-count sweep under the shared-directory storm: the
+//!    paper frames the virtualization layer as the enabler for
+//!    distributing metadata across multiple servers; this axis
+//!    measures that enablement directly.
 
-use cofs_bench::{cofs_over_gpfs_on, gpfs_on, smoke_files, smoke_or};
+use cofs::config::ShardPolicyKind;
+use cofs_bench::{cofs_mds_limit, cofs_over_gpfs_on, gpfs_on, smoke_files, smoke_or};
 use netsim::topology::Topology;
 use workloads::metarates::{run_phase, MetaOp, MetaratesConfig};
-use workloads::report::{ms, Table};
+use workloads::report::{ms, shard_utilization_table, Table};
+use workloads::scenarios::SharedDirStorm;
 
 fn main() {
     let fpn = smoke_files(256);
@@ -36,4 +43,51 @@ fn main() {
         ]);
     }
     println!("{}", table.render());
+
+    // ---- shard-count axis (ROADMAP extension, not a paper figure) ----
+    // Run in the metadata-service limit (MemFs substrate): over real
+    // GPFS the native filesystem's ms-scale creates bound throughput
+    // long before the MDS does, which is exactly the bottleneck shift
+    // the paper predicts — here we measure the *next* bottleneck.
+    let storm = SharedDirStorm {
+        files_per_node: smoke_files(16),
+        ..SharedDirStorm::default()
+    };
+    println!(
+        "== Scaling: shared-directory storm vs MDS shard count \
+         ({} nodes, {} dirs, {} files/node, {} stats/create, \
+         metadata-service limit) ==\n",
+        storm.nodes, storm.dirs, storm.files_per_node, storm.stats_per_create
+    );
+    let mut table = Table::new(vec![
+        "shards",
+        "policy",
+        "create (ms)",
+        "makespan (ms)",
+        "creates/s",
+    ]);
+    let shard_counts = smoke_or(vec![1, 2], vec![1, 2, 4, 8]);
+    let mut last_usage = None;
+    for shards in shard_counts {
+        let policy = if shards == 1 {
+            ShardPolicyKind::Single
+        } else {
+            ShardPolicyKind::HashByParent
+        };
+        let mut fs = cofs_mds_limit(shards, policy);
+        let r = storm.run(&mut fs);
+        table.row(vec![
+            shards.to_string(),
+            fs.mds_cluster().policy().label().into(),
+            ms(r.mean_create_ms),
+            ms(r.makespan.as_millis_f64()),
+            format!("{:.0}", r.creates_per_sec()),
+        ]);
+        last_usage = Some((r.per_shard, r.makespan));
+    }
+    println!("{}", table.render());
+    if let Some((usage, makespan)) = last_usage {
+        println!("Per-shard load at the largest shard count:\n");
+        println!("{}", shard_utilization_table(&usage, makespan).render());
+    }
 }

@@ -21,7 +21,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use cofs::config::{CofsConfig, MdsNetwork};
+use cofs::config::{CofsConfig, MdsNetwork, ShardPolicyKind};
 use cofs::fs::CofsFs;
 use netsim::cluster::ClusterBuilder;
 use netsim::topology::Topology;
@@ -63,6 +63,23 @@ pub fn cofs_over_gpfs_on(nodes: usize, topology: Topology) -> CofsFs<PfsFs> {
     let net = MdsNetwork::from_cluster(&cluster, mds_host);
     let under = PfsFs::new(cluster, PfsConfig::default());
     CofsFs::new(under, CofsConfig::default(), net, 0xC0F5)
+}
+
+/// Builds a sharded COFS in the *metadata-service limit*: the
+/// underlying filesystem is `MemFs` (local-memory cost), so the MDS is
+/// the only queueing server and a shard-count sweep measures the
+/// metadata service itself. Over real GPFS the native filesystem's
+/// ~ms-scale creates bound throughput long before the MDS does — the
+/// very bottleneck shift the paper predicts — so that stack cannot
+/// resolve MDS scaling.
+pub fn cofs_mds_limit(shards: usize, policy: ShardPolicyKind) -> CofsFs<vfs::memfs::MemFs> {
+    let cfg = CofsConfig::default().with_shards(shards, policy);
+    CofsFs::new(
+        vfs::memfs::MemFs::new(),
+        cfg,
+        MdsNetwork::uniform(simcore::time::SimDuration::from_micros(250)),
+        0xC0F5,
+    )
 }
 
 /// The files-per-node sweep of Figs 4 and 5.

@@ -1,12 +1,28 @@
 //! COFS configuration: FUSE interposition costs, metadata-service
-//! network model, and placement parameters.
+//! network model, sharding, and placement parameters.
 
+use crate::mds_cluster::{HashByParent, ShardId, ShardPolicy, SingleShard, SubtreePartition};
 use metadb::cost::DbCostModel;
 use netsim::cluster::Cluster;
 use netsim::ids::NodeId;
 use simcore::time::SimDuration;
 use std::collections::HashMap;
 use vfs::path::{vpath, VPath};
+
+/// Which namespace-partitioning policy a [`CofsConfig`] builds.
+///
+/// Custom [`ShardPolicy`] implementations can still be injected via
+/// [`crate::fs::CofsFs::with_shard_policy`]; this enum covers the
+/// built-in ones so configs stay `Clone`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardPolicyKind {
+    /// Everything on one shard (the paper's centralized service).
+    Single,
+    /// Hash of the parent directory picks the shard.
+    HashByParent,
+    /// The first path component assigns its whole subtree to a shard.
+    Subtree,
+}
 
 /// Tunable parameters of the COFS virtualization layer.
 #[derive(Debug, Clone)]
@@ -38,8 +54,18 @@ pub struct CofsConfig {
     pub db: DbCostModel,
     /// Metadata-service CPU overhead per RPC beyond the DB work.
     pub mds_service: SimDuration,
-    /// One-time per-node session establishment with the service.
+    /// One-time per-node (per-shard) session establishment with the
+    /// service.
     pub session_cost: SimDuration,
+    /// Number of metadata shards (1 = the paper's centralized MDS).
+    pub mds_shards: usize,
+    /// How the namespace is partitioned across shards.
+    pub shard_policy: ShardPolicyKind,
+    /// Round trip between two shard hosts (they share the blade
+    /// center, like the servers in the paper's testbed); paid by the
+    /// prepare/vote and commit/ack exchanges of cross-shard two-phase
+    /// operations.
+    pub cross_shard_rtt: SimDuration,
 }
 
 impl Default for CofsConfig {
@@ -53,6 +79,9 @@ impl Default for CofsConfig {
             db: DbCostModel::default(),
             mds_service: SimDuration::from_micros(15),
             session_cost: SimDuration::from_millis(2),
+            mds_shards: 1,
+            shard_policy: ShardPolicyKind::Single,
+            cross_shard_rtt: SimDuration::from_micros(220),
         }
     }
 }
@@ -62,43 +91,117 @@ impl CofsConfig {
     pub fn fuse_copy(&self, len: u64) -> SimDuration {
         SimDuration::from_secs_f64(len as f64 / self.fuse_copy_bytes_per_sec as f64)
     }
+
+    /// A copy of this config running `shards` metadata shards under
+    /// `policy` (a count of 1 always degenerates to [`SingleShard`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero, or if [`ShardPolicyKind::Single`]
+    /// is paired with more than one shard — that would provision hosts
+    /// the policy can never route to.
+    pub fn with_shards(mut self, shards: usize, policy: ShardPolicyKind) -> Self {
+        assert!(shards > 0, "need at least one metadata shard");
+        assert!(
+            shards == 1 || policy != ShardPolicyKind::Single,
+            "ShardPolicyKind::Single routes everything to one shard; \
+             pick a partitioning policy for {shards} shards"
+        );
+        self.mds_shards = shards;
+        self.shard_policy = policy;
+        self
+    }
+
+    /// Builds the shard policy this config describes.
+    pub fn build_shard_policy(&self) -> Box<dyn ShardPolicy> {
+        if self.mds_shards <= 1 {
+            return Box::new(SingleShard);
+        }
+        match self.shard_policy {
+            ShardPolicyKind::Single => Box::new(SingleShard),
+            ShardPolicyKind::HashByParent => Box::new(HashByParent::new(self.mds_shards)),
+            ShardPolicyKind::Subtree => Box::new(SubtreePartition::new(self.mds_shards)),
+        }
+    }
 }
 
-/// Round-trip times from each client node to the metadata-service
-/// host. COFS is layered *above* the filesystem, so it cannot reach
+/// Per-shard round-trip table from each client node to the metadata
+/// hosts. COFS is layered *above* the filesystem, so it cannot reach
 /// inside the underlying simulator's network; harnesses build this
-/// table from the same cluster instead.
+/// table from the same cluster instead. Shards beyond the last
+/// configured host reuse the last entry, so a single-host table works
+/// unchanged for any shard count (uniform placement).
 #[derive(Debug, Clone)]
 pub struct MdsNetwork {
+    shards: Vec<ShardRtts>,
+}
+
+#[derive(Debug, Clone)]
+struct ShardRtts {
     rtts: HashMap<NodeId, SimDuration>,
     default_rtt: SimDuration,
 }
 
 impl MdsNetwork {
-    /// Every node sees the same round-trip time (flat blade center).
+    /// Every node sees the same round-trip time to every shard (flat
+    /// blade center).
     pub fn uniform(rtt: SimDuration) -> Self {
         MdsNetwork {
-            rtts: HashMap::new(),
-            default_rtt: rtt,
+            shards: vec![ShardRtts {
+                rtts: HashMap::new(),
+                default_rtt: rtt,
+            }],
         }
     }
 
-    /// Derives per-node RTTs from a cluster and the node hosting the
-    /// metadata service.
+    /// Derives per-node RTTs from a cluster and the single node
+    /// hosting the metadata service.
     pub fn from_cluster(cluster: &Cluster, mds_host: NodeId) -> Self {
-        let mut rtts = HashMap::new();
-        for &c in cluster.clients() {
-            rtts.insert(c, cluster.rtt(c, mds_host));
-        }
-        MdsNetwork {
-            rtts,
-            default_rtt: cluster.rtt(cluster.clients()[0], mds_host),
-        }
+        Self::from_cluster_hosts(cluster, &[mds_host])
     }
 
-    /// Round trip from `node` to the service host.
+    /// Derives per-node, per-shard RTTs from a cluster and one host
+    /// per shard (shard *i* lives on `hosts[i]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hosts` is empty.
+    pub fn from_cluster_hosts(cluster: &Cluster, hosts: &[NodeId]) -> Self {
+        assert!(!hosts.is_empty(), "need at least one metadata host");
+        let shards = hosts
+            .iter()
+            .map(|&host| {
+                let mut rtts = HashMap::new();
+                for &c in cluster.clients() {
+                    rtts.insert(c, cluster.rtt(c, host));
+                }
+                ShardRtts {
+                    default_rtt: cluster.rtt(cluster.clients()[0], host),
+                    rtts,
+                }
+            })
+            .collect();
+        MdsNetwork { shards }
+    }
+
+    /// Number of distinct shard hosts configured.
+    pub fn shard_hosts(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Round trip from `node` to the host of `shard` (clamped to the
+    /// last configured host).
+    pub fn shard_rtt(&self, node: NodeId, shard: ShardId) -> SimDuration {
+        let s = self
+            .shards
+            .get(shard.0)
+            .unwrap_or_else(|| self.shards.last().expect("at least one shard"));
+        s.rtts.get(&node).copied().unwrap_or(s.default_rtt)
+    }
+
+    /// Round trip from `node` to shard 0 (the single-MDS convenience).
     pub fn rtt(&self, node: NodeId) -> SimDuration {
-        self.rtts.get(&node).copied().unwrap_or(self.default_rtt)
+        self.shard_rtt(node, ShardId(0))
     }
 }
 
@@ -114,6 +217,8 @@ mod tests {
         assert_eq!(c.dir_limit, 512);
         assert!(c.spread > 1);
         assert_eq!(c.under_root.as_str(), "/.cofs");
+        assert_eq!(c.mds_shards, 1);
+        assert_eq!(c.shard_policy, ShardPolicyKind::Single);
     }
 
     #[test]
@@ -126,10 +231,35 @@ mod tests {
     }
 
     #[test]
+    fn build_shard_policy_respects_count_and_kind() {
+        let single = CofsConfig::default().build_shard_policy();
+        assert_eq!(single.shard_count(), 1);
+        // A shard count of 1 degenerates to SingleShard whatever the kind.
+        let degenerate = CofsConfig::default()
+            .with_shards(1, ShardPolicyKind::HashByParent)
+            .build_shard_policy();
+        assert_eq!(degenerate.label(), "single");
+        let hashed = CofsConfig::default()
+            .with_shards(4, ShardPolicyKind::HashByParent)
+            .build_shard_policy();
+        assert_eq!(hashed.shard_count(), 4);
+        assert_eq!(hashed.label(), "hash-parent");
+        let subtree = CofsConfig::default()
+            .with_shards(2, ShardPolicyKind::Subtree)
+            .build_shard_policy();
+        assert_eq!(subtree.label(), "subtree");
+    }
+
+    #[test]
     fn uniform_network() {
         let n = MdsNetwork::uniform(SimDuration::from_micros(300));
         assert_eq!(n.rtt(NodeId(0)), SimDuration::from_micros(300));
         assert_eq!(n.rtt(NodeId(42)), SimDuration::from_micros(300));
+        // Any shard id resolves (clamped to the last host).
+        assert_eq!(
+            n.shard_rtt(NodeId(1), ShardId(3)),
+            SimDuration::from_micros(300)
+        );
     }
 
     #[test]
@@ -145,5 +275,22 @@ mod tests {
         let near = cluster.clients()[0]; // center 0, same as the host
         let far = cluster.clients()[20]; // center 1
         assert!(net.rtt(far) > net.rtt(near));
+    }
+
+    #[test]
+    fn per_shard_hosts_have_independent_rtts() {
+        let cluster = ClusterBuilder::new()
+            .clients(8)
+            .servers(2)
+            .metadata_hosts(3)
+            .build();
+        let hosts = cluster.metadata_hosts().to_vec();
+        assert_eq!(hosts.len(), 3);
+        let net = MdsNetwork::from_cluster_hosts(&cluster, &hosts);
+        assert_eq!(net.shard_hosts(), 3);
+        let c0 = cluster.clients()[0];
+        for (s, &host) in hosts.iter().enumerate() {
+            assert_eq!(net.shard_rtt(c0, ShardId(s)), cluster.rtt(c0, host));
+        }
     }
 }

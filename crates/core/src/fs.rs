@@ -10,8 +10,8 @@
 
 use crate::config::{CofsConfig, MdsNetwork};
 use crate::mds::{Cred, DbOps, Mds};
+use crate::mds_cluster::{MdsCluster, ShardPolicy, ShardUsage};
 use crate::placement::{HashedPlacement, PlacementPolicy};
-use metadb::cost::DbCostTracker;
 use netsim::ids::NodeId;
 use simcore::prelude::*;
 use std::collections::{HashMap, HashSet};
@@ -25,6 +25,9 @@ use vfs::types::{
 #[derive(Debug, Clone)]
 struct CHandle {
     vino: u64,
+    /// Virtual path at open/create time — used to route handle-based
+    /// metadata updates (size publication) to the owning shard.
+    vpath: VPath,
     under_fh: Option<FileHandle>,
     mapping: Option<VPath>,
     flags: OpenFlags,
@@ -64,15 +67,12 @@ pub struct CofsFs<U: FileSystem> {
     under: U,
     cfg: CofsConfig,
     net: MdsNetwork,
-    mds: Mds,
-    mds_cpu: FifoResource,
-    tracker: DbCostTracker,
+    mds: MdsCluster,
     placement: Box<dyn PlacementPolicy>,
     made_dirs: HashSet<VPath>,
     handles: HashMap<u64, CHandle>,
     next_fh: u64,
     next_under_name: u64,
-    sessions: HashSet<NodeId>,
     counters: Counters,
 }
 
@@ -91,24 +91,53 @@ impl<U: FileSystem> CofsFs<U> {
 
     /// Wraps `under` with a custom placement policy (used by the
     /// ablation benchmarks, e.g. [`crate::placement::PassthroughPlacement`]).
+    /// The metadata cluster is built from the config's shard count and
+    /// policy kind.
     pub fn with_placement(
         under: U,
         cfg: CofsConfig,
         net: MdsNetwork,
         placement: Box<dyn PlacementPolicy>,
     ) -> Self {
+        let shard_policy = cfg.build_shard_policy();
+        Self::assemble(under, cfg, net, placement, shard_policy)
+    }
+
+    /// Wraps `under` with a custom *shard* policy (anything
+    /// implementing [`ShardPolicy`]), overriding whatever the config's
+    /// `mds_shards`/`shard_policy` fields would build.
+    pub fn with_shard_policy(
+        under: U,
+        cfg: CofsConfig,
+        net: MdsNetwork,
+        seed: u64,
+        shard_policy: Box<dyn ShardPolicy>,
+    ) -> Self {
+        let placement: Box<dyn PlacementPolicy> = Box::new(HashedPlacement::new(
+            cfg.under_root.clone(),
+            cfg.dir_limit,
+            cfg.spread,
+            seed,
+        ));
+        Self::assemble(under, cfg, net, placement, shard_policy)
+    }
+
+    fn assemble(
+        under: U,
+        cfg: CofsConfig,
+        net: MdsNetwork,
+        placement: Box<dyn PlacementPolicy>,
+        shard_policy: Box<dyn ShardPolicy>,
+    ) -> Self {
         CofsFs {
             under,
             net,
-            mds: Mds::new(),
-            mds_cpu: FifoResource::new("cofs-mds"),
-            tracker: DbCostTracker::new(),
+            mds: MdsCluster::new(shard_policy),
             placement,
             made_dirs: HashSet::new(),
             handles: HashMap::new(),
             next_fh: 1,
             next_under_name: 1,
-            sessions: HashSet::new(),
             counters: Counters::new(),
             cfg,
         }
@@ -130,9 +159,21 @@ impl<U: FileSystem> CofsFs<U> {
         &self.counters
     }
 
-    /// The metadata service (for table statistics in reports).
+    /// The logical metadata namespace (for table statistics in
+    /// reports).
     pub fn mds(&self) -> &Mds {
+        self.mds.namespace()
+    }
+
+    /// The sharded metadata service (routing, per-shard load).
+    pub fn mds_cluster(&self) -> &MdsCluster {
         &self.mds
+    }
+
+    /// Per-shard metadata load since the last [`Self::reset_time`]
+    /// (scenario reports use this to expose partition skew).
+    pub fn shard_usage(&self) -> Vec<ShardUsage> {
+        self.mds.usage()
     }
 
     /// The configuration in use.
@@ -140,12 +181,11 @@ impl<U: FileSystem> CofsFs<U> {
         &self.cfg
     }
 
-    /// Rewinds the metadata-service queue to virtual time zero (used
+    /// Rewinds every metadata shard's queue to virtual time zero (used
     /// between benchmark phases together with the underlying
     /// filesystem's own reset).
     pub fn reset_time(&mut self) {
-        self.mds_cpu.reset();
-        self.tracker.reset();
+        self.mds.reset_time();
     }
 
     fn cred(ctx: &OpCtx) -> Cred {
@@ -168,27 +208,54 @@ impl<U: FileSystem> CofsFs<U> {
         }
     }
 
-    /// Charges one metadata-service RPC: network round trip plus
-    /// queueing at the service CPU for the database work performed.
-    fn rpc(
+    /// Charges one metadata-service RPC against `shard`: network round
+    /// trip to its host plus queueing at its CPU for the database work
+    /// performed.
+    fn rpc_at(
         &mut self,
         node: NodeId,
+        shard: crate::mds_cluster::ShardId,
         ops: DbOps,
         t: simcore::time::SimTime,
     ) -> simcore::time::SimTime {
         self.counters.bump("mds_rpcs");
-        let mut t = t;
-        if self.sessions.insert(node) {
-            t += self.cfg.session_cost;
+        self.mds.rpc(&self.cfg, &self.net, node, shard, ops, t)
+    }
+
+    /// Charges one metadata-service RPC against the shard owning
+    /// `path`.
+    fn rpc(
+        &mut self,
+        node: NodeId,
+        path: &VPath,
+        ops: DbOps,
+        t: simcore::time::SimTime,
+    ) -> simcore::time::SimTime {
+        let shard = self.mds.route(path);
+        self.rpc_at(node, shard, ops, t)
+    }
+
+    /// Charges an operation spanning the shards of `a` and `b` — one
+    /// ordinary RPC when both live on the same shard, an explicit
+    /// two-phase commit across both otherwise.
+    fn rpc_pair(
+        &mut self,
+        node: NodeId,
+        a: &VPath,
+        b: &VPath,
+        ops: DbOps,
+        t: simcore::time::SimTime,
+    ) -> simcore::time::SimTime {
+        let sa = self.mds.route(a);
+        let sb = self.mds.route(b);
+        if sa == sb {
+            self.rpc_at(node, sa, ops, t)
+        } else {
+            self.counters.bump("mds_rpcs");
+            self.counters.bump("mds_two_phase");
+            self.mds
+                .rpc_cross(&self.cfg, &self.net, node, (sa, sb), ops, t)
         }
-        let rtt = self.net.rtt(node);
-        let arrive = t + rtt / 2;
-        let mut service = self.cfg.mds_service + self.tracker.query_cost(&self.cfg.db, ops.reads);
-        if ops.writes > 0 {
-            service += self.tracker.txn_cost(&self.cfg.db, ops.writes);
-        }
-        let done = self.mds_cpu.acquire(arrive, service).end;
-        done + rtt / 2
     }
 
     /// FUSE interposition cost for one request.
@@ -281,15 +348,21 @@ impl<U: FileSystem> FileSystem for CofsFs<U> {
         let t = self.fuse(ctx);
         // Directories are pure metadata: one service transaction, no
         // underlying filesystem involvement whatsoever.
-        let ops = self.mds.mkdir(Self::cred(ctx), path, mode, ctx.now)?;
-        Ok(Timed::new((), self.rpc(ctx.node, ops, t)))
+        let ops = self
+            .mds
+            .namespace_mut()
+            .mkdir(Self::cred(ctx), path, mode, ctx.now)?;
+        Ok(Timed::new((), self.rpc(ctx.node, path, ops, t)))
     }
 
     fn rmdir(&mut self, ctx: &OpCtx, path: &VPath) -> FsResult<()> {
         self.counters.bump("op_rmdir");
         let t = self.fuse(ctx);
-        let ops = self.mds.rmdir(Self::cred(ctx), path, ctx.now)?;
-        Ok(Timed::new((), self.rpc(ctx.node, ops, t)))
+        let ops = self
+            .mds
+            .namespace_mut()
+            .rmdir(Self::cred(ctx), path, ctx.now)?;
+        Ok(Timed::new((), self.rpc(ctx.node, path, ops, t)))
     }
 
     fn create(&mut self, ctx: &OpCtx, path: &VPath, mode: Mode) -> FsResult<FileHandle> {
@@ -306,10 +379,14 @@ impl<U: FileSystem> FileSystem for CofsFs<U> {
         let mapping = dir.join(&uname);
         // Register in the metadata service (validates permissions and
         // uniqueness in the *virtual* namespace).
-        let (rec, ops) = self
-            .mds
-            .create(Self::cred(ctx), path, mode, mapping.clone(), ctx.now)?;
-        let mut t = self.rpc(ctx.node, ops, t);
+        let (rec, ops) = self.mds.namespace_mut().create(
+            Self::cred(ctx),
+            path,
+            mode,
+            mapping.clone(),
+            ctx.now,
+        )?;
+        let mut t = self.rpc(ctx.node, path, ops, t);
         // Materialize the underlying file in its private directory.
         t = self.ensure_under_dir(ctx, &dir, t)?;
         let dctx = Self::daemon_ctx(ctx, t);
@@ -317,6 +394,7 @@ impl<U: FileSystem> FileSystem for CofsFs<U> {
         self.counters.bump("under_creates");
         let fh = self.alloc_fh(CHandle {
             vino: rec.ino,
+            vpath: path.clone(),
             under_fh: Some(under.value),
             mapping: Some(mapping),
             flags: OpenFlags::RDWR,
@@ -329,7 +407,7 @@ impl<U: FileSystem> FileSystem for CofsFs<U> {
     fn open(&mut self, ctx: &OpCtx, path: &VPath, flags: OpenFlags) -> FsResult<FileHandle> {
         self.counters.bump("op_open");
         let t = self.fuse(ctx);
-        let (rec, ops) = self.mds.lookup(Self::cred(ctx), path)?;
+        let (rec, ops) = self.mds.namespace().lookup(Self::cred(ctx), path)?;
         // Virtual permission checks (the service stores the truth).
         if rec.ftype == FileType::Directory && (flags.write || flags.truncate) {
             return Err(FsError::new(Errno::EISDIR, "open", path.as_str()));
@@ -341,7 +419,7 @@ impl<U: FileSystem> FileSystem for CofsFs<U> {
         if flags.write && !a.mode.allows_write(ctx.uid, ctx.gid, a.uid, a.gid) {
             return Err(FsError::new(Errno::EACCES, "open", path.as_str()));
         }
-        let mut t = self.rpc(ctx.node, ops, t);
+        let mut t = self.rpc(ctx.node, path, ops, t);
         let mut under_fh = None;
         let mut lazy = false;
         if rec.ftype == FileType::Regular {
@@ -356,8 +434,8 @@ impl<U: FileSystem> FileSystem for CofsFs<U> {
                 self.counters.bump("under_opens");
                 under_fh = Some(under.value);
                 t = under.end;
-                let ops = self.mds.set_size(rec.ino, 0, ctx.now);
-                t = self.rpc(ctx.node, ops, t);
+                let ops = self.mds.namespace_mut().set_size(rec.ino, 0, ctx.now);
+                t = self.rpc(ctx.node, path, ops, t);
             } else {
                 // The daemon defers the underlying open until the
                 // first read/write; an open/close cycle with no I/O
@@ -367,6 +445,7 @@ impl<U: FileSystem> FileSystem for CofsFs<U> {
         }
         let fh = self.alloc_fh(CHandle {
             vino: rec.ino,
+            vpath: path.clone(),
             under_fh,
             mapping: rec.mapping.clone(),
             flags,
@@ -396,8 +475,8 @@ impl<U: FileSystem> FileSystem for CofsFs<U> {
                 let dctx = Self::daemon_ctx(ctx, t);
                 let size = self.under.stat(&dctx, mapping)?.value.size;
                 t = t.max(dctx.now);
-                let ops = self.mds.set_size(h.vino, size, ctx.now);
-                t = self.rpc(ctx.node, ops, t);
+                let ops = self.mds.namespace_mut().set_size(h.vino, size, ctx.now);
+                t = self.rpc(ctx.node, &h.vpath, ops, t);
             }
         }
         Ok(Timed::new((), t))
@@ -449,29 +528,41 @@ impl<U: FileSystem> FileSystem for CofsFs<U> {
         let t = self.fuse(ctx);
         // Pure metadata: answered entirely from the service's tables.
         // No underlying-filesystem tokens are touched at all.
-        let (rec, ops) = self.mds.getattr(Self::cred(ctx), path)?;
-        Ok(Timed::new(rec.attr(), self.rpc(ctx.node, ops, t)))
+        let (rec, ops) = self.mds.namespace().getattr(Self::cred(ctx), path)?;
+        Ok(Timed::new(rec.attr(), self.rpc(ctx.node, path, ops, t)))
     }
 
     fn setattr(&mut self, ctx: &OpCtx, path: &VPath, set: SetAttr) -> FsResult<FileAttr> {
         self.counters.bump("op_setattr");
         let t = self.fuse(ctx);
-        let (rec, ops) = self.mds.setattr(Self::cred(ctx), path, set, ctx.now)?;
-        Ok(Timed::new(rec.attr(), self.rpc(ctx.node, ops, t)))
+        let (rec, ops) = self
+            .mds
+            .namespace_mut()
+            .setattr(Self::cred(ctx), path, set, ctx.now)?;
+        Ok(Timed::new(rec.attr(), self.rpc(ctx.node, path, ops, t)))
     }
 
     fn readdir(&mut self, ctx: &OpCtx, path: &VPath) -> FsResult<Vec<DirEntry>> {
         self.counters.bump("op_readdir");
         let t = self.fuse(ctx);
-        let (list, ops) = self.mds.readdir(Self::cred(ctx), path, ctx.now)?;
-        Ok(Timed::new(list, self.rpc(ctx.node, ops, t)))
+        let (list, ops) = self
+            .mds
+            .namespace_mut()
+            .readdir(Self::cred(ctx), path, ctx.now)?;
+        // The entry list lives with the children, not with the
+        // directory's own dentry.
+        let shard = self.mds.route_entries(path);
+        Ok(Timed::new(list, self.rpc_at(ctx.node, shard, ops, t)))
     }
 
     fn unlink(&mut self, ctx: &OpCtx, path: &VPath) -> FsResult<()> {
         self.counters.bump("op_unlink");
         let t = self.fuse(ctx);
-        let (gone, ops) = self.mds.unlink(Self::cred(ctx), path, ctx.now)?;
-        let mut t = self.rpc(ctx.node, ops, t);
+        let (gone, ops) = self
+            .mds
+            .namespace_mut()
+            .unlink(Self::cred(ctx), path, ctx.now)?;
+        let mut t = self.rpc(ctx.node, path, ops, t);
         if let Some(mapping) = gone {
             // Last link went away: remove the real bits.
             let dctx = Self::daemon_ctx(ctx, t);
@@ -486,14 +577,27 @@ impl<U: FileSystem> FileSystem for CofsFs<U> {
         let t = self.fuse(ctx);
         // If the rename will replace the last link of a regular file,
         // remember its mapping for underlying cleanup.
-        let doomed = match self.mds.getattr(Self::cred(ctx), to) {
+        let doomed = match self.mds.namespace().getattr(Self::cred(ctx), to) {
             Ok((rec, _)) if rec.ftype == FileType::Regular && rec.nlink == 1 && from != to => {
                 rec.mapping
             }
             _ => None,
         };
-        let ops = self.mds.rename(Self::cred(ctx), from, to, ctx.now)?;
-        let mut t = self.rpc(ctx.node, ops, t);
+        let ops = self
+            .mds
+            .namespace_mut()
+            .rename(Self::cred(ctx), from, to, ctx.now)?;
+        // Open handles keep routing by their virtual path; re-root the
+        // ones the rename moved so later size publication charges the
+        // shard that now owns them.
+        for h in self.handles.values_mut() {
+            if let Some(moved) = h.vpath.rebase(from, to) {
+                h.vpath = moved;
+            }
+        }
+        // Source and destination may live on different shards; the
+        // cluster then charges an explicit two-phase commit.
+        let mut t = self.rpc_pair(ctx.node, from, to, ops, t);
         if let Some(mapping) = doomed {
             let dctx = Self::daemon_ctx(ctx, t);
             t = self.under.unlink(&dctx, &mapping)?.end;
@@ -507,22 +611,33 @@ impl<U: FileSystem> FileSystem for CofsFs<U> {
         let t = self.fuse(ctx);
         // Hard links are pure metadata in COFS — the underlying file
         // is untouched no matter which virtual directories share it.
-        let ops = self.mds.link(Self::cred(ctx), existing, new, ctx.now)?;
-        Ok(Timed::new((), self.rpc(ctx.node, ops, t)))
+        // The inode record and the new name may live on different
+        // shards, which costs a two-phase commit.
+        let ops = self
+            .mds
+            .namespace_mut()
+            .link(Self::cred(ctx), existing, new, ctx.now)?;
+        Ok(Timed::new(
+            (),
+            self.rpc_pair(ctx.node, existing, new, ops, t),
+        ))
     }
 
     fn symlink(&mut self, ctx: &OpCtx, target: &str, new: &VPath) -> FsResult<()> {
         self.counters.bump("op_symlink");
         let t = self.fuse(ctx);
-        let ops = self.mds.symlink(Self::cred(ctx), target, new, ctx.now)?;
-        Ok(Timed::new((), self.rpc(ctx.node, ops, t)))
+        let ops = self
+            .mds
+            .namespace_mut()
+            .symlink(Self::cred(ctx), target, new, ctx.now)?;
+        Ok(Timed::new((), self.rpc(ctx.node, new, ops, t)))
     }
 
     fn readlink(&mut self, ctx: &OpCtx, path: &VPath) -> FsResult<String> {
         self.counters.bump("op_readlink");
         let t = self.fuse(ctx);
-        let (target, ops) = self.mds.readlink(Self::cred(ctx), path)?;
-        Ok(Timed::new(target, self.rpc(ctx.node, ops, t)))
+        let (target, ops) = self.mds.namespace().readlink(Self::cred(ctx), path)?;
+        Ok(Timed::new(target, self.rpc(ctx.node, path, ops, t)))
     }
 
     fn statfs(&mut self, ctx: &OpCtx) -> FsResult<FsStats> {
@@ -531,13 +646,15 @@ impl<U: FileSystem> FileSystem for CofsFs<U> {
         let dctx = Self::daemon_ctx(ctx, t);
         let under = self.under.statfs(&dctx)?;
         let stats = FsStats {
-            inodes: self.mds.inode_count(),
+            inodes: self.mds.namespace().inode_count(),
             directories: 0, // recomputed below
             bytes_used: under.value.bytes_used,
         };
-        // Directory count comes from the virtual namespace.
+        // Directory count comes from the virtual namespace (charged
+        // against the root's shard).
         let t = self.rpc(
             ctx.node,
+            &VPath::root(),
             DbOps {
                 reads: 2,
                 writes: 0,
@@ -622,10 +739,12 @@ mod tests {
                           // The two files' mappings differ in their hash directory.
         let (rx, _) = fs
             .mds
+            .namespace()
             .getattr(CofsFs::<MemFs>::cred(&a), &vpath("/d/x"))
             .unwrap();
         let (ry, _) = fs
             .mds
+            .namespace()
             .getattr(CofsFs::<MemFs>::cred(&b), &vpath("/d/y"))
             .unwrap();
         let hx = rx.mapping.unwrap().parent().unwrap().parent().unwrap();

@@ -18,8 +18,12 @@
 //!   directories;
 //! - the **metadata driver** forwards pure metadata operations
 //!   (stat, utime, chmod, readdir, rename, links, directories) to a
-//!   centralized **metadata service** ([`mds`]) built on database
-//!   tables ([`metadb`], standing in for Erlang/Mnesia);
+//!   **metadata service** built on database tables ([`mds`],
+//!   [`metadb`] standing in for Erlang/Mnesia) — centralized in the
+//!   paper, and optionally *sharded* here ([`mds_cluster`]): the paper
+//!   frames the virtualization layer as the enabler for distributing
+//!   metadata across multiple servers, and [`mds_cluster::MdsCluster`]
+//!   models exactly that extension;
 //! - only file-content requests (open/read/write/close) reach the
 //!   underlying filesystem, via the mapping stored in the service.
 //!
@@ -53,12 +57,16 @@
 pub mod config;
 pub mod fs;
 pub mod mds;
+pub mod mds_cluster;
 pub mod placement;
 
 /// Convenient glob-import of the most commonly used items.
 pub mod prelude {
-    pub use crate::config::{CofsConfig, MdsNetwork};
+    pub use crate::config::{CofsConfig, MdsNetwork, ShardPolicyKind};
     pub use crate::fs::CofsFs;
     pub use crate::mds::Mds;
+    pub use crate::mds_cluster::{
+        HashByParent, MdsCluster, ShardId, ShardPolicy, ShardUsage, SingleShard, SubtreePartition,
+    };
     pub use crate::placement::{HashedPlacement, PassthroughPlacement, PlacementPolicy};
 }

@@ -1,0 +1,646 @@
+//! The sharded COFS metadata service.
+//!
+//! The paper frames the virtualization layer as the enabler for
+//! "distributing metadata across multiple servers": once clients talk
+//! to a metadata *service* instead of the native filesystem, that
+//! service can be split into independent shards. [`MdsCluster`] models
+//! exactly that: N shards, each with its own CPU queue, its own
+//! database cost state, and its own host (and therefore RTT), behind a
+//! pluggable [`ShardPolicy`] that partitions the namespace.
+//!
+//! Semantics vs. cost: the *logical* namespace (the [`Mds`] tables) is
+//! kept unified so that every operation sequence produces bit-for-bit
+//! the same user-visible outcome regardless of shard count — the
+//! differential suite pins this. What the policy partitions is the
+//! *work*: which shard's CPU queues the request, which shard's commit
+//! log advances, and which host the client pays a round trip to.
+//! Cross-shard operations (a `rename` or `link` whose source and
+//! destination live on different shards) pay an explicit two-phase
+//! commit: both shards prepare, exchange votes over the inter-shard
+//! link, and commit — strictly more expensive than the single-shard
+//! path, but still atomic in outcome.
+
+use crate::config::{CofsConfig, MdsNetwork};
+use crate::mds::{DbOps, Mds};
+use metadb::cost::DbCostTracker;
+use netsim::ids::NodeId;
+use simcore::prelude::*;
+use std::collections::HashSet;
+use vfs::path::VPath;
+
+/// Identifies one shard within an [`MdsCluster`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ShardId(pub usize);
+
+impl std::fmt::Display for ShardId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "shard{}", self.0)
+    }
+}
+
+/// Partitions the virtual namespace across metadata shards.
+///
+/// Implementations must be pure functions of the path: the same path
+/// always routes to the same shard, so experiment runs are exactly
+/// reproducible and a dentry has a single home.
+pub trait ShardPolicy: std::fmt::Debug {
+    /// Number of shards this policy routes across.
+    fn shard_count(&self) -> usize;
+
+    /// The shard owning the metadata for `path` (its directory entry
+    /// and inode record).
+    fn shard_of(&self, path: &VPath) -> ShardId;
+
+    /// The shard charged for scanning the *entry list* of directory
+    /// `dir`, so `readdir` lands where the children live. Where the
+    /// partitioning allows, keep this consistent with
+    /// [`Self::shard_of`]: `shard_of(p) == shard_of_entries(parent(p))`
+    /// (subtree partitioning necessarily splits the root's entries).
+    fn shard_of_entries(&self, dir: &VPath) -> ShardId;
+
+    /// A short label for reports and ablation tables.
+    fn label(&self) -> &'static str;
+}
+
+/// Routes everything to shard 0 — bit-for-bit the single-MDS
+/// behavior the paper measured.
+///
+/// # Examples
+///
+/// ```
+/// use cofs::mds_cluster::{ShardId, ShardPolicy, SingleShard};
+/// use vfs::path::vpath;
+///
+/// let p = SingleShard;
+/// assert_eq!(p.shard_count(), 1);
+/// assert_eq!(p.shard_of(&vpath("/any/where")), ShardId(0));
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SingleShard;
+
+impl ShardPolicy for SingleShard {
+    fn shard_count(&self) -> usize {
+        1
+    }
+
+    fn shard_of(&self, _path: &VPath) -> ShardId {
+        ShardId(0)
+    }
+
+    fn shard_of_entries(&self, _dir: &VPath) -> ShardId {
+        ShardId(0)
+    }
+
+    fn label(&self) -> &'static str {
+        "single"
+    }
+}
+
+/// Hashes the *parent directory* of each path to a shard, so all
+/// entries of one directory live together and directory-local
+/// operations never cross shards.
+///
+/// # Examples
+///
+/// ```
+/// use cofs::mds_cluster::{HashByParent, ShardPolicy};
+/// use vfs::path::vpath;
+///
+/// let p = HashByParent::new(4);
+/// // Siblings share a shard…
+/// assert_eq!(p.shard_of(&vpath("/d/a")), p.shard_of(&vpath("/d/b")));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct HashByParent {
+    shards: usize,
+}
+
+impl HashByParent {
+    /// Creates the policy for `shards` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        HashByParent { shards }
+    }
+}
+
+impl ShardPolicy for HashByParent {
+    fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    fn shard_of(&self, path: &VPath) -> ShardId {
+        self.shard_of_entries(&path.parent().unwrap_or_else(VPath::root))
+    }
+
+    fn shard_of_entries(&self, dir: &VPath) -> ShardId {
+        ShardId((stable_hash(dir.as_str().as_bytes()) % self.shards as u64) as usize)
+    }
+
+    fn label(&self) -> &'static str {
+        "hash-parent"
+    }
+}
+
+/// Subtree (prefix) partitioning: the first path component assigns the
+/// *entire* subtree below it to one shard; root-level metadata lives on
+/// shard 0. Deep operations then never cross shards, at the price of
+/// whole-subtree hotspots.
+///
+/// # Examples
+///
+/// ```
+/// use cofs::mds_cluster::{ShardPolicy, SubtreePartition};
+/// use vfs::path::vpath;
+///
+/// let p = SubtreePartition::new(4);
+/// // Everything under one top-level directory shares a shard.
+/// assert_eq!(p.shard_of(&vpath("/proj/a/b")), p.shard_of(&vpath("/proj/z")));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct SubtreePartition {
+    shards: usize,
+}
+
+impl SubtreePartition {
+    /// Creates the policy for `shards` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        SubtreePartition { shards }
+    }
+}
+
+impl ShardPolicy for SubtreePartition {
+    fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    fn shard_of(&self, path: &VPath) -> ShardId {
+        match path.components().next() {
+            None => ShardId(0),
+            Some(first) => ShardId((stable_hash(first.as_bytes()) % self.shards as u64) as usize),
+        }
+    }
+
+    fn shard_of_entries(&self, dir: &VPath) -> ShardId {
+        // A subtree is wholly owned, entry lists included; the root's
+        // entries stay on shard 0 with the root itself.
+        self.shard_of(dir)
+    }
+
+    fn label(&self) -> &'static str {
+        "subtree"
+    }
+}
+
+/// Per-shard load observed since the last reset (for scenario reports
+/// and skew diagnostics).
+#[derive(Debug, Clone)]
+pub struct ShardUsage {
+    /// Which shard.
+    pub shard: usize,
+    /// Logical metadata operations served (a cross-shard op counts on
+    /// both participants).
+    pub rpcs: u64,
+    /// Cumulative CPU service time delivered.
+    pub busy: SimDuration,
+    /// Mean queueing delay per CPU acquisition.
+    pub mean_wait: SimDuration,
+    /// Cross-shard two-phase operations this shard participated in.
+    pub two_phase: u64,
+}
+
+#[derive(Debug)]
+struct Shard {
+    cpu: FifoResource,
+    tracker: DbCostTracker,
+    rpcs: u64,
+    two_phase: u64,
+}
+
+impl Shard {
+    fn new(idx: usize) -> Self {
+        Shard {
+            cpu: FifoResource::new(format!("cofs-mds-{idx}")),
+            tracker: DbCostTracker::new(),
+            rpcs: 0,
+            two_phase: 0,
+        }
+    }
+
+    /// Service demand of one request on this shard, advancing the
+    /// shard's commit log for the write portion.
+    fn service(&mut self, cfg: &CofsConfig, ops: DbOps) -> SimDuration {
+        let mut service = cfg.mds_service + self.tracker.query_cost(&cfg.db, ops.reads);
+        if ops.writes > 0 {
+            service += self.tracker.txn_cost(&cfg.db, ops.writes);
+        }
+        service
+    }
+}
+
+/// N independent metadata shards behind a routing policy.
+///
+/// # Examples
+///
+/// ```
+/// use cofs::config::{CofsConfig, MdsNetwork};
+/// use cofs::mds::DbOps;
+/// use cofs::mds_cluster::{HashByParent, MdsCluster};
+/// use netsim::ids::NodeId;
+/// use simcore::time::{SimDuration, SimTime};
+/// use vfs::path::vpath;
+///
+/// let mut cluster = MdsCluster::new(Box::new(HashByParent::new(4)));
+/// let cfg = CofsConfig::default();
+/// let net = MdsNetwork::uniform(SimDuration::from_micros(250));
+/// let shard = cluster.route(&vpath("/d/f"));
+/// let done = cluster.rpc(
+///     &cfg,
+///     &net,
+///     NodeId(0),
+///     shard,
+///     DbOps { reads: 3, writes: 2 },
+///     SimTime::ZERO,
+/// );
+/// assert!(done > SimTime::ZERO);
+/// ```
+#[derive(Debug)]
+pub struct MdsCluster {
+    namespace: Mds,
+    shards: Vec<Shard>,
+    policy: Box<dyn ShardPolicy>,
+    sessions: HashSet<(NodeId, usize)>,
+}
+
+impl MdsCluster {
+    /// Creates a cluster with `policy.shard_count()` empty shards over
+    /// a fresh (root-only) namespace.
+    pub fn new(policy: Box<dyn ShardPolicy>) -> Self {
+        let shards = (0..policy.shard_count()).map(Shard::new).collect();
+        MdsCluster {
+            namespace: Mds::new(),
+            shards,
+            policy,
+            sessions: HashSet::new(),
+        }
+    }
+
+    /// The unified logical namespace (the shared truth all shards
+    /// serve; see the module docs for the semantics/cost split).
+    pub fn namespace(&self) -> &Mds {
+        &self.namespace
+    }
+
+    /// Mutable access to the logical namespace — callers perform the
+    /// operation here, then charge its [`DbOps`] via [`Self::rpc`] or
+    /// [`Self::rpc_cross`].
+    pub fn namespace_mut(&mut self) -> &mut Mds {
+        &mut self.namespace
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The routing policy in use.
+    pub fn policy(&self) -> &dyn ShardPolicy {
+        self.policy.as_ref()
+    }
+
+    /// The shard owning `path` under the cluster's policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy routes outside its declared shard count.
+    pub fn route(&self, path: &VPath) -> ShardId {
+        let s = self.policy.shard_of(path);
+        assert!(s.0 < self.shards.len(), "policy routed {path} to {s}");
+        s
+    }
+
+    /// The shard charged for listing directory `dir`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy routes outside its declared shard count.
+    pub fn route_entries(&self, dir: &VPath) -> ShardId {
+        let s = self.policy.shard_of_entries(dir);
+        assert!(s.0 < self.shards.len(), "policy routed {dir} to {s}");
+        s
+    }
+
+    /// Charges one single-shard metadata RPC: session establishment on
+    /// first contact, network round trip to the shard's host, and
+    /// queueing at the shard's CPU for the database work performed.
+    /// Returns when the response reaches the client.
+    pub fn rpc(
+        &mut self,
+        cfg: &CofsConfig,
+        net: &MdsNetwork,
+        node: NodeId,
+        shard: ShardId,
+        ops: DbOps,
+        t: SimTime,
+    ) -> SimTime {
+        let mut t = t;
+        if self.sessions.insert((node, shard.0)) {
+            t += cfg.session_cost;
+        }
+        let rtt = net.shard_rtt(node, shard);
+        let arrive = t + rtt / 2;
+        let s = &mut self.shards[shard.0];
+        s.rpcs += 1;
+        let service = s.service(cfg, ops);
+        let done = s.cpu.acquire(arrive, service).end;
+        done + rtt / 2
+    }
+
+    /// Charges a cross-shard operation spanning `shards = (a, b)` as a
+    /// two-phase commit with `a` as coordinator: both shards prepare
+    /// their half of the work in parallel, `b`'s vote crosses the
+    /// inter-shard link, then both commit and the coordinator replies.
+    /// Atomicity of the *outcome* is inherited from the unified
+    /// namespace; what this models is the price of distributed
+    /// agreement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` — same-shard operations take [`Self::rpc`].
+    pub fn rpc_cross(
+        &mut self,
+        cfg: &CofsConfig,
+        net: &MdsNetwork,
+        node: NodeId,
+        shards: (ShardId, ShardId),
+        ops: DbOps,
+        t: SimTime,
+    ) -> SimTime {
+        let (a, b) = shards;
+        assert_ne!(a, b, "cross-shard rpc needs two distinct shards");
+        let mut t = t;
+        for s in [a, b] {
+            if self.sessions.insert((node, s.0)) {
+                t += cfg.session_cost;
+            }
+        }
+        let rtt = net.shard_rtt(node, a);
+        let cross = cfg.cross_shard_rtt;
+        // Split the row work between the participants; the coordinator
+        // keeps the larger half.
+        let b_ops = DbOps {
+            reads: ops.reads / 2,
+            writes: ops.writes / 2,
+        };
+        let a_ops = DbOps {
+            reads: ops.reads - b_ops.reads,
+            writes: ops.writes - b_ops.writes,
+        };
+        let arrive_a = t + rtt / 2;
+        let arrive_b = arrive_a + cross / 2;
+        // Phase 1: prepare on both shards.
+        let prep_a = {
+            let s = &mut self.shards[a.0];
+            s.rpcs += 1;
+            s.two_phase += 1;
+            let service = s.service(cfg, a_ops);
+            s.cpu.acquire(arrive_a, service).end
+        };
+        let prep_b = {
+            let s = &mut self.shards[b.0];
+            s.rpcs += 1;
+            s.two_phase += 1;
+            let service = s.service(cfg, b_ops);
+            s.cpu.acquire(arrive_b, service).end
+        };
+        // b's vote travels back to the coordinator.
+        let voted = prep_a.max(prep_b + cross / 2);
+        // Phase 2: both shards process the commit decision.
+        let commit_service = cfg.mds_service + cfg.db.commit;
+        let commit_a = self.shards[a.0].cpu.acquire(voted, commit_service).end;
+        let commit_b = self.shards[b.0]
+            .cpu
+            .acquire(voted + cross / 2, commit_service)
+            .end;
+        // The coordinator replies once it has committed and heard b's ack.
+        commit_a.max(commit_b + cross / 2) + rtt / 2
+    }
+
+    /// Per-shard load since the last [`Self::reset_time`].
+    pub fn usage(&self) -> Vec<ShardUsage> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| ShardUsage {
+                shard: i,
+                rpcs: s.rpcs,
+                busy: s.cpu.busy_time(),
+                mean_wait: s.cpu.mean_wait(),
+                two_phase: s.two_phase,
+            })
+            .collect()
+    }
+
+    /// Rewinds every shard's queue and cost state to virtual time zero
+    /// (between benchmark phases). Sessions survive, as in the
+    /// single-MDS model: establishment is paid once per node per shard.
+    pub fn reset_time(&mut self) {
+        for s in &mut self.shards {
+            s.cpu.reset();
+            s.tracker.reset();
+            s.rpcs = 0;
+            s.two_phase = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vfs::path::vpath;
+
+    fn cfg() -> CofsConfig {
+        CofsConfig::default()
+    }
+
+    fn net() -> MdsNetwork {
+        MdsNetwork::uniform(SimDuration::from_micros(250))
+    }
+
+    #[test]
+    fn single_shard_matches_legacy_rpc_math() {
+        // Replicate the pre-cluster arithmetic by hand and require
+        // bit-for-bit agreement.
+        let c = cfg();
+        let n = net();
+        let mut cluster = MdsCluster::new(Box::new(SingleShard));
+        let ops = DbOps {
+            reads: 4,
+            writes: 3,
+        };
+        let got = cluster.rpc(&c, &n, NodeId(0), ShardId(0), ops, SimTime::ZERO);
+        let mut cpu = FifoResource::new("legacy");
+        let mut tracker = DbCostTracker::new();
+        let t = SimTime::ZERO + c.session_cost;
+        let rtt = SimDuration::from_micros(250);
+        let arrive = t + rtt / 2;
+        let service = c.mds_service
+            + tracker.query_cost(&c.db, ops.reads)
+            + tracker.txn_cost(&c.db, ops.writes);
+        let expect = cpu.acquire(arrive, service).end + rtt / 2;
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn session_cost_paid_once_per_node_per_shard() {
+        let c = cfg();
+        let n = net();
+        let mut cluster = MdsCluster::new(Box::new(HashByParent::new(2)));
+        let ops = DbOps {
+            reads: 1,
+            writes: 0,
+        };
+        let first = cluster.rpc(&c, &n, NodeId(0), ShardId(0), ops, SimTime::ZERO);
+        cluster.reset_time();
+        let second = cluster.rpc(&c, &n, NodeId(0), ShardId(0), ops, SimTime::ZERO);
+        assert_eq!(first, second + c.session_cost);
+        // A different shard is a different session.
+        cluster.reset_time();
+        let other = cluster.rpc(&c, &n, NodeId(0), ShardId(1), ops, SimTime::ZERO);
+        assert_eq!(other, first);
+    }
+
+    #[test]
+    fn policies_are_pure_and_in_range() {
+        let paths = [
+            vpath("/a/b/c"),
+            vpath("/a/b"),
+            vpath("/x"),
+            VPath::root(),
+            vpath("/deep/er/still/more"),
+        ];
+        for shards in [1usize, 2, 4, 7] {
+            let policies: Vec<Box<dyn ShardPolicy>> = vec![
+                Box::new(SingleShard),
+                Box::new(HashByParent::new(shards)),
+                Box::new(SubtreePartition::new(shards)),
+            ];
+            for p in &policies {
+                for path in &paths {
+                    let s = p.shard_of(path);
+                    assert!(s.0 < p.shard_count(), "{p:?} routed {path} to {s}");
+                    assert_eq!(s, p.shard_of(path), "routing must be deterministic");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hash_by_parent_keeps_siblings_together_and_spreads_dirs() {
+        let p = HashByParent::new(4);
+        assert_eq!(p.shard_of(&vpath("/d0/a")), p.shard_of(&vpath("/d0/b")));
+        // Many distinct parents must not all collapse onto one shard.
+        let mut seen = HashSet::new();
+        for i in 0..32 {
+            seen.insert(p.shard_of(&vpath(&format!("/dir{i}/f"))));
+        }
+        assert!(
+            seen.len() >= 3,
+            "32 dirs should spread over 4 shards: {seen:?}"
+        );
+    }
+
+    #[test]
+    fn subtree_keeps_whole_trees_together() {
+        let p = SubtreePartition::new(4);
+        let top = p.shard_of(&vpath("/proj"));
+        assert_eq!(p.shard_of(&vpath("/proj/a")), top);
+        assert_eq!(p.shard_of(&vpath("/proj/a/b/c")), top);
+        assert_eq!(p.shard_of(&VPath::root()), ShardId(0));
+    }
+
+    #[test]
+    fn cross_shard_costs_more_than_single_shard() {
+        let c = cfg();
+        let n = net();
+        let ops = DbOps {
+            reads: 6,
+            writes: 5,
+        };
+        let mut one = MdsCluster::new(Box::new(SingleShard));
+        // Burn the session costs first so the comparison is steady-state.
+        one.rpc(
+            &c,
+            &n,
+            NodeId(0),
+            ShardId(0),
+            DbOps::default(),
+            SimTime::ZERO,
+        );
+        one.reset_time();
+        let single = one.rpc(&c, &n, NodeId(0), ShardId(0), ops, SimTime::ZERO);
+
+        let mut two = MdsCluster::new(Box::new(HashByParent::new(2)));
+        two.rpc(
+            &c,
+            &n,
+            NodeId(0),
+            ShardId(0),
+            DbOps::default(),
+            SimTime::ZERO,
+        );
+        two.rpc(
+            &c,
+            &n,
+            NodeId(0),
+            ShardId(1),
+            DbOps::default(),
+            SimTime::ZERO,
+        );
+        two.reset_time();
+        let cross = two.rpc_cross(
+            &c,
+            &n,
+            NodeId(0),
+            (ShardId(0), ShardId(1)),
+            ops,
+            SimTime::ZERO,
+        );
+        assert!(
+            cross > single,
+            "two-phase must cost more: {cross:?} vs {single:?}"
+        );
+        let usage = two.usage();
+        assert_eq!(usage[0].two_phase, 1);
+        assert_eq!(usage[1].two_phase, 1);
+    }
+
+    #[test]
+    fn usage_reports_per_shard_load() {
+        let c = cfg();
+        let n = net();
+        let mut cluster = MdsCluster::new(Box::new(HashByParent::new(2)));
+        let ops = DbOps {
+            reads: 2,
+            writes: 1,
+        };
+        for _ in 0..5 {
+            cluster.rpc(&c, &n, NodeId(0), ShardId(1), ops, SimTime::ZERO);
+        }
+        let usage = cluster.usage();
+        assert_eq!(usage.len(), 2);
+        assert_eq!(usage[0].rpcs, 0);
+        assert_eq!(usage[1].rpcs, 5);
+        assert!(usage[1].busy > SimDuration::ZERO);
+        cluster.reset_time();
+        assert_eq!(cluster.usage()[1].rpcs, 0);
+    }
+}

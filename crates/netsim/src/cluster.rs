@@ -44,7 +44,7 @@ pub struct Cluster {
     center_uplinks: Vec<Option<LinkId>>,
     clients: Vec<NodeId>,
     servers: Vec<NodeId>,
-    metadata_host: Option<NodeId>,
+    metadata_hosts: Vec<NodeId>,
     messages: u64,
 }
 
@@ -54,7 +54,7 @@ pub struct ClusterBuilder {
     topology: Topology,
     n_clients: usize,
     n_servers: usize,
-    metadata_host: bool,
+    n_metadata_hosts: usize,
 }
 
 impl ClusterBuilder {
@@ -65,7 +65,7 @@ impl ClusterBuilder {
             topology: Topology::flat(),
             n_clients: 4,
             n_servers: 2,
-            metadata_host: false,
+            n_metadata_hosts: 0,
         }
     }
 
@@ -82,8 +82,14 @@ impl ClusterBuilder {
     }
 
     /// Adds a dedicated blade for the COFS metadata service.
-    pub fn with_metadata_host(mut self) -> Self {
-        self.metadata_host = true;
+    pub fn with_metadata_host(self) -> Self {
+        self.metadata_hosts(1)
+    }
+
+    /// Adds `n` dedicated blades for a sharded COFS metadata service
+    /// (all attach to blade center 0, like the file servers).
+    pub fn metadata_hosts(mut self, n: usize) -> Self {
+        self.n_metadata_hosts = n;
         self
     }
 
@@ -142,7 +148,8 @@ impl ClusterBuilder {
             });
             servers.push(id);
         }
-        let metadata_host = if self.metadata_host {
+        let mut metadata_hosts = Vec::new();
+        for _ in 0..self.n_metadata_hosts {
             let id = NodeId(nodes.len() as u32);
             let access = add_link(
                 &mut links,
@@ -154,10 +161,8 @@ impl ClusterBuilder {
                 center: 0,
                 access,
             });
-            Some(id)
-        } else {
-            None
-        };
+            metadata_hosts.push(id);
+        }
 
         let n_centers = self.topology.centers_for(self.n_clients);
         let mut center_uplinks = vec![None; n_centers];
@@ -178,7 +183,7 @@ impl ClusterBuilder {
             center_uplinks,
             clients,
             servers,
-            metadata_host,
+            metadata_hosts,
             messages: 0,
         }
     }
@@ -201,9 +206,14 @@ impl Cluster {
         &self.servers
     }
 
-    /// The metadata-service host, if one was requested.
+    /// The first metadata-service host, if any was requested.
     pub fn metadata_host(&self) -> Option<NodeId> {
-        self.metadata_host
+        self.metadata_hosts.first().copied()
+    }
+
+    /// All metadata-service hosts, in shard order.
+    pub fn metadata_hosts(&self) -> &[NodeId] {
+        &self.metadata_hosts
     }
 
     /// Role of a node.
@@ -436,5 +446,28 @@ mod tests {
     #[should_panic(expected = "at least one client")]
     fn no_clients_panics() {
         let _ = ClusterBuilder::new().clients(0).build();
+    }
+
+    #[test]
+    fn multiple_metadata_hosts_join_center_zero() {
+        let c = ClusterBuilder::new()
+            .clients(4)
+            .servers(2)
+            .metadata_hosts(4)
+            .topology(Topology::hierarchical(2))
+            .build();
+        let hosts = c.metadata_hosts();
+        assert_eq!(hosts.len(), 4);
+        assert_eq!(c.metadata_host(), Some(hosts[0]));
+        assert_eq!(c.node_count(), 10);
+        for &h in hosts {
+            assert_eq!(c.role(h), NodeRole::MetadataHost);
+            assert_eq!(c.center(h), 0);
+        }
+        // A client in a remote center pays more to reach any shard
+        // than a center-0 client does.
+        let near = c.clients()[0];
+        let far = c.clients()[3];
+        assert!(c.rtt(far, hosts[2]) > c.rtt(near, hosts[2]));
     }
 }

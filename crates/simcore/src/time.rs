@@ -77,6 +77,11 @@ impl SimTime {
         self.0 / 1_000_000
     }
 
+    /// Milliseconds since simulation start, as a float.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
     /// Seconds since simulation start, as a float.
     pub fn as_secs_f64(self) -> f64 {
         self.0 as f64 / 1e9

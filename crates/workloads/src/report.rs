@@ -4,6 +4,8 @@
 //! plot; these helpers keep the formatting consistent and also emit
 //! CSV for post-processing.
 
+use cofs::mds_cluster::ShardUsage;
+use simcore::time::SimTime;
 use std::fmt;
 
 /// A simple aligned text table.
@@ -130,6 +132,61 @@ pub fn mibs(v: f64) -> String {
     format!("{v:.1}")
 }
 
+/// Formats a 0–1 fraction as a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+/// Renders per-shard metadata-service load as a table, so skewed
+/// namespace partitions are visible at a glance in scenario reports.
+/// `makespan` is the phase wall time the utilization column is
+/// computed against.
+///
+/// # Examples
+///
+/// ```
+/// use cofs::mds_cluster::ShardUsage;
+/// use simcore::time::{SimDuration, SimTime};
+/// use workloads::report::shard_utilization_table;
+///
+/// let usage = vec![ShardUsage {
+///     shard: 0,
+///     rpcs: 10,
+///     busy: SimDuration::from_millis(5),
+///     mean_wait: SimDuration::from_micros(40),
+///     two_phase: 1,
+/// }];
+/// let t = shard_utilization_table(&usage, SimTime::from_millis(10));
+/// assert!(t.render().contains("50.0%"));
+/// ```
+pub fn shard_utilization_table(usage: &[ShardUsage], makespan: SimTime) -> Table {
+    let mut t = Table::new(vec![
+        "shard",
+        "rpcs",
+        "busy (ms)",
+        "util",
+        "mean wait (ms)",
+        "2pc",
+    ]);
+    let span = makespan.as_secs_f64();
+    for u in usage {
+        let util = if span > 0.0 {
+            u.busy.as_secs_f64() / span
+        } else {
+            0.0
+        };
+        t.row(vec![
+            u.shard.to_string(),
+            u.rpcs.to_string(),
+            ms(u.busy.as_millis_f64()),
+            pct(util),
+            ms(u.mean_wait.as_millis_f64()),
+            u.two_phase.to_string(),
+        ]);
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,5 +223,35 @@ mod tests {
     fn number_formats() {
         assert_eq!(ms(1.2345), "1.23");
         assert_eq!(mibs(102.34), "102.3");
+        assert_eq!(pct(0.256), "25.6%");
+    }
+
+    #[test]
+    fn shard_table_shows_skew() {
+        use simcore::time::SimDuration;
+        let usage = vec![
+            ShardUsage {
+                shard: 0,
+                rpcs: 90,
+                busy: SimDuration::from_millis(9),
+                mean_wait: SimDuration::from_micros(500),
+                two_phase: 0,
+            },
+            ShardUsage {
+                shard: 1,
+                rpcs: 10,
+                busy: SimDuration::from_millis(1),
+                mean_wait: SimDuration::ZERO,
+                two_phase: 0,
+            },
+        ];
+        let t = shard_utilization_table(&usage, SimTime::from_millis(10));
+        let text = t.render();
+        assert!(text.contains("90.0%"), "{text}");
+        assert!(text.contains("10.0%"), "{text}");
+        assert_eq!(t.len(), 2);
+        // A zero makespan must not divide by zero.
+        let z = shard_utilization_table(&usage, SimTime::ZERO);
+        assert!(z.render().contains("0.0%"));
     }
 }

@@ -9,6 +9,7 @@
 //! directory."
 
 use crate::target::BenchTarget;
+use cofs::mds_cluster::ShardUsage;
 use netsim::ids::{NodeId, Pid};
 use simcore::time::SimTime;
 use vfs::driver::{run, Action, ClientScript, RunReport};
@@ -50,6 +51,21 @@ pub struct ScenarioResult {
     pub mean_create_ms: f64,
     /// Total files created.
     pub files: usize,
+    /// Per-shard metadata-service load during the measured phase
+    /// (empty when the target has no sharded MDS).
+    pub per_shard: Vec<ShardUsage>,
+}
+
+impl ScenarioResult {
+    /// Aggregate creation throughput over the scenario, in files/s.
+    pub fn creates_per_sec(&self) -> f64 {
+        let span = self.makespan.as_secs_f64();
+        if span > 0.0 {
+            self.files as f64 / span
+        } else {
+            0.0
+        }
+    }
 }
 
 impl CheckpointStorm {
@@ -93,7 +109,7 @@ impl CheckpointStorm {
         }
         let report = run(fs, scripts);
         report.expect_clean();
-        summarize(report, self.nodes * self.rounds)
+        summarize(report, self.nodes * self.rounds, fs.shard_usage())
     }
 }
 
@@ -164,15 +180,98 @@ impl JobBundle {
         let files = self.nodes * self.jobs_per_node * self.files_per_job;
         let report = run(fs, scripts);
         report.expect_clean();
-        summarize(report, files)
+        summarize(report, files, fs.shard_usage())
     }
 }
 
-fn summarize(report: RunReport, files: usize) -> ScenarioResult {
+/// A metadata storm over a handful of hot shared directories: every
+/// node creates files round-robin across the directories and re-stats
+/// recent ones (the monitoring/polling traffic of §II), with no
+/// payload I/O at all. This is the metadata-service stress the
+/// shard-count scaling study sweeps — at the default intensity a
+/// single metadata server saturates and serializes the storm, while
+/// partitioned shards split the hot directories between them.
+#[derive(Debug, Clone)]
+pub struct SharedDirStorm {
+    /// Nodes issuing creates.
+    pub nodes: usize,
+    /// Hot shared directories (`<root>/d0` … `<root>/d{dirs-1}`).
+    pub dirs: usize,
+    /// Files each node creates (spread round-robin over the dirs).
+    pub files_per_node: usize,
+    /// `stat` calls issued after each create (polling pressure; this
+    /// is what pushes the metadata service into its queueing regime).
+    pub stats_per_create: usize,
+    /// Parent of the shared directories.
+    pub root: VPath,
+}
+
+impl Default for SharedDirStorm {
+    fn default() -> Self {
+        SharedDirStorm {
+            nodes: 32,
+            dirs: 32,
+            files_per_node: 16,
+            stats_per_create: 8,
+            root: vpath("/storm"),
+        }
+    }
+}
+
+impl SharedDirStorm {
+    /// Runs the storm and reports completion time plus per-shard load.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any scripted operation fails.
+    pub fn run<F: BenchTarget>(&self, fs: &mut F) -> ScenarioResult {
+        let setup = OpCtx::test(NodeId(0));
+        fs.mkdir(&setup, &self.root, Mode::dir_default())
+            .expect("setup mkdir");
+        for d in 0..self.dirs {
+            fs.mkdir(
+                &setup,
+                &self.root.join(&format!("d{d}")),
+                Mode::dir_default(),
+            )
+            .expect("setup mkdir");
+        }
+        fs.phase_reset();
+        let mut scripts = Vec::new();
+        for n in 0..self.nodes {
+            let mut s = ClientScript::new(NodeId(n as u32), Pid(1));
+            s.push(Action::Barrier);
+            for i in 0..self.files_per_node {
+                // Interleave so every directory stays hot on every node.
+                let d = (n + i) % self.dirs;
+                let path = self.root.join(&format!("d{d}")).join(&format!("f.{n}.{i}"));
+                s.push_measured(
+                    "create",
+                    Action::Create {
+                        path: path.clone(),
+                        mode: Mode::file_default(),
+                        slot: 0,
+                    },
+                );
+                s.push(Action::Close { slot: 0 });
+                for _ in 0..self.stats_per_create {
+                    s.push_measured("stat", Action::Stat(path.clone()));
+                }
+            }
+            scripts.push(s);
+        }
+        let report = run(fs, scripts);
+        report.expect_clean();
+        summarize(report, self.nodes * self.files_per_node, fs.shard_usage())
+    }
+}
+
+fn summarize(report: RunReport, files: usize, per_shard: Vec<ShardUsage>) -> ScenarioResult {
     ScenarioResult {
         makespan: report.makespan,
         mean_create_ms: report.mean_millis("create"),
         files,
+        per_shard,
     }
 }
 
@@ -196,6 +295,64 @@ mod tests {
         let ctx = OpCtx::test(NodeId(0));
         assert_eq!(fs.readdir(&ctx, &storm.dir).unwrap().value.len(), 8);
         assert!(r.makespan > SimTime::ZERO);
+    }
+
+    #[test]
+    fn shared_dir_storm_creates_all_files() {
+        let storm = SharedDirStorm {
+            nodes: 4,
+            dirs: 4,
+            files_per_node: 8,
+            ..SharedDirStorm::default()
+        };
+        let mut fs = MemFs::new();
+        let r = storm.run(&mut fs);
+        assert_eq!(r.files, 32);
+        assert!(r.creates_per_sec() > 0.0);
+        // Every hot directory got an even share.
+        let ctx = OpCtx::test(NodeId(0));
+        for d in 0..4 {
+            let list = fs
+                .readdir(&ctx, &storm.root.join(&format!("d{d}")))
+                .unwrap()
+                .value;
+            assert_eq!(list.len(), 8, "d{d}");
+        }
+        // MemFs has no sharded MDS.
+        assert!(r.per_shard.is_empty());
+    }
+
+    #[test]
+    fn storm_reports_shard_usage_on_cofs() {
+        use cofs::config::{CofsConfig, MdsNetwork, ShardPolicyKind};
+        use cofs::fs::CofsFs;
+        use simcore::time::SimDuration;
+
+        let storm = SharedDirStorm {
+            nodes: 2,
+            dirs: 8,
+            files_per_node: 8,
+            ..SharedDirStorm::default()
+        };
+        let cfg = CofsConfig::default().with_shards(4, ShardPolicyKind::HashByParent);
+        let mut fs = CofsFs::new(
+            MemFs::new(),
+            cfg,
+            MdsNetwork::uniform(SimDuration::from_micros(250)),
+            7,
+        );
+        let r = storm.run(&mut fs);
+        assert_eq!(r.per_shard.len(), 4);
+        let total: u64 = r.per_shard.iter().map(|u| u.rpcs).sum();
+        // create + stat per file, at least.
+        assert!(total >= 2 * r.files as u64, "rpcs {total}");
+        // More than one shard must have carried load (8 dirs, 4 shards).
+        let loaded = r.per_shard.iter().filter(|u| u.rpcs > 0).count();
+        assert!(
+            loaded > 1,
+            "storm load stuck on one shard: {:?}",
+            r.per_shard
+        );
     }
 
     #[test]

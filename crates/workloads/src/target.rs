@@ -8,6 +8,7 @@
 //! and token state (deliberately) survive.
 
 use cofs::fs::CofsFs;
+use cofs::mds_cluster::ShardUsage;
 use pfs::fs::PfsFs;
 use vfs::fs::FileSystem;
 use vfs::memfs::MemFs;
@@ -20,6 +21,12 @@ pub trait BenchTarget: FileSystem {
     /// A short label for report tables.
     fn target_label(&self) -> &'static str {
         "fs"
+    }
+
+    /// Per-shard metadata-service load since the last reset — empty
+    /// for targets without a sharded MDS.
+    fn shard_usage(&self) -> Vec<ShardUsage> {
+        Vec::new()
     }
 }
 
@@ -48,6 +55,10 @@ impl<U: BenchTarget> BenchTarget for CofsFs<U> {
     fn target_label(&self) -> &'static str {
         "cofs"
     }
+
+    fn shard_usage(&self) -> Vec<ShardUsage> {
+        CofsFs::shard_usage(self)
+    }
 }
 
 #[cfg(test)]
@@ -71,6 +82,28 @@ mod tests {
         );
         assert_eq!(cofs.target_label(), "cofs");
         assert_eq!(MemFs::new().target_label(), "memfs");
+    }
+
+    #[test]
+    fn cofs_exposes_shard_usage_and_others_do_not() {
+        use netsim::ids::NodeId;
+        use vfs::fs::OpCtx;
+        use vfs::path::vpath;
+        use vfs::types::Mode;
+
+        let cfg = CofsConfig::default().with_shards(2, cofs::config::ShardPolicyKind::HashByParent);
+        let mut cofs = CofsFs::new(
+            MemFs::new(),
+            cfg,
+            MdsNetwork::uniform(SimDuration::from_micros(200)),
+            1,
+        );
+        let ctx = OpCtx::test(NodeId(0));
+        cofs.mkdir(&ctx, &vpath("/d"), Mode::dir_default()).unwrap();
+        let usage = BenchTarget::shard_usage(&cofs);
+        assert_eq!(usage.len(), 2);
+        assert_eq!(usage.iter().map(|u| u.rpcs).sum::<u64>(), 1);
+        assert!(MemFs::new().shard_usage().is_empty());
     }
 
     #[test]

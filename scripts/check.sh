@@ -15,6 +15,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+echo "==> RUSTDOCFLAGS=-Dwarnings cargo doc --no-deps"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
 echo "==> cargo bench -p cofs-bench --no-run"
 cargo bench -p cofs-bench --no-run
 

@@ -6,7 +6,7 @@
 //! the benchmark binaries do, and a deterministic random-operation
 //! generator for differential testing.
 
-use cofs::config::{CofsConfig, MdsNetwork};
+use cofs::config::{CofsConfig, MdsNetwork, ShardPolicyKind};
 use cofs::fs::CofsFs;
 use netsim::cluster::ClusterBuilder;
 use netsim::ids::{NodeId, Pid};
@@ -47,6 +47,40 @@ pub fn cofs_over_memfs() -> CofsFs<MemFs> {
         MemFs::new(),
         CofsConfig::default(),
         MdsNetwork::uniform(simcore::time::SimDuration::from_micros(250)),
+        7,
+    )
+}
+
+/// COFS over the reference filesystem with a sharded metadata service
+/// (hash-by-parent partitioning) — used by the differential suite to
+/// pin that shard count is invisible in user-visible outcomes.
+pub fn cofs_over_memfs_sharded(shards: usize) -> CofsFs<MemFs> {
+    CofsFs::new(
+        MemFs::new(),
+        CofsConfig::default().with_shards(shards, ShardPolicyKind::HashByParent),
+        MdsNetwork::uniform(simcore::time::SimDuration::from_micros(250)),
+        7,
+    )
+}
+
+/// COFS over GPFS with `shards` metadata blades and the given
+/// partitioning policy.
+pub fn cofs_over_gpfs_sharded(
+    nodes: usize,
+    shards: usize,
+    policy: ShardPolicyKind,
+) -> CofsFs<PfsFs> {
+    let cluster = ClusterBuilder::new()
+        .clients(nodes)
+        .servers(2)
+        .metadata_hosts(shards)
+        .build();
+    let hosts = cluster.metadata_hosts().to_vec();
+    let net = MdsNetwork::from_cluster_hosts(&cluster, &hosts);
+    CofsFs::new(
+        PfsFs::new(cluster, PfsConfig::default()),
+        CofsConfig::default().with_shards(shards, policy),
+        net,
         7,
     )
 }

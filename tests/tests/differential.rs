@@ -1,12 +1,15 @@
 //! Differential tests: random operation sequences must produce
 //! identical user-visible outcomes on the reference `MemFs`, on
-//! COFS-over-MemFs, on bare GPFS (`PfsFs`), and on COFS-over-GPFS.
+//! COFS-over-MemFs (at 1, 2, and 4 metadata shards), on bare GPFS
+//! (`PfsFs`), and on COFS-over-GPFS.
 //!
 //! This is the strongest POSIX-compliance evidence in the repository:
-//! the virtualization layer reorganizes the physical layout
-//! arbitrarily, yet no sequence of operations may be able to tell.
+//! the virtualization layer reorganizes the physical layout — and the
+//! shard policy partitions the metadata service — arbitrarily, yet no
+//! sequence of operations may be able to tell. Shard counts are
+//! distinguishable only by simulated time, never by outcome.
 
-use cofs_tests::{apply, cofs_over_gpfs, cofs_over_memfs, gen_ops, gpfs};
+use cofs_tests::{apply, cofs_over_gpfs, cofs_over_memfs, cofs_over_memfs_sharded, gen_ops, gpfs};
 use netsim::ids::NodeId;
 use vfs::memfs::MemFs;
 
@@ -14,6 +17,8 @@ fn run_differential(seed: u64, n_ops: usize) {
     let ops = gen_ops(seed, n_ops);
     let mut reference = MemFs::new();
     let mut cofs_mem = cofs_over_memfs();
+    let mut cofs_mem_2s = cofs_over_memfs_sharded(2);
+    let mut cofs_mem_4s = cofs_over_memfs_sharded(4);
     let mut bare_gpfs = gpfs(2);
     let mut cofs_gpfs = cofs_over_gpfs(2);
     for (i, op) in ops.iter().enumerate() {
@@ -21,6 +26,8 @@ fn run_differential(seed: u64, n_ops: usize) {
         let expect = apply(&mut reference, node, op);
         for (label, got) in [
             ("cofs/memfs", apply(&mut cofs_mem, node, op)),
+            ("cofs/memfs 2 shards", apply(&mut cofs_mem_2s, node, op)),
+            ("cofs/memfs 4 shards", apply(&mut cofs_mem_4s, node, op)),
             ("gpfs", apply(&mut bare_gpfs, node, op)),
             ("cofs/gpfs", apply(&mut cofs_gpfs, node, op)),
         ] {
