@@ -75,6 +75,43 @@ fn bench_mds(c: &mut Criterion) {
     });
 }
 
+/// The hot-stat storm in the metadata-service limit, with and without
+/// the client cache — measures the simulator's wall-clock cost of the
+/// cache bookkeeping itself (the *virtual*-time win is asserted by the
+/// integration tests; here we make sure lease tracking stays cheap).
+fn client_cache_storm(cached: bool) {
+    use cofs::config::ShardPolicyKind;
+    use simcore::time::SimDuration;
+    use workloads::scenarios::HotStatStorm;
+
+    let storm = HotStatStorm {
+        nodes: 4,
+        dirs: 2,
+        files_per_dir: 8,
+        rounds: 4,
+        ..HotStatStorm::default()
+    };
+    let mut fs = if cached {
+        cofs_bench::cofs_mds_limit_cached(
+            2,
+            ShardPolicyKind::HashByParent,
+            SimDuration::from_secs(10),
+        )
+    } else {
+        cofs_bench::cofs_mds_limit(2, ShardPolicyKind::HashByParent)
+    };
+    storm.run(&mut fs);
+}
+
+fn bench_client_cache(c: &mut Criterion) {
+    c.bench_function("client_cache_hot_stat_off", |b| {
+        b.iter(|| client_cache_storm(false))
+    });
+    c.bench_function("client_cache_hot_stat_on", |b| {
+        b.iter(|| client_cache_storm(true))
+    });
+}
+
 fn bench_fig1(c: &mut Criterion) {
     c.bench_function("fig1_single_node_stat_1536", |b| {
         b.iter(|| {
@@ -149,6 +186,6 @@ fn bench_table1(c: &mut Criterion) {
 criterion_group! {
     name = paper;
     config = Criterion::default().sample_size(10);
-    targets = bench_fig1, bench_fig2, bench_fig4, bench_fig5, bench_fig6, bench_table1, bench_mds
+    targets = bench_fig1, bench_fig2, bench_fig4, bench_fig5, bench_fig6, bench_table1, bench_mds, bench_client_cache
 }
 criterion_main!(paper);

@@ -8,6 +8,12 @@
 //! 4. *MDS sharding*: shard count × partitioning policy under the
 //!    shared-directory storm (extension; the single-shard row is the
 //!    paper's centralized service).
+//! 5. *Client cache*: lease TTL under a read-only hot-stat storm vs.
+//!    a write-sharing storm — near-total RTT elimination in the first,
+//!    hit-rate collapse (and recall traffic) in the second.
+//!
+//! Alongside the text tables the binary writes `BENCH_ablation.json`
+//! (see [`cofs_bench::write_bench_json`]) for machine consumption.
 
 use cofs::config::{CofsConfig, MdsNetwork, ShardPolicyKind};
 use cofs::fs::CofsFs;
@@ -15,11 +21,15 @@ use cofs::placement::{HashedPlacement, PassthroughPlacement, PlacementPolicy};
 use netsim::cluster::ClusterBuilder;
 use pfs::config::PfsConfig;
 use pfs::fs::PfsFs;
+use simcore::time::SimDuration;
 use workloads::metarates::{run_phase, MetaOp, MetaratesConfig};
-use workloads::report::{ms, Table};
-use workloads::scenarios::SharedDirStorm;
+use workloads::report::{cache_cells, ms, Table, CACHE_COLUMNS};
+use workloads::scenarios::{HotStatStorm, SharedDirStorm};
 
-use cofs_bench::{cofs_mds_limit, smoke_files, smoke_nodes};
+use cofs_bench::{
+    cofs_mds_limit, cofs_mds_limit_cached, smoke_files, smoke_mode, smoke_nodes, smoke_or,
+    write_bench_json,
+};
 
 fn stack(cfg: CofsConfig, placement: Box<dyn PlacementPolicy>) -> CofsFs<PfsFs> {
     let cluster = ClusterBuilder::new()
@@ -92,7 +102,7 @@ fn main() {
         "\n== MDS sharding ablation (storm: {} nodes, {} dirs, {} files/node) ==\n",
         storm.nodes, storm.dirs, storm.files_per_node
     );
-    let mut table = Table::new(vec!["variant", "create (ms)", "makespan (ms)"]);
+    let mut shard_table = Table::new(vec!["variant", "create (ms)", "makespan (ms)"]);
     for (shards, policy, label) in [
         (1, ShardPolicyKind::Single, "1 shard (paper, centralized)"),
         (2, ShardPolicyKind::HashByParent, "2 shards, hash-by-parent"),
@@ -104,11 +114,84 @@ fn main() {
     ] {
         let mut fs = cofs_mds_limit(shards, policy);
         let r = storm.run(&mut fs);
-        table.row(vec![
+        shard_table.row(vec![
             label.into(),
             ms(r.mean_create_ms),
             ms(r.makespan.as_millis_f64()),
         ]);
     }
-    println!("{}", table.render());
+    println!("{}", shard_table.render());
+
+    // ---- client-cache ablation: lease TTL, read-only vs write-shared --
+    // The same cache, two workloads: the hot-stat storm never mutates
+    // the polled tree (leases live out their TTL — hits dominate and
+    // the per-op RTT disappears), while the shared-dir storm's creates
+    // recall the listing leases its own readdir polling takes out (hit
+    // rate collapses, recall columns light up).
+    let hot = HotStatStorm {
+        nodes: smoke_nodes(8),
+        rounds: if smoke_mode() { 3 } else { 8 },
+        ..HotStatStorm::default()
+    };
+    let shared = SharedDirStorm {
+        nodes: smoke_nodes(8),
+        dirs: 4,
+        files_per_node: smoke_files(16),
+        stats_per_create: 2,
+        readdirs_per_create: 1,
+        ..SharedDirStorm::default()
+    };
+    println!(
+        "\n== Client-cache ablation (2 shards; hot-stat: {} nodes × {} rounds; \
+         shared-dir: {} nodes, {} dirs, readdir polling) ==\n",
+        hot.nodes, hot.rounds, shared.nodes, shared.dirs
+    );
+    let mut headers = vec!["workload", "cache ttl", "makespan (ms)"];
+    headers.extend(CACHE_COLUMNS);
+    let mut cache_table = Table::new(headers);
+    let ttls = smoke_or(
+        vec![None, Some(SimDuration::from_secs(10))],
+        vec![
+            None,
+            Some(SimDuration::from_millis(2)),
+            Some(SimDuration::from_millis(50)),
+            Some(SimDuration::from_secs(10)),
+        ],
+    );
+    for ttl in &ttls {
+        let build = || match ttl {
+            None => cofs_mds_limit(2, ShardPolicyKind::HashByParent),
+            Some(ttl) => cofs_mds_limit_cached(2, ShardPolicyKind::HashByParent, *ttl),
+        };
+        let ttl_label = ttl.map_or("off".to_string(), |t| format!("{:.0}ms", t.as_millis_f64()));
+        let r = hot.run(&mut build());
+        let mut row = vec![
+            "hot-stat (read-only)".to_string(),
+            ttl_label.clone(),
+            ms(r.makespan.as_millis_f64()),
+        ];
+        row.extend(cache_cells(r.cache.as_ref()));
+        cache_table.row(row);
+        let r = shared.run(&mut build());
+        let mut row = vec![
+            "shared-dir (write sharing)".to_string(),
+            ttl_label,
+            ms(r.makespan.as_millis_f64()),
+        ];
+        row.extend(cache_cells(r.cache.as_ref()));
+        cache_table.row(row);
+    }
+    println!("{}", cache_table.render());
+
+    match write_bench_json(
+        "ablation",
+        &[
+            ("placement ablations", &table),
+            ("mds sharding ablation", &shard_table),
+            ("client-cache ablation", &cache_table),
+        ],
+    ) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_ablation.json: {e}"),
+    }
 }

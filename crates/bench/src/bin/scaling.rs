@@ -8,18 +8,28 @@
 //!    paper frames the virtualization layer as the enabler for
 //!    distributing metadata across multiple servers; this axis
 //!    measures that enablement directly.
+//! 3. Client-cache sweep under the hot-stat storm: lease TTL × shard
+//!    count, measuring how much of the remaining per-op RTT the
+//!    client-side metadata cache removes when nothing conflicts.
+//!
+//! Alongside the text tables the binary writes `BENCH_scaling.json`
+//! (see [`cofs_bench::write_bench_json`]) for machine consumption.
 
 use cofs::config::ShardPolicyKind;
-use cofs_bench::{cofs_mds_limit, cofs_over_gpfs_on, gpfs_on, smoke_files, smoke_or};
+use cofs_bench::{
+    cofs_mds_limit, cofs_mds_limit_cached, cofs_over_gpfs_on, gpfs_on, smoke_files, smoke_or,
+    write_bench_json,
+};
 use netsim::topology::Topology;
+use simcore::time::SimDuration;
 use workloads::metarates::{run_phase, MetaOp, MetaratesConfig};
-use workloads::report::{ms, shard_utilization_table, Table};
-use workloads::scenarios::SharedDirStorm;
+use workloads::report::{cache_cells, ms, shard_utilization_table, Table, CACHE_COLUMNS};
+use workloads::scenarios::{HotStatStorm, SharedDirStorm};
 
 fn main() {
     let fpn = smoke_files(256);
     println!("== Scaling: create & stat vs node count (hierarchical, {fpn} files/node) ==\n");
-    let mut table = Table::new(vec![
+    let mut nodes_table = Table::new(vec![
         "nodes",
         "gpfs create",
         "cofs create",
@@ -34,7 +44,7 @@ fn main() {
         let cc = run_phase(&mut cofs_over_gpfs_on(nodes, topo()), &cfg, MetaOp::Create);
         let gs = run_phase(&mut gpfs_on(nodes, topo()), &cfg, MetaOp::Stat);
         let cs = run_phase(&mut cofs_over_gpfs_on(nodes, topo()), &cfg, MetaOp::Stat);
-        table.row(vec![
+        nodes_table.row(vec![
             nodes.to_string(),
             ms(gc.mean_ms()),
             ms(cc.mean_ms()),
@@ -42,7 +52,7 @@ fn main() {
             ms(cs.mean_ms()),
         ]);
     }
-    println!("{}", table.render());
+    println!("{}", nodes_table.render());
 
     // ---- shard-count axis (ROADMAP extension, not a paper figure) ----
     // Run in the metadata-service limit (MemFs substrate): over real
@@ -59,7 +69,7 @@ fn main() {
          metadata-service limit) ==\n",
         storm.nodes, storm.dirs, storm.files_per_node, storm.stats_per_create
     );
-    let mut table = Table::new(vec![
+    let mut shards_table = Table::new(vec![
         "shards",
         "policy",
         "create (ms)",
@@ -68,7 +78,7 @@ fn main() {
     ]);
     let shard_counts = smoke_or(vec![1, 2], vec![1, 2, 4, 8]);
     let mut last_usage = None;
-    for shards in shard_counts {
+    for shards in shard_counts.clone() {
         let policy = if shards == 1 {
             ShardPolicyKind::Single
         } else {
@@ -76,7 +86,7 @@ fn main() {
         };
         let mut fs = cofs_mds_limit(shards, policy);
         let r = storm.run(&mut fs);
-        table.row(vec![
+        shards_table.row(vec![
             shards.to_string(),
             fs.mds_cluster().policy().label().into(),
             ms(r.mean_create_ms),
@@ -85,9 +95,74 @@ fn main() {
         ]);
         last_usage = Some((r.per_shard, r.makespan));
     }
-    println!("{}", table.render());
-    if let Some((usage, makespan)) = last_usage {
-        println!("Per-shard load at the largest shard count:\n");
-        println!("{}", shard_utilization_table(&usage, makespan).render());
+    println!("{}", shards_table.render());
+    let (usage, usage_makespan) = last_usage.expect("shard sweep ran");
+    println!("Per-shard load at the largest shard count:\n");
+    let usage_table = shard_utilization_table(&usage, usage_makespan);
+    println!("{}", usage_table.render());
+
+    // ---- client-cache axis: hot-stat storm, lease TTL × shards ----
+    // The cache's best case: a read-only tree every node polls. With
+    // leases the RTT is paid once per (node, path) per TTL window, so
+    // makespan collapses toward the FUSE dispatch floor whatever the
+    // shard count — and the shard sweep shows caching and sharding
+    // compose (hits bypass the shard queues entirely).
+    let hot = HotStatStorm {
+        nodes: cofs_bench::smoke_nodes(16),
+        rounds: if cofs_bench::smoke_mode() { 3 } else { 8 },
+        ..HotStatStorm::default()
+    };
+    println!(
+        "== Scaling: hot-stat storm vs client cache \
+         ({} nodes, {} dirs × {} files, {} rounds, metadata-service limit) ==\n",
+        hot.nodes, hot.dirs, hot.files_per_dir, hot.rounds
+    );
+    let mut headers = vec!["shards", "cache ttl", "stat (ms)", "makespan (ms)"];
+    headers.extend(CACHE_COLUMNS);
+    let mut cache_table = Table::new(headers);
+    let ttls = smoke_or(
+        vec![None, Some(SimDuration::from_secs(10))],
+        vec![
+            None,
+            Some(SimDuration::from_millis(2)),
+            Some(SimDuration::from_millis(50)),
+            Some(SimDuration::from_secs(10)),
+        ],
+    );
+    for shards in shard_counts {
+        let policy = if shards == 1 {
+            ShardPolicyKind::Single
+        } else {
+            ShardPolicyKind::HashByParent
+        };
+        for ttl in &ttls {
+            let mut fs = match ttl {
+                None => cofs_mds_limit(shards, policy),
+                Some(ttl) => cofs_mds_limit_cached(shards, policy, *ttl),
+            };
+            let r = hot.run(&mut fs);
+            let mut row = vec![
+                shards.to_string(),
+                ttl.map_or("off".into(), |t| format!("{:.0}ms", t.as_millis_f64())),
+                ms(r.mean_stat_ms),
+                ms(r.makespan.as_millis_f64()),
+            ];
+            row.extend(cache_cells(r.cache.as_ref()));
+            cache_table.row(row);
+        }
+    }
+    println!("{}", cache_table.render());
+
+    match write_bench_json(
+        "scaling",
+        &[
+            ("create & stat vs node count", &nodes_table),
+            ("shared-directory storm vs shard count", &shards_table),
+            ("per-shard load at largest shard count", &usage_table),
+            ("hot-stat storm vs client cache", &cache_table),
+        ],
+    ) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_scaling.json: {e}"),
     }
 }

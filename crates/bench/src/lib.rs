@@ -82,6 +82,25 @@ pub fn cofs_mds_limit(shards: usize, policy: ShardPolicyKind) -> CofsFs<vfs::mem
     )
 }
 
+/// [`cofs_mds_limit`] with the client-side metadata cache switched on
+/// (capacity 4096 entries/node) at the given lease TTL — the stack the
+/// cache axis of the `scaling`/`ablation` binaries sweeps.
+pub fn cofs_mds_limit_cached(
+    shards: usize,
+    policy: ShardPolicyKind,
+    lease_ttl: simcore::time::SimDuration,
+) -> CofsFs<vfs::memfs::MemFs> {
+    let cfg = CofsConfig::default()
+        .with_shards(shards, policy)
+        .with_client_cache(4096, lease_ttl);
+    CofsFs::new(
+        vfs::memfs::MemFs::new(),
+        cfg,
+        MdsNetwork::uniform(simcore::time::SimDuration::from_micros(250)),
+        0xC0F5,
+    )
+}
+
 /// The files-per-node sweep of Figs 4 and 5.
 pub const FILES_PER_NODE_SWEEP: [usize; 9] = [32, 64, 128, 256, 512, 1024, 2048, 4096, 8192];
 
@@ -141,6 +160,86 @@ pub fn smoke_or<T>(smoke: Vec<T>, full: Vec<T>) -> Vec<T> {
     }
 }
 
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Emits a table cell as JSON: bare number when the whole cell parses
+/// as a finite float (so downstream tooling gets numbers, not digit
+/// strings), quoted string otherwise ("hash-parent", "25.6%", "-").
+fn json_cell(cell: &str) -> String {
+    match cell.parse::<f64>() {
+        Ok(v) if v.is_finite() => cell.to_string(),
+        _ => format!("\"{}\"", json_escape(cell)),
+    }
+}
+
+/// Writes the machine-readable companion of a benchmark binary's text
+/// report: `BENCH_<name>.json` containing every table (headers + rows,
+/// numeric cells as JSON numbers), in the directory named by
+/// `COFS_BENCH_OUT` (default: the current directory). The perf
+/// trajectory reads these files; the text tables stay for humans.
+///
+/// # Errors
+///
+/// Propagates the underlying filesystem write error.
+pub fn write_bench_json(
+    name: &str,
+    sections: &[(&str, &workloads::report::Table)],
+) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::env::var_os("COFS_BENCH_OUT")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("."));
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("BENCH_{name}.json"));
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"bench\": \"{}\",\n", json_escape(name)));
+    out.push_str(&format!("  \"smoke\": {},\n", smoke_mode()));
+    out.push_str("  \"sections\": [\n");
+    for (i, (title, table)) in sections.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"title\": \"{}\",\n", json_escape(title)));
+        let headers: Vec<String> = table
+            .headers()
+            .iter()
+            .map(|h| format!("\"{}\"", json_escape(h)))
+            .collect();
+        out.push_str(&format!("      \"headers\": [{}],\n", headers.join(", ")));
+        out.push_str("      \"rows\": [\n");
+        for (j, row) in table.rows().iter().enumerate() {
+            let cells: Vec<String> = row.iter().map(|c| json_cell(c)).collect();
+            out.push_str(&format!("        [{}]", cells.join(", ")));
+            out.push_str(if j + 1 < table.rows().len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("      ]\n");
+        out.push_str(if i + 1 < sections.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(&path, out)?;
+    Ok(path)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,6 +247,38 @@ mod tests {
     use vfs::fs::OpCtx;
     use vfs::path::vpath;
     use vfs::types::Mode;
+
+    #[test]
+    fn bench_json_round_trips_tables() {
+        use workloads::report::Table;
+
+        let dir = std::env::temp_dir().join(format!("cofs-bench-json-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::env::set_var("COFS_BENCH_OUT", &dir);
+        let mut t = Table::new(vec!["shards", "policy", "create (ms)"]);
+        t.row(vec!["4".into(), "hash-parent".into(), "1.25".into()]);
+        let path = write_bench_json("unit_test", &[("storm", &t)]).unwrap();
+        std::env::remove_var("COFS_BENCH_OUT");
+        assert_eq!(path.file_name().unwrap(), "BENCH_unit_test.json");
+        let text = std::fs::read_to_string(&path).unwrap();
+        // Numeric cells are numbers, labels are strings, structure is
+        // a sections array.
+        assert!(text.contains("\"sections\""), "{text}");
+        assert!(text.contains("[4, \"hash-parent\", 1.25]"), "{text}");
+        assert!(text.contains("\"headers\": [\"shards\", \"policy\", \"create (ms)\"]"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cached_factory_enables_the_cache() {
+        let fs = cofs_mds_limit_cached(
+            2,
+            ShardPolicyKind::HashByParent,
+            simcore::time::SimDuration::from_secs(1),
+        );
+        assert!(fs.client_cache().enabled());
+        assert_eq!(fs.mds_cluster().shard_count(), 2);
+    }
 
     #[test]
     fn factories_build_working_stacks() {

@@ -25,6 +25,34 @@ fn run_smoke(exe: &str, expect: &str) {
     );
 }
 
+/// Runs a sweep binary with `COFS_BENCH_OUT` pointed at a scratch
+/// directory and returns the `BENCH_<name>.json` it must write.
+fn run_smoke_with_json(exe: &str, expect: &str, name: &str) -> String {
+    let dir = std::env::temp_dir().join(format!("cofs-smoke-{name}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = Command::new(exe)
+        .env("COFS_SMOKE", "1")
+        .env("COFS_BENCH_OUT", &dir)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn {exe}: {e}"));
+    assert!(
+        out.status.success(),
+        "{exe} exited with {:?}\nstderr:\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains(expect),
+        "{exe} output missing {expect:?}; got:\n{stdout}"
+    );
+    let json_path = dir.join(format!("BENCH_{name}.json"));
+    let json = std::fs::read_to_string(&json_path)
+        .unwrap_or_else(|e| panic!("{exe} did not write {}: {e}", json_path.display()));
+    std::fs::remove_dir_all(&dir).ok();
+    json
+}
+
 #[test]
 fn fig1_runs() {
     run_smoke(env!("CARGO_BIN_EXE_fig1"), "Fig 1");
@@ -56,11 +84,15 @@ fn table1_runs() {
 }
 
 #[test]
-fn scaling_runs() {
-    run_smoke(env!("CARGO_BIN_EXE_scaling"), "Scaling");
+fn scaling_runs_and_writes_json() {
+    let json = run_smoke_with_json(env!("CARGO_BIN_EXE_scaling"), "Scaling", "scaling");
+    assert!(json.contains("\"sections\""), "{json}");
+    assert!(json.contains("hot-stat storm vs client cache"), "{json}");
 }
 
 #[test]
-fn ablation_runs() {
-    run_smoke(env!("CARGO_BIN_EXE_ablation"), "Ablations");
+fn ablation_runs_and_writes_json() {
+    let json = run_smoke_with_json(env!("CARGO_BIN_EXE_ablation"), "Ablations", "ablation");
+    assert!(json.contains("client-cache ablation"), "{json}");
+    assert!(json.contains("mds sharding ablation"), "{json}");
 }

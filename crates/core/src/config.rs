@@ -1,6 +1,7 @@
 //! COFS configuration: FUSE interposition costs, metadata-service
 //! network model, sharding, and placement parameters.
 
+use crate::client_cache::ClientCacheConfig;
 use crate::mds_cluster::{HashByParent, ShardId, ShardPolicy, SingleShard, SubtreePartition};
 use metadb::cost::DbCostModel;
 use netsim::cluster::Cluster;
@@ -66,6 +67,12 @@ pub struct CofsConfig {
     /// prepare/vote and commit/ack exchanges of cross-shard two-phase
     /// operations.
     pub cross_shard_rtt: SimDuration,
+
+    // ---- client-side metadata cache ----
+    /// Per-client attribute/dentry caching with lease-based coherence
+    /// (see [`crate::client_cache`]). Disabled by default so the
+    /// paper-calibrated numbers are reproduced bit-for-bit.
+    pub client_cache: ClientCacheConfig,
 }
 
 impl Default for CofsConfig {
@@ -82,6 +89,7 @@ impl Default for CofsConfig {
             mds_shards: 1,
             shard_policy: ShardPolicyKind::Single,
             cross_shard_rtt: SimDuration::from_micros(220),
+            client_cache: ClientCacheConfig::default(),
         }
     }
 }
@@ -109,6 +117,13 @@ impl CofsConfig {
         );
         self.mds_shards = shards;
         self.shard_policy = policy;
+        self
+    }
+
+    /// A copy of this config with the client-side metadata cache
+    /// switched on with the given per-node capacity and lease TTL.
+    pub fn with_client_cache(mut self, capacity: usize, lease_ttl: SimDuration) -> Self {
+        self.client_cache = ClientCacheConfig::enabled(capacity, lease_ttl);
         self
     }
 

@@ -8,6 +8,7 @@
 //! metadata operations to a centralized metadata service). Only
 //! requests related to file contents reach the underlying filesystem.
 
+use crate::client_cache::{CacheStats, ClientCache, EntryKind, LeaseKey};
 use crate::config::{CofsConfig, MdsNetwork};
 use crate::mds::{Cred, DbOps, Mds};
 use crate::mds_cluster::{MdsCluster, ShardPolicy, ShardUsage};
@@ -68,6 +69,7 @@ pub struct CofsFs<U: FileSystem> {
     cfg: CofsConfig,
     net: MdsNetwork,
     mds: MdsCluster,
+    cache: ClientCache,
     placement: Box<dyn PlacementPolicy>,
     made_dirs: HashSet<VPath>,
     handles: HashMap<u64, CHandle>,
@@ -133,6 +135,7 @@ impl<U: FileSystem> CofsFs<U> {
             under,
             net,
             mds: MdsCluster::new(shard_policy),
+            cache: ClientCache::new(cfg.client_cache.clone()),
             placement,
             made_dirs: HashSet::new(),
             handles: HashMap::new(),
@@ -181,11 +184,25 @@ impl<U: FileSystem> CofsFs<U> {
         &self.cfg
     }
 
+    /// The per-client metadata cache (lease state and knobs).
+    pub fn client_cache(&self) -> &ClientCache {
+        &self.cache
+    }
+
+    /// Aggregate client-cache counters since the last
+    /// [`Self::reset_time`] (all zero with the cache disabled).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
     /// Rewinds every metadata shard's queue to virtual time zero (used
     /// between benchmark phases together with the underlying
-    /// filesystem's own reset).
+    /// filesystem's own reset). Cached entries and their leases
+    /// survive, like sessions; the cache counters rewind with the
+    /// shard counters so reports describe the measured phase only.
     pub fn reset_time(&mut self) {
         self.mds.reset_time();
+        self.cache.reset_stats();
     }
 
     fn cred(ctx: &OpCtx) -> Cred {
@@ -261,6 +278,87 @@ impl<U: FileSystem> CofsFs<U> {
     /// FUSE interposition cost for one request.
     fn fuse(&self, ctx: &OpCtx) -> simcore::time::SimTime {
         ctx.now + self.cfg.fuse_dispatch
+    }
+
+    /// Charges a lease-eligible metadata read. A live cached lease
+    /// answers locally — no RPC, no shard contact, ~0 RTT. A miss pays
+    /// the full shard RPC and installs a fresh lease for the caller.
+    /// The *answer* always comes from the unified namespace either
+    /// way; only the charged time differs (see [`crate::client_cache`]).
+    fn cached_read(
+        &mut self,
+        ctx: &OpCtx,
+        kind: EntryKind,
+        path: &VPath,
+        ops: DbOps,
+        t: simcore::time::SimTime,
+    ) -> simcore::time::SimTime {
+        match self.cache.lookup(ctx.node, kind, path, t) {
+            crate::client_cache::Lookup::Hit => {
+                self.counters.bump("cache_hits");
+                return t;
+            }
+            crate::client_cache::Lookup::Expired => {
+                // The lapsed lease is useless to everyone; telling the
+                // shard (for free, piggybacked on the refetch below)
+                // keeps its lease registry bounded.
+                self.mds.release_lease(ctx.node, &(kind, path.clone()));
+            }
+            crate::client_cache::Lookup::Miss => {}
+        }
+        let shard = match kind {
+            EntryKind::Attr => self.mds.route(path),
+            EntryKind::Dentry => self.mds.route_entries(path),
+        };
+        let done = self.rpc_at(ctx.node, shard, ops, t);
+        if self.cache.enabled() {
+            self.counters.bump("cache_misses");
+            if let Some(evicted) = self.cache.insert(ctx.node, kind, path.clone(), done) {
+                self.mds.release_lease(ctx.node, &evicted);
+            }
+            self.mds.grant_lease(
+                ctx.node,
+                (kind, path.clone()),
+                self.cache.lease_expiry(done),
+            );
+        }
+        done
+    }
+
+    /// Recalls every lease conflicting with a mutation that completed
+    /// at `t`: the owning shards message each remote holder (in
+    /// parallel, RTT-costed), the recalled entries leave the holders'
+    /// caches, and the mutator's own copies are dropped for free.
+    fn recall(
+        &mut self,
+        node: NodeId,
+        keys: Vec<LeaseKey>,
+        t: simcore::time::SimTime,
+    ) -> simcore::time::SimTime {
+        if !self.cache.enabled() {
+            return t;
+        }
+        let (done, dropped) = self.mds.recall_leases(&self.net, node, &keys, t);
+        let msgs = dropped.iter().filter(|(h, _)| *h != node).count() as u64;
+        if msgs > 0 {
+            self.counters.add("lease_recalls", msgs);
+            self.cache.note_recall_messages(msgs);
+        }
+        for (holder, (kind, path)) in &dropped {
+            self.cache.invalidate(*holder, *kind, path);
+        }
+        done
+    }
+
+    /// The lease keys a namespace mutation under `path`'s parent
+    /// conflicts with: the parent's entry list and its own attributes
+    /// (mtime/entry count change with the child set).
+    fn parent_keys(path: &VPath) -> [LeaseKey; 2] {
+        let parent = path.parent().unwrap_or_else(VPath::root);
+        [
+            (EntryKind::Dentry, parent.clone()),
+            (EntryKind::Attr, parent),
+        ]
     }
 
     /// Ensures the underlying directory chain for `dir` exists,
@@ -352,7 +450,9 @@ impl<U: FileSystem> FileSystem for CofsFs<U> {
             .mds
             .namespace_mut()
             .mkdir(Self::cred(ctx), path, mode, ctx.now)?;
-        Ok(Timed::new((), self.rpc(ctx.node, path, ops, t)))
+        let t = self.rpc(ctx.node, path, ops, t);
+        let t = self.recall(ctx.node, Self::parent_keys(path).into(), t);
+        Ok(Timed::new((), t))
     }
 
     fn rmdir(&mut self, ctx: &OpCtx, path: &VPath) -> FsResult<()> {
@@ -362,7 +462,14 @@ impl<U: FileSystem> FileSystem for CofsFs<U> {
             .mds
             .namespace_mut()
             .rmdir(Self::cred(ctx), path, ctx.now)?;
-        Ok(Timed::new((), self.rpc(ctx.node, path, ops, t)))
+        let t = self.rpc(ctx.node, path, ops, t);
+        let mut keys = vec![
+            (EntryKind::Attr, path.clone()),
+            (EntryKind::Dentry, path.clone()),
+        ];
+        keys.extend(Self::parent_keys(path));
+        let t = self.recall(ctx.node, keys, t);
+        Ok(Timed::new((), t))
     }
 
     fn create(&mut self, ctx: &OpCtx, path: &VPath, mode: Mode) -> FsResult<FileHandle> {
@@ -387,6 +494,9 @@ impl<U: FileSystem> FileSystem for CofsFs<U> {
             ctx.now,
         )?;
         let mut t = self.rpc(ctx.node, path, ops, t);
+        // Other clients caching the parent's listing (or its attrs)
+        // must give their leases back before the create is done.
+        t = self.recall(ctx.node, Self::parent_keys(path).into(), t);
         // Materialize the underlying file in its private directory.
         t = self.ensure_under_dir(ctx, &dir, t)?;
         let dctx = Self::daemon_ctx(ctx, t);
@@ -419,7 +529,7 @@ impl<U: FileSystem> FileSystem for CofsFs<U> {
         if flags.write && !a.mode.allows_write(ctx.uid, ctx.gid, a.uid, a.gid) {
             return Err(FsError::new(Errno::EACCES, "open", path.as_str()));
         }
-        let mut t = self.rpc(ctx.node, path, ops, t);
+        let mut t = self.cached_read(ctx, EntryKind::Attr, path, ops, t);
         let mut under_fh = None;
         let mut lazy = false;
         if rec.ftype == FileType::Regular {
@@ -436,6 +546,7 @@ impl<U: FileSystem> FileSystem for CofsFs<U> {
                 t = under.end;
                 let ops = self.mds.namespace_mut().set_size(rec.ino, 0, ctx.now);
                 t = self.rpc(ctx.node, path, ops, t);
+                t = self.recall(ctx.node, vec![(EntryKind::Attr, path.clone())], t);
             } else {
                 // The daemon defers the underlying open until the
                 // first read/write; an open/close cycle with no I/O
@@ -477,6 +588,7 @@ impl<U: FileSystem> FileSystem for CofsFs<U> {
                 t = t.max(dctx.now);
                 let ops = self.mds.namespace_mut().set_size(h.vino, size, ctx.now);
                 t = self.rpc(ctx.node, &h.vpath, ops, t);
+                t = self.recall(ctx.node, vec![(EntryKind::Attr, h.vpath.clone())], t);
             }
         }
         Ok(Timed::new((), t))
@@ -527,9 +639,11 @@ impl<U: FileSystem> FileSystem for CofsFs<U> {
         self.counters.bump("op_stat");
         let t = self.fuse(ctx);
         // Pure metadata: answered entirely from the service's tables.
-        // No underlying-filesystem tokens are touched at all.
+        // No underlying-filesystem tokens are touched at all. With the
+        // client cache on, a live attribute lease answers locally.
         let (rec, ops) = self.mds.namespace().getattr(Self::cred(ctx), path)?;
-        Ok(Timed::new(rec.attr(), self.rpc(ctx.node, path, ops, t)))
+        let t = self.cached_read(ctx, EntryKind::Attr, path, ops, t);
+        Ok(Timed::new(rec.attr(), t))
     }
 
     fn setattr(&mut self, ctx: &OpCtx, path: &VPath, set: SetAttr) -> FsResult<FileAttr> {
@@ -539,7 +653,9 @@ impl<U: FileSystem> FileSystem for CofsFs<U> {
             .mds
             .namespace_mut()
             .setattr(Self::cred(ctx), path, set, ctx.now)?;
-        Ok(Timed::new(rec.attr(), self.rpc(ctx.node, path, ops, t)))
+        let t = self.rpc(ctx.node, path, ops, t);
+        let t = self.recall(ctx.node, vec![(EntryKind::Attr, path.clone())], t);
+        Ok(Timed::new(rec.attr(), t))
     }
 
     fn readdir(&mut self, ctx: &OpCtx, path: &VPath) -> FsResult<Vec<DirEntry>> {
@@ -550,9 +666,9 @@ impl<U: FileSystem> FileSystem for CofsFs<U> {
             .namespace_mut()
             .readdir(Self::cred(ctx), path, ctx.now)?;
         // The entry list lives with the children, not with the
-        // directory's own dentry.
-        let shard = self.mds.route_entries(path);
-        Ok(Timed::new(list, self.rpc_at(ctx.node, shard, ops, t)))
+        // directory's own dentry; a live dentry lease lists locally.
+        let t = self.cached_read(ctx, EntryKind::Dentry, path, ops, t);
+        Ok(Timed::new(list, t))
     }
 
     fn unlink(&mut self, ctx: &OpCtx, path: &VPath) -> FsResult<()> {
@@ -563,6 +679,9 @@ impl<U: FileSystem> FileSystem for CofsFs<U> {
             .namespace_mut()
             .unlink(Self::cred(ctx), path, ctx.now)?;
         let mut t = self.rpc(ctx.node, path, ops, t);
+        let mut keys = vec![(EntryKind::Attr, path.clone())];
+        keys.extend(Self::parent_keys(path));
+        t = self.recall(ctx.node, keys, t);
         if let Some(mapping) = gone {
             // Last link went away: remove the real bits.
             let dctx = Self::daemon_ctx(ctx, t);
@@ -598,6 +717,17 @@ impl<U: FileSystem> FileSystem for CofsFs<U> {
         // Source and destination may live on different shards; the
         // cluster then charges an explicit two-phase commit.
         let mut t = self.rpc_pair(ctx.node, from, to, ops, t);
+        // The whole moved subtree changes identity, so every lease on
+        // or below either name must come back, plus both parents'
+        // listing/attr leases — on top of the two-phase commit when
+        // the names straddle shards.
+        if self.cache.enabled() {
+            let mut keys = self.mds.lease_keys_under(from);
+            keys.extend(self.mds.lease_keys_under(to));
+            keys.extend(Self::parent_keys(from));
+            keys.extend(Self::parent_keys(to));
+            t = self.recall(ctx.node, keys, t);
+        }
         if let Some(mapping) = doomed {
             let dctx = Self::daemon_ctx(ctx, t);
             t = self.under.unlink(&dctx, &mapping)?.end;
@@ -617,10 +747,13 @@ impl<U: FileSystem> FileSystem for CofsFs<U> {
             .mds
             .namespace_mut()
             .link(Self::cred(ctx), existing, new, ctx.now)?;
-        Ok(Timed::new(
-            (),
-            self.rpc_pair(ctx.node, existing, new, ops, t),
-        ))
+        let t = self.rpc_pair(ctx.node, existing, new, ops, t);
+        // The linked inode's nlink changed, and the new parent gained
+        // an entry.
+        let mut keys = vec![(EntryKind::Attr, existing.clone())];
+        keys.extend(Self::parent_keys(new));
+        let t = self.recall(ctx.node, keys, t);
+        Ok(Timed::new((), t))
     }
 
     fn symlink(&mut self, ctx: &OpCtx, target: &str, new: &VPath) -> FsResult<()> {
@@ -630,7 +763,9 @@ impl<U: FileSystem> FileSystem for CofsFs<U> {
             .mds
             .namespace_mut()
             .symlink(Self::cred(ctx), target, new, ctx.now)?;
-        Ok(Timed::new((), self.rpc(ctx.node, new, ops, t)))
+        let t = self.rpc(ctx.node, new, ops, t);
+        let t = self.recall(ctx.node, Self::parent_keys(new).into(), t);
+        Ok(Timed::new((), t))
     }
 
     fn readlink(&mut self, ctx: &OpCtx, path: &VPath) -> FsResult<String> {
@@ -998,6 +1133,166 @@ mod tests {
         let stats = fs.statfs(&ctx).unwrap().value;
         assert_eq!(stats.inodes, 3); // root + /d + file
         assert_eq!(stats.bytes_used, 777);
+    }
+
+    fn cached_fs(ttl: SimDuration) -> CofsFs<MemFs> {
+        CofsFs::new(
+            MemFs::new(),
+            CofsConfig::default().with_client_cache(1024, ttl),
+            MdsNetwork::uniform(SimDuration::from_micros(250)),
+            7,
+        )
+    }
+
+    #[test]
+    fn repeated_stat_hits_cache_and_skips_rpc() {
+        let mut fs = cached_fs(SimDuration::from_secs(5));
+        let ctx = OpCtx::test(NodeId(0));
+        let fh = fs
+            .create(&ctx, &vpath("/f"), Mode::file_default())
+            .unwrap()
+            .value;
+        fs.close(&ctx, fh).unwrap();
+        let first = fs.stat(&ctx, &vpath("/f")).unwrap().end;
+        let rpcs = fs.counters().get("mds_rpcs");
+        let second = fs.stat(&ctx, &vpath("/f")).unwrap().end;
+        // Hit: no RPC charged, completion is FUSE dispatch only.
+        assert_eq!(fs.counters().get("mds_rpcs"), rpcs);
+        assert_eq!(second, ctx.now + fs.config().fuse_dispatch);
+        assert!(second < first);
+        assert_eq!(fs.cache_stats().hits, 1);
+        assert!(fs.cache_stats().misses >= 1);
+    }
+
+    #[test]
+    fn remote_mutation_recalls_lease_and_charges_rtt() {
+        let mut fs = cached_fs(SimDuration::from_secs(5));
+        let a = OpCtx::test(NodeId(0));
+        let b = OpCtx::test(NodeId(1));
+        let fh = fs
+            .create(&a, &vpath("/f"), Mode::file_default())
+            .unwrap()
+            .value;
+        fs.close(&a, fh).unwrap();
+        // Burn node 1's session so both measured chmods are steady-state.
+        fs.stat(&b, &vpath("/f")).unwrap();
+        // Node 0 leases /f's attributes.
+        fs.stat(&a, &vpath("/f")).unwrap();
+        fs.reset_time();
+        // Node 1's chmod must recall node 0's lease, paying the RTT on
+        // top of its own RPC (its own lease drops locally, for free).
+        let set = SetAttr {
+            mode: Some(Mode::new(0o600)),
+            ..SetAttr::default()
+        };
+        let with_recall = fs.setattr(&b, &vpath("/f"), set).unwrap().end;
+        assert_eq!(fs.mds_cluster().recall_count(), 1);
+        assert!(fs.cache_stats().invalidations >= 2);
+        assert_eq!(fs.counters().get("lease_recalls"), 1);
+        // The same chmod with nobody holding a lease costs exactly one
+        // recall round trip less.
+        fs.reset_time();
+        let set2 = SetAttr {
+            mode: Some(Mode::new(0o644)),
+            ..SetAttr::default()
+        };
+        let without_recall = fs.setattr(&b, &vpath("/f"), set2).unwrap().end;
+        assert_eq!(with_recall, without_recall + SimDuration::from_micros(250));
+        // Node 0's next stat is a miss again.
+        let hits = fs.cache_stats().hits;
+        fs.stat(&a, &vpath("/f")).unwrap();
+        assert_eq!(fs.cache_stats().hits, hits);
+    }
+
+    #[test]
+    fn readdir_lease_recalled_by_sibling_create() {
+        let mut fs = cached_fs(SimDuration::from_secs(5));
+        let a = OpCtx::test(NodeId(0));
+        let b = OpCtx::test(NodeId(1));
+        fs.mkdir(&a, &vpath("/d"), Mode::dir_default()).unwrap();
+        fs.readdir(&a, &vpath("/d")).unwrap();
+        let rpcs = fs.counters().get("mds_rpcs");
+        fs.readdir(&a, &vpath("/d")).unwrap();
+        assert_eq!(fs.counters().get("mds_rpcs"), rpcs, "listing was leased");
+        // Another node creating in /d recalls the dentry lease…
+        let fh = fs
+            .create(&b, &vpath("/d/x"), Mode::file_default())
+            .unwrap()
+            .value;
+        fs.close(&b, fh).unwrap();
+        // …so the listing (with the new entry) is fetched fresh.
+        let rpcs = fs.counters().get("mds_rpcs");
+        let list = fs.readdir(&a, &vpath("/d")).unwrap().value;
+        assert_eq!(fs.counters().get("mds_rpcs"), rpcs + 1);
+        assert_eq!(list.len(), 1);
+    }
+
+    #[test]
+    fn lease_ttl_expires_in_virtual_time() {
+        let mut fs = cached_fs(SimDuration::from_millis(1));
+        let ctx = OpCtx::test(NodeId(0));
+        let fh = fs
+            .create(&ctx, &vpath("/f"), Mode::file_default())
+            .unwrap()
+            .value;
+        fs.close(&ctx, fh).unwrap();
+        let t = fs.stat(&ctx, &vpath("/f")).unwrap().end;
+        // Within TTL: hit. Past TTL: expired, miss again.
+        fs.stat(&ctx.at(t), &vpath("/f")).unwrap();
+        let late = ctx.at(t + SimDuration::from_millis(5));
+        fs.stat(&late, &vpath("/f")).unwrap();
+        let s = fs.cache_stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.expirations, 1);
+    }
+
+    #[test]
+    fn cache_disabled_charges_identical_times() {
+        // The same op sequence, cache off vs. on-but-default-off
+        // config, must produce bit-for-bit identical completion times.
+        let mut plain = new_fs();
+        let mut defaulted = CofsFs::new(
+            MemFs::new(),
+            CofsConfig::default(),
+            MdsNetwork::uniform(SimDuration::from_micros(250)),
+            7,
+        );
+        for fs in [&mut plain, &mut defaulted] {
+            assert!(!fs.client_cache().enabled());
+        }
+        let ctx = OpCtx::test(NodeId(0));
+        for fs in [&mut plain, &mut defaulted] {
+            fs.mkdir(&ctx, &vpath("/d"), Mode::dir_default()).unwrap();
+        }
+        let a = plain.stat(&ctx, &vpath("/d")).unwrap().end;
+        let b = defaulted.stat(&ctx, &vpath("/d")).unwrap().end;
+        assert_eq!(a, b);
+        assert_eq!(plain.cache_stats(), defaulted.cache_stats());
+        assert_eq!(plain.cache_stats().hits + plain.cache_stats().misses, 0);
+    }
+
+    #[test]
+    fn rename_recalls_whole_subtree_leases() {
+        let mut fs = cached_fs(SimDuration::from_secs(5));
+        let a = OpCtx::test(NodeId(0));
+        let b = OpCtx::test(NodeId(1));
+        fs.mkdir(&a, &vpath("/src"), Mode::dir_default()).unwrap();
+        fs.mkdir(&a, &vpath("/dst"), Mode::dir_default()).unwrap();
+        let fh = fs
+            .create(&a, &vpath("/src/f"), Mode::file_default())
+            .unwrap()
+            .value;
+        fs.close(&a, fh).unwrap();
+        // Node 1 leases a path *inside* the renamed subtree.
+        fs.stat(&b, &vpath("/src/f")).unwrap();
+        let recalls = fs.mds_cluster().recall_count();
+        fs.rename(&a, &vpath("/src"), &vpath("/moved")).unwrap();
+        assert!(fs.mds_cluster().recall_count() > recalls);
+        // Node 1 sees the move, at miss cost.
+        let rpcs = fs.counters().get("mds_rpcs");
+        assert!(fs.stat(&b, &vpath("/src/f")).is_err());
+        assert_eq!(fs.stat(&b, &vpath("/moved/f")).unwrap().value.size, 0);
+        assert!(fs.counters().get("mds_rpcs") > rpcs);
     }
 
     #[test]

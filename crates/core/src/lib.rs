@@ -54,6 +54,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod client_cache;
 pub mod config;
 pub mod fs;
 pub mod mds;
@@ -62,6 +63,7 @@ pub mod placement;
 
 /// Convenient glob-import of the most commonly used items.
 pub mod prelude {
+    pub use crate::client_cache::{CacheStats, ClientCache, ClientCacheConfig, EntryKind};
     pub use crate::config::{CofsConfig, MdsNetwork, ShardPolicyKind};
     pub use crate::fs::CofsFs;
     pub use crate::mds::Mds;

@@ -20,12 +20,13 @@
 //! link, and commit — strictly more expensive than the single-shard
 //! path, but still atomic in outcome.
 
+use crate::client_cache::{EntryKind, LeaseKey};
 use crate::config::{CofsConfig, MdsNetwork};
 use crate::mds::{DbOps, Mds};
 use metadb::cost::DbCostTracker;
 use netsim::ids::NodeId;
 use simcore::prelude::*;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use vfs::path::VPath;
 
 /// Identifies one shard within an [`MdsCluster`].
@@ -215,6 +216,10 @@ pub struct ShardUsage {
     pub mean_wait: SimDuration,
     /// Cross-shard two-phase operations this shard participated in.
     pub two_phase: u64,
+    /// Client-cache lease recall messages this shard sent (coherence
+    /// traffic of the client-side metadata cache; zero with the cache
+    /// off).
+    pub recalls: u64,
 }
 
 #[derive(Debug)]
@@ -223,6 +228,7 @@ struct Shard {
     tracker: DbCostTracker,
     rpcs: u64,
     two_phase: u64,
+    recalls: u64,
 }
 
 impl Shard {
@@ -232,6 +238,7 @@ impl Shard {
             tracker: DbCostTracker::new(),
             rpcs: 0,
             two_phase: 0,
+            recalls: 0,
         }
     }
 
@@ -278,6 +285,10 @@ pub struct MdsCluster {
     shards: Vec<Shard>,
     policy: Box<dyn ShardPolicy>,
     sessions: HashSet<(NodeId, usize)>,
+    /// Outstanding client-cache leases: which nodes may answer which
+    /// `(kind, path)` reads locally, and until when. The shard owning
+    /// the path recalls these on conflicting mutations.
+    leases: HashMap<LeaseKey, HashMap<NodeId, SimTime>>,
 }
 
 impl MdsCluster {
@@ -290,6 +301,7 @@ impl MdsCluster {
             shards,
             policy,
             sessions: HashSet::new(),
+            leases: HashMap::new(),
         }
     }
 
@@ -434,6 +446,95 @@ impl MdsCluster {
         commit_a.max(commit_b + cross / 2) + rtt / 2
     }
 
+    // ---- client-cache lease tracking ---------------------------------
+
+    /// Records that `node` holds a lease on `key` until `expires`
+    /// (granted by the shard owning the path, alongside the read RPC
+    /// that populated the client's cache entry).
+    pub fn grant_lease(&mut self, node: NodeId, key: LeaseKey, expires: SimTime) {
+        self.leases.entry(key).or_default().insert(node, expires);
+    }
+
+    /// Voluntarily releases `node`'s lease on `key` (client-side LRU
+    /// eviction). Free of charge: the release piggybacks on later
+    /// traffic, and a recall that races a release is harmless here
+    /// because recalls only ever *remove* state.
+    pub fn release_lease(&mut self, node: NodeId, key: &LeaseKey) {
+        if let Some(holders) = self.leases.get_mut(key) {
+            holders.remove(&node);
+            if holders.is_empty() {
+                self.leases.remove(key);
+            }
+        }
+    }
+
+    /// Every outstanding lease key on `path` or below it — the set a
+    /// `rename` must recall, since the whole subtree changes identity.
+    pub fn lease_keys_under(&self, path: &VPath) -> Vec<LeaseKey> {
+        let mut keys: Vec<LeaseKey> = self
+            .leases
+            .keys()
+            .filter(|(_, p)| p.starts_with(path))
+            .cloned()
+            .collect();
+        // Deterministic recall order regardless of map iteration.
+        keys.sort();
+        keys
+    }
+
+    /// Recalls every live lease on `keys` because `mutator` performed
+    /// a conflicting operation at time `t`. Each *remote* holder is
+    /// sent one recall message from the shard owning the key's path;
+    /// recalls fan out in parallel, so the mutation completes at
+    /// `t + max(recall RTT)` once all acks are in. The mutator's own
+    /// leases are dropped locally at no cost, and leases already
+    /// expired at `t` are pruned without traffic.
+    ///
+    /// Returns the completion time and every `(holder, key)` pair
+    /// whose client-cache entry must now be dropped, in deterministic
+    /// order. With no live remote holders this is free: `t` unchanged.
+    pub fn recall_leases(
+        &mut self,
+        net: &MdsNetwork,
+        mutator: NodeId,
+        keys: &[LeaseKey],
+        t: SimTime,
+    ) -> (SimTime, Vec<(NodeId, LeaseKey)>) {
+        let mut dropped = Vec::new();
+        let mut done = t;
+        for key in keys {
+            let Some(holders) = self.leases.remove(key) else {
+                continue;
+            };
+            let shard = match key.0 {
+                EntryKind::Attr => self.route(&key.1),
+                EntryKind::Dentry => self.route_entries(&key.1),
+            };
+            let mut holder_list: Vec<(NodeId, SimTime)> = holders.into_iter().collect();
+            holder_list.sort();
+            for (holder, expires) in holder_list {
+                if holder == mutator || expires <= t {
+                    // Local drop / already lapsed: no message needed,
+                    // but the cache entry still goes away.
+                    if holder == mutator {
+                        dropped.push((holder, key.clone()));
+                    }
+                    continue;
+                }
+                self.shards[shard.0].recalls += 1;
+                done = done.max(t + net.shard_rtt(holder, shard));
+                dropped.push((holder, key.clone()));
+            }
+        }
+        (done, dropped)
+    }
+
+    /// Total recall messages sent by all shards since the last
+    /// [`Self::reset_time`].
+    pub fn recall_count(&self) -> u64 {
+        self.shards.iter().map(|s| s.recalls).sum()
+    }
+
     /// Per-shard load since the last [`Self::reset_time`].
     pub fn usage(&self) -> Vec<ShardUsage> {
         self.shards
@@ -445,6 +546,7 @@ impl MdsCluster {
                 busy: s.cpu.busy_time(),
                 mean_wait: s.cpu.mean_wait(),
                 two_phase: s.two_phase,
+                recalls: s.recalls,
             })
             .collect()
     }
@@ -452,12 +554,15 @@ impl MdsCluster {
     /// Rewinds every shard's queue and cost state to virtual time zero
     /// (between benchmark phases). Sessions survive, as in the
     /// single-MDS model: establishment is paid once per node per shard.
+    /// Outstanding leases survive too (they are client state, like
+    /// sessions); only the traffic counters rewind.
     pub fn reset_time(&mut self) {
         for s in &mut self.shards {
             s.cpu.reset();
             s.tracker.reset();
             s.rpcs = 0;
             s.two_phase = 0;
+            s.recalls = 0;
         }
     }
 }
@@ -621,6 +726,50 @@ mod tests {
         let usage = two.usage();
         assert_eq!(usage[0].two_phase, 1);
         assert_eq!(usage[1].two_phase, 1);
+    }
+
+    #[test]
+    fn recalls_charge_remote_holders_only() {
+        let c = cfg();
+        let n = net();
+        let mut cluster = MdsCluster::new(Box::new(HashByParent::new(2)));
+        let key = (EntryKind::Attr, vpath("/d/f"));
+        let far = SimTime::from_secs(10);
+        cluster.grant_lease(NodeId(0), key.clone(), far);
+        cluster.grant_lease(NodeId(1), key.clone(), far);
+        cluster.grant_lease(NodeId(2), key.clone(), SimTime::from_millis(1));
+        // Node 0 mutates at t=5ms: node 1 is messaged, node 2's lease
+        // already lapsed, node 0 drops locally.
+        let t = SimTime::from_millis(5);
+        let (done, dropped) = cluster.recall_leases(&n, NodeId(0), std::slice::from_ref(&key), t);
+        assert_eq!(done, t + SimDuration::from_micros(250));
+        assert_eq!(
+            dropped,
+            vec![(NodeId(0), key.clone()), (NodeId(1), key.clone())]
+        );
+        assert_eq!(cluster.recall_count(), 1);
+        // The registry forgot the key entirely; a second recall is free.
+        let (done2, dropped2) = cluster.recall_leases(&n, NodeId(0), &[key], t);
+        assert_eq!(done2, t);
+        assert!(dropped2.is_empty());
+        let _ = c;
+    }
+
+    #[test]
+    fn release_and_subtree_key_scan() {
+        let mut cluster = MdsCluster::new(Box::new(SingleShard));
+        let far = SimTime::from_secs(10);
+        for p in ["/a/x", "/a/y/z", "/b/x"] {
+            cluster.grant_lease(NodeId(0), (EntryKind::Attr, vpath(p)), far);
+        }
+        cluster.grant_lease(NodeId(0), (EntryKind::Dentry, vpath("/a")), far);
+        let under_a = cluster.lease_keys_under(&vpath("/a"));
+        assert_eq!(under_a.len(), 3);
+        assert!(under_a.iter().all(|(_, p)| p.starts_with(&vpath("/a"))));
+        cluster.release_lease(NodeId(0), &(EntryKind::Dentry, vpath("/a")));
+        assert_eq!(cluster.lease_keys_under(&vpath("/a")).len(), 2);
+        // Releasing an unknown lease is a no-op.
+        cluster.release_lease(NodeId(9), &(EntryKind::Attr, vpath("/nope")));
     }
 
     #[test]

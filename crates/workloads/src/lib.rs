@@ -26,7 +26,9 @@ pub mod prelude {
     pub use crate::metarates::{
         run_all, run_phase, run_phase_fresh, MetaOp, MetaratesConfig, PhaseResult,
     };
-    pub use crate::report::{mibs, ms, Table};
-    pub use crate::scenarios::{CheckpointStorm, JobBundle, ScenarioResult};
+    pub use crate::report::{cache_cells, mibs, ms, Table, CACHE_COLUMNS};
+    pub use crate::scenarios::{
+        CheckpointStorm, HotStatStorm, JobBundle, ScenarioResult, SharedDirStorm,
+    };
     pub use crate::target::BenchTarget;
 }

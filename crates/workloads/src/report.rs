@@ -4,6 +4,7 @@
 //! plot; these helpers keep the formatting consistent and also emit
 //! CSV for post-processing.
 
+use cofs::client_cache::CacheStats;
 use cofs::mds_cluster::ShardUsage;
 use simcore::time::SimTime;
 use std::fmt;
@@ -54,6 +55,16 @@ impl Table {
     /// Number of data rows.
     pub fn len(&self) -> usize {
         self.rows.len()
+    }
+
+    /// The column headers (for machine-readable exports).
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The data rows (for machine-readable exports).
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
     }
 
     /// True if there are no data rows.
@@ -155,6 +166,7 @@ pub fn pct(v: f64) -> String {
 ///     busy: SimDuration::from_millis(5),
 ///     mean_wait: SimDuration::from_micros(40),
 ///     two_phase: 1,
+///     recalls: 0,
 /// }];
 /// let t = shard_utilization_table(&usage, SimTime::from_millis(10));
 /// assert!(t.render().contains("50.0%"));
@@ -167,6 +179,7 @@ pub fn shard_utilization_table(usage: &[ShardUsage], makespan: SimTime) -> Table
         "util",
         "mean wait (ms)",
         "2pc",
+        "recalls",
     ]);
     let span = makespan.as_secs_f64();
     for u in usage {
@@ -182,9 +195,41 @@ pub fn shard_utilization_table(usage: &[ShardUsage], makespan: SimTime) -> Table
             pct(util),
             ms(u.mean_wait.as_millis_f64()),
             u.two_phase.to_string(),
+            u.recalls.to_string(),
         ]);
     }
     t
+}
+
+/// The client-cache columns scenario tables append when a run reports
+/// cache statistics: hits, misses, hit rate, invalidations, recall
+/// messages. A run without a cache (or with it disabled) renders as
+/// dashes so cache-on and cache-off rows align in one table.
+pub const CACHE_COLUMNS: [&str; 5] = ["hits", "misses", "hit rate", "invald", "recalls"];
+
+/// Formats [`CacheStats`] into the [`CACHE_COLUMNS`] cells.
+///
+/// # Examples
+///
+/// ```
+/// use cofs::client_cache::CacheStats;
+/// use workloads::report::cache_cells;
+///
+/// let cells = cache_cells(Some(&CacheStats { hits: 3, misses: 1, ..Default::default() }));
+/// assert_eq!(cells[2], "75.0%");
+/// assert_eq!(cache_cells(None)[0], "-");
+/// ```
+pub fn cache_cells(stats: Option<&CacheStats>) -> Vec<String> {
+    match stats {
+        Some(s) => vec![
+            s.hits.to_string(),
+            s.misses.to_string(),
+            pct(s.hit_rate()),
+            s.invalidations.to_string(),
+            s.recall_messages.to_string(),
+        ],
+        None => vec!["-".into(); CACHE_COLUMNS.len()],
+    }
 }
 
 #[cfg(test)]
@@ -227,6 +272,30 @@ mod tests {
     }
 
     #[test]
+    fn cache_cells_align_with_columns() {
+        let s = CacheStats {
+            hits: 9,
+            misses: 1,
+            invalidations: 2,
+            recall_messages: 3,
+            ..Default::default()
+        };
+        let cells = cache_cells(Some(&s));
+        assert_eq!(cells.len(), CACHE_COLUMNS.len());
+        assert_eq!(cells, vec!["9", "1", "90.0%", "2", "3"]);
+        let dashes = cache_cells(None);
+        assert!(dashes.iter().all(|c| c == "-"));
+    }
+
+    #[test]
+    fn table_exposes_headers_and_rows() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.headers(), ["a", "b"]);
+        assert_eq!(t.rows(), [vec!["1".to_string(), "2".to_string()]]);
+    }
+
+    #[test]
     fn shard_table_shows_skew() {
         use simcore::time::SimDuration;
         let usage = vec![
@@ -236,6 +305,7 @@ mod tests {
                 busy: SimDuration::from_millis(9),
                 mean_wait: SimDuration::from_micros(500),
                 two_phase: 0,
+                recalls: 4,
             },
             ShardUsage {
                 shard: 1,
@@ -243,6 +313,7 @@ mod tests {
                 busy: SimDuration::from_millis(1),
                 mean_wait: SimDuration::ZERO,
                 two_phase: 0,
+                recalls: 0,
             },
         ];
         let t = shard_utilization_table(&usage, SimTime::from_millis(10));

@@ -9,13 +9,14 @@
 //! directory."
 
 use crate::target::BenchTarget;
+use cofs::client_cache::CacheStats;
 use cofs::mds_cluster::ShardUsage;
 use netsim::ids::{NodeId, Pid};
 use simcore::time::SimTime;
 use vfs::driver::{run, Action, ClientScript, RunReport};
 use vfs::fs::OpCtx;
 use vfs::path::{vpath, VPath};
-use vfs::types::Mode;
+use vfs::types::{Mode, OpenFlags};
 
 /// A parallel application writing a checkpoint: every node dumps its
 /// state into its own file in a common directory.
@@ -47,13 +48,19 @@ impl Default for CheckpointStorm {
 pub struct ScenarioResult {
     /// Virtual wall time to complete the whole scenario.
     pub makespan: SimTime,
-    /// Mean time per file creation, in ms.
+    /// Mean time per file creation, in ms (0.0 when the scenario
+    /// creates nothing in its measured phase).
     pub mean_create_ms: f64,
+    /// Mean time per `stat`, in ms (0.0 when unmeasured).
+    pub mean_stat_ms: f64,
     /// Total files created.
     pub files: usize,
     /// Per-shard metadata-service load during the measured phase
     /// (empty when the target has no sharded MDS).
     pub per_shard: Vec<ShardUsage>,
+    /// Client-cache counters during the measured phase (`None` when
+    /// the target has no cache or it is disabled).
+    pub cache: Option<CacheStats>,
 }
 
 impl ScenarioResult {
@@ -109,7 +116,7 @@ impl CheckpointStorm {
         }
         let report = run(fs, scripts);
         report.expect_clean();
-        summarize(report, self.nodes * self.rounds, fs.shard_usage())
+        summarize(report, self.nodes * self.rounds, fs)
     }
 }
 
@@ -180,7 +187,7 @@ impl JobBundle {
         let files = self.nodes * self.jobs_per_node * self.files_per_job;
         let report = run(fs, scripts);
         report.expect_clean();
-        summarize(report, files, fs.shard_usage())
+        summarize(report, files, fs)
     }
 }
 
@@ -202,6 +209,12 @@ pub struct SharedDirStorm {
     /// `stat` calls issued after each create (polling pressure; this
     /// is what pushes the metadata service into its queueing regime).
     pub stats_per_create: usize,
+    /// `readdir` calls on the hot directory after each create
+    /// (directory-watching pressure). Zero by default — the historical
+    /// storm shape — but with the client cache on this is the
+    /// write-sharing worst case: every listing takes a dentry lease
+    /// that the very next create by any other node must recall.
+    pub readdirs_per_create: usize,
     /// Parent of the shared directories.
     pub root: VPath,
 }
@@ -213,6 +226,7 @@ impl Default for SharedDirStorm {
             dirs: 32,
             files_per_node: 16,
             stats_per_create: 8,
+            readdirs_per_create: 0,
             root: vpath("/storm"),
         }
     }
@@ -257,21 +271,124 @@ impl SharedDirStorm {
                 for _ in 0..self.stats_per_create {
                     s.push_measured("stat", Action::Stat(path.clone()));
                 }
+                let dir = self.root.join(&format!("d{d}"));
+                for _ in 0..self.readdirs_per_create {
+                    s.push_measured("readdir", Action::Readdir(dir.clone()));
+                }
             }
             scripts.push(s);
         }
         let report = run(fs, scripts);
         report.expect_clean();
-        summarize(report, self.nodes * self.files_per_node, fs.shard_usage())
+        summarize(report, self.nodes * self.files_per_node, fs)
     }
 }
 
-fn summarize(report: RunReport, files: usize, per_shard: Vec<ShardUsage>) -> ScenarioResult {
+/// The client cache's best case: N clients repeatedly `stat` and
+/// open/close a mostly-read-only tree (think shared binaries, config
+/// trees, or input datasets polled by every rank). Without a client
+/// cache every round pays a full client↔shard round trip per file;
+/// with leases only the first round misses, so simulated time drops to
+/// the FUSE dispatch floor until a (rare) mutation or TTL expiry.
+#[derive(Debug, Clone)]
+pub struct HotStatStorm {
+    /// Client nodes polling the tree.
+    pub nodes: usize,
+    /// Read-only directories (`<root>/d0` … ).
+    pub dirs: usize,
+    /// Files per directory.
+    pub files_per_dir: usize,
+    /// How many times each node re-walks the whole tree.
+    pub rounds: usize,
+    /// `open`+`close` cycles per stat'd file and round (0 = stat only).
+    pub opens_per_round: usize,
+    /// Root of the read-only tree.
+    pub root: VPath,
+}
+
+impl Default for HotStatStorm {
+    fn default() -> Self {
+        HotStatStorm {
+            nodes: 16,
+            dirs: 4,
+            files_per_dir: 16,
+            rounds: 8,
+            opens_per_round: 1,
+            root: vpath("/hot"),
+        }
+    }
+}
+
+impl HotStatStorm {
+    /// Total files in the tree.
+    pub fn files(&self) -> usize {
+        self.dirs * self.files_per_dir
+    }
+
+    /// Runs the storm: node 0 builds the tree (unmeasured), then every
+    /// node stats (and open/closes) every file, `rounds` times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any scripted operation fails.
+    pub fn run<F: BenchTarget>(&self, fs: &mut F) -> ScenarioResult {
+        let setup = OpCtx::test(NodeId(0));
+        fs.mkdir(&setup, &self.root, Mode::dir_default())
+            .expect("setup mkdir");
+        let mut now = SimTime::ZERO;
+        for d in 0..self.dirs {
+            let dir = self.root.join(&format!("d{d}"));
+            now = fs
+                .mkdir(&setup.at(now), &dir, Mode::dir_default())
+                .expect("setup mkdir")
+                .end;
+            for f in 0..self.files_per_dir {
+                let ctx = setup.at(now);
+                let t = fs
+                    .create(&ctx, &dir.join(&format!("f{f}")), Mode::file_default())
+                    .expect("setup create");
+                now = fs
+                    .close(&setup.at(t.end), t.value)
+                    .expect("setup close")
+                    .end;
+            }
+        }
+        fs.phase_reset();
+        let mut scripts = Vec::new();
+        for n in 0..self.nodes {
+            let mut s = ClientScript::new(NodeId(n as u32), Pid(1));
+            s.push(Action::Barrier);
+            for _ in 0..self.rounds {
+                for d in 0..self.dirs {
+                    let dir = self.root.join(&format!("d{d}"));
+                    for f in 0..self.files_per_dir {
+                        let path = dir.join(&format!("f{f}"));
+                        s.push_measured("stat", Action::Stat(path.clone()));
+                        for _ in 0..self.opens_per_round {
+                            s.push_measured(
+                                "open_close",
+                                Action::OpenClose(path.clone(), OpenFlags::RDONLY),
+                            );
+                        }
+                    }
+                }
+            }
+            scripts.push(s);
+        }
+        let report = run(fs, scripts);
+        report.expect_clean();
+        summarize(report, self.files(), fs)
+    }
+}
+
+fn summarize<F: BenchTarget>(report: RunReport, files: usize, fs: &F) -> ScenarioResult {
     ScenarioResult {
         makespan: report.makespan,
         mean_create_ms: report.mean_millis("create"),
+        mean_stat_ms: report.mean_millis("stat"),
         files,
-        per_shard,
+        per_shard: fs.shard_usage(),
+        cache: fs.cache_stats(),
     }
 }
 
@@ -353,6 +470,72 @@ mod tests {
             "storm load stuck on one shard: {:?}",
             r.per_shard
         );
+    }
+
+    #[test]
+    fn hot_stat_storm_runs_on_memfs() {
+        let storm = HotStatStorm {
+            nodes: 2,
+            dirs: 2,
+            files_per_dir: 4,
+            rounds: 2,
+            opens_per_round: 1,
+            ..HotStatStorm::default()
+        };
+        let mut fs = MemFs::new();
+        let r = storm.run(&mut fs);
+        assert_eq!(r.files, 8);
+        assert!(r.mean_stat_ms >= 0.0);
+        assert!(r.makespan > SimTime::ZERO);
+        assert!(r.cache.is_none(), "memfs has no client cache");
+    }
+
+    #[test]
+    fn hot_stat_storm_cache_wins_and_storm_shows_invalidations() {
+        use cofs::config::{CofsConfig, MdsNetwork};
+        use cofs::fs::CofsFs;
+        use simcore::time::SimDuration;
+
+        let storm = HotStatStorm {
+            nodes: 4,
+            dirs: 2,
+            files_per_dir: 8,
+            rounds: 4,
+            ..HotStatStorm::default()
+        };
+        let net = || MdsNetwork::uniform(SimDuration::from_micros(250));
+        let mut plain = CofsFs::new(MemFs::new(), CofsConfig::default(), net(), 7);
+        let cached_cfg = CofsConfig::default().with_client_cache(4096, SimDuration::from_secs(30));
+        let mut cached = CofsFs::new(MemFs::new(), cached_cfg.clone(), net(), 7);
+        let r_plain = storm.run(&mut plain);
+        let r_cached = storm.run(&mut cached);
+        assert!(
+            r_cached.makespan < r_plain.makespan,
+            "leases must beat per-op RTTs: {:?} vs {:?}",
+            r_cached.makespan,
+            r_plain.makespan
+        );
+        let stats = r_cached.cache.expect("cache enabled");
+        assert!(stats.hit_rate() > 0.5, "read-only tree: {stats:?}");
+        assert_eq!(stats.invalidations, 0, "nothing mutates the hot tree");
+
+        // Write sharing (creates + listings in the same dirs) recalls
+        // leases: the invalidation columns must show it.
+        let storm = SharedDirStorm {
+            nodes: 4,
+            dirs: 2,
+            files_per_node: 8,
+            stats_per_create: 2,
+            readdirs_per_create: 1,
+            ..SharedDirStorm::default()
+        };
+        let mut cached = CofsFs::new(MemFs::new(), cached_cfg, net(), 7);
+        let r = storm.run(&mut cached);
+        let stats = r.cache.expect("cache enabled");
+        assert!(stats.invalidations > 0, "{stats:?}");
+        assert!(stats.recall_messages > 0, "{stats:?}");
+        let recalls: u64 = r.per_shard.iter().map(|u| u.recalls).sum();
+        assert!(recalls > 0, "{:?}", r.per_shard);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! time zero so the next phase's driver run starts clean, while cache
 //! and token state (deliberately) survive.
 
+use cofs::client_cache::CacheStats;
 use cofs::fs::CofsFs;
 use cofs::mds_cluster::ShardUsage;
 use pfs::fs::PfsFs;
@@ -27,6 +28,13 @@ pub trait BenchTarget: FileSystem {
     /// for targets without a sharded MDS.
     fn shard_usage(&self) -> Vec<ShardUsage> {
         Vec::new()
+    }
+
+    /// Client-side metadata-cache counters since the last reset —
+    /// `None` for targets without a client cache (or with it off), so
+    /// reports can distinguish "no cache" from "cache saw no traffic".
+    fn cache_stats(&self) -> Option<CacheStats> {
+        None
     }
 }
 
@@ -58,6 +66,14 @@ impl<U: BenchTarget> BenchTarget for CofsFs<U> {
 
     fn shard_usage(&self) -> Vec<ShardUsage> {
         CofsFs::shard_usage(self)
+    }
+
+    fn cache_stats(&self) -> Option<CacheStats> {
+        if self.client_cache().enabled() {
+            Some(CofsFs::cache_stats(self))
+        } else {
+            None
+        }
     }
 }
 
@@ -104,6 +120,27 @@ mod tests {
         assert_eq!(usage.len(), 2);
         assert_eq!(usage.iter().map(|u| u.rpcs).sum::<u64>(), 1);
         assert!(MemFs::new().shard_usage().is_empty());
+    }
+
+    #[test]
+    fn cache_stats_visible_only_when_enabled() {
+        use simcore::time::SimDuration;
+
+        let off = CofsFs::new(
+            MemFs::new(),
+            CofsConfig::default(),
+            MdsNetwork::uniform(SimDuration::from_micros(200)),
+            1,
+        );
+        assert!(BenchTarget::cache_stats(&off).is_none());
+        let on = CofsFs::new(
+            MemFs::new(),
+            CofsConfig::default().with_client_cache(64, SimDuration::from_secs(1)),
+            MdsNetwork::uniform(SimDuration::from_micros(200)),
+            1,
+        );
+        assert_eq!(BenchTarget::cache_stats(&on), Some(CacheStats::default()));
+        assert!(MemFs::new().cache_stats().is_none());
     }
 
     #[test]

@@ -7,7 +7,10 @@
 //! - `job_bundle` — bunches of small jobs writing outputs to a shared
 //!   directory, GPFS vs. COFS;
 //! - `namespace_tour` — renames, hard links, and symlinks staying
-//!   pure-metadata under COFS.
+//!   pure-metadata under COFS;
+//! - `hot_stat_cache` — the client-side metadata cache eliminating
+//!   stat-storm round trips, with lease recalls keeping every node
+//!   coherent.
 //!
 //! Run with `cargo run -p cofs-examples --release --bin quickstart`.
 

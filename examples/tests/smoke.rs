@@ -38,3 +38,8 @@ fn job_bundle_runs() {
 fn namespace_tour_runs() {
     run_smoke(env!("CARGO_BIN_EXE_namespace_tour"));
 }
+
+#[test]
+fn hot_stat_cache_runs() {
+    run_smoke(env!("CARGO_BIN_EXE_hot_stat_cache"));
+}

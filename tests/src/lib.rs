@@ -63,6 +63,28 @@ pub fn cofs_over_memfs_sharded(shards: usize) -> CofsFs<MemFs> {
     )
 }
 
+/// COFS over the reference filesystem with the client-side metadata
+/// cache on (`shards` may be 1) — used by the differential suite to
+/// pin that caching, like sharding, is invisible in user-visible
+/// outcomes for any TTL and capacity.
+pub fn cofs_over_memfs_cached(
+    shards: usize,
+    capacity: usize,
+    lease_ttl: simcore::time::SimDuration,
+) -> CofsFs<MemFs> {
+    let cfg = if shards > 1 {
+        CofsConfig::default().with_shards(shards, ShardPolicyKind::HashByParent)
+    } else {
+        CofsConfig::default()
+    };
+    CofsFs::new(
+        MemFs::new(),
+        cfg.with_client_cache(capacity, lease_ttl),
+        MdsNetwork::uniform(simcore::time::SimDuration::from_micros(250)),
+        7,
+    )
+}
+
 /// COFS over GPFS with `shards` metadata blades and the given
 /// partitioning policy.
 pub fn cofs_over_gpfs_sharded(

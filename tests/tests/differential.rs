@@ -1,16 +1,25 @@
 //! Differential tests: random operation sequences must produce
 //! identical user-visible outcomes on the reference `MemFs`, on
-//! COFS-over-MemFs (at 1, 2, and 4 metadata shards), on bare GPFS
-//! (`PfsFs`), and on COFS-over-GPFS.
+//! COFS-over-MemFs (at 1, 2, and 4 metadata shards, and with the
+//! client-side metadata cache on at aggressive and degenerate
+//! configurations), on bare GPFS (`PfsFs`), and on COFS-over-GPFS
+//! (centralized and at 2 and 4 shards).
 //!
 //! This is the strongest POSIX-compliance evidence in the repository:
-//! the virtualization layer reorganizes the physical layout — and the
-//! shard policy partitions the metadata service — arbitrarily, yet no
-//! sequence of operations may be able to tell. Shard counts are
-//! distinguishable only by simulated time, never by outcome.
+//! the virtualization layer reorganizes the physical layout — the
+//! shard policy partitions the metadata service, and the client cache
+//! short-circuits round trips behind leases — arbitrarily, yet no
+//! sequence of operations may be able to tell. Shard counts and cache
+//! settings are distinguishable only by simulated time, never by
+//! outcome.
 
-use cofs_tests::{apply, cofs_over_gpfs, cofs_over_memfs, cofs_over_memfs_sharded, gen_ops, gpfs};
+use cofs::config::ShardPolicyKind;
+use cofs_tests::{
+    apply, cofs_over_gpfs, cofs_over_gpfs_sharded, cofs_over_memfs, cofs_over_memfs_cached,
+    cofs_over_memfs_sharded, gen_ops, gpfs,
+};
 use netsim::ids::NodeId;
+use simcore::time::SimDuration;
 use vfs::memfs::MemFs;
 
 fn run_differential(seed: u64, n_ops: usize) {
@@ -19,8 +28,16 @@ fn run_differential(seed: u64, n_ops: usize) {
     let mut cofs_mem = cofs_over_memfs();
     let mut cofs_mem_2s = cofs_over_memfs_sharded(2);
     let mut cofs_mem_4s = cofs_over_memfs_sharded(4);
+    // Cache extremes: a generous cache that hits constantly, a
+    // 1-entry cache that evicts constantly, and a 1µs TTL that expires
+    // constantly — none may be observable in outcomes.
+    let mut cofs_mem_cached = cofs_over_memfs_cached(1, 4096, SimDuration::from_secs(60));
+    let mut cofs_mem_cached_4s = cofs_over_memfs_cached(4, 1, SimDuration::from_secs(60));
+    let mut cofs_mem_cached_ttl = cofs_over_memfs_cached(2, 4096, SimDuration::from_micros(1));
     let mut bare_gpfs = gpfs(2);
     let mut cofs_gpfs = cofs_over_gpfs(2);
+    let mut cofs_gpfs_2s = cofs_over_gpfs_sharded(2, 2, ShardPolicyKind::HashByParent);
+    let mut cofs_gpfs_4s = cofs_over_gpfs_sharded(2, 4, ShardPolicyKind::HashByParent);
     for (i, op) in ops.iter().enumerate() {
         let node = NodeId((i % 2) as u32);
         let expect = apply(&mut reference, node, op);
@@ -28,8 +45,19 @@ fn run_differential(seed: u64, n_ops: usize) {
             ("cofs/memfs", apply(&mut cofs_mem, node, op)),
             ("cofs/memfs 2 shards", apply(&mut cofs_mem_2s, node, op)),
             ("cofs/memfs 4 shards", apply(&mut cofs_mem_4s, node, op)),
+            ("cofs/memfs cached", apply(&mut cofs_mem_cached, node, op)),
+            (
+                "cofs/memfs cached 4 shards cap 1",
+                apply(&mut cofs_mem_cached_4s, node, op),
+            ),
+            (
+                "cofs/memfs cached ttl 1us",
+                apply(&mut cofs_mem_cached_ttl, node, op),
+            ),
             ("gpfs", apply(&mut bare_gpfs, node, op)),
             ("cofs/gpfs", apply(&mut cofs_gpfs, node, op)),
+            ("cofs/gpfs 2 shards", apply(&mut cofs_gpfs_2s, node, op)),
+            ("cofs/gpfs 4 shards", apply(&mut cofs_gpfs_4s, node, op)),
         ] {
             assert_eq!(
                 got, expect,

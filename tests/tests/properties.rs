@@ -78,6 +78,81 @@ mod placement_props {
     }
 }
 
+mod shard_policy_props {
+    use super::*;
+    use cofs::mds_cluster::{HashByParent, ShardPolicy, SingleShard, SubtreePartition};
+    use vfs::path::VPath;
+
+    fn policies(shards: usize) -> Vec<Box<dyn ShardPolicy>> {
+        vec![
+            Box::new(SingleShard),
+            Box::new(HashByParent::new(shards)),
+            Box::new(SubtreePartition::new(shards)),
+        ]
+    }
+
+    proptest! {
+        /// Every policy is *total* and *stable*: any path routes to a
+        /// shard below the declared count (for both the dentry and the
+        /// entry-list route), and re-routing the same path is
+        /// idempotent.
+        #[test]
+        fn routing_is_total_and_stable(
+            raw in "(/[a-z0-9.]{1,8}){1,6}",
+            shards in 1usize..16,
+        ) {
+            let p = VPath::new(&raw).unwrap();
+            for policy in policies(shards) {
+                let s = policy.shard_of(&p);
+                prop_assert!(s.0 < policy.shard_count(), "{policy:?} sent {p} to {s}");
+                prop_assert_eq!(s, policy.shard_of(&p));
+                let e = policy.shard_of_entries(&p);
+                prop_assert!(e.0 < policy.shard_count(), "{policy:?} listed {p} on {e}");
+                prop_assert_eq!(e, policy.shard_of_entries(&p));
+            }
+            // The root is routable too.
+            for policy in policies(shards) {
+                prop_assert!(policy.shard_of(&VPath::root()).0 < policy.shard_count());
+            }
+        }
+
+        /// Hash-by-parent keeps every pair of siblings on one shard —
+        /// the shard of a path is the shard of its parent's entry
+        /// list, so directory-local operations never cross shards.
+        #[test]
+        fn hash_by_parent_routes_siblings_identically(
+            dir in "(/[a-z]{1,6}){1,4}",
+            a in "[a-z0-9]{1,8}",
+            b in "[a-z0-9]{1,8}",
+            shards in 1usize..16,
+        ) {
+            let dir = VPath::new(&dir).unwrap();
+            let policy = HashByParent::new(shards);
+            let sa = policy.shard_of(&dir.join(&a));
+            let sb = policy.shard_of(&dir.join(&b));
+            prop_assert_eq!(sa, sb);
+            prop_assert_eq!(sa, policy.shard_of_entries(&dir));
+        }
+
+        /// Subtree partitioning respects subtree roots: every path
+        /// below a top-level directory routes exactly where the
+        /// top-level directory itself routes, entry lists included.
+        #[test]
+        fn subtree_partition_respects_subtree_roots(
+            top in "/[a-z]{1,8}",
+            rest in "(/[a-z0-9]{1,8}){0,5}",
+            shards in 1usize..16,
+        ) {
+            let root = VPath::new(&top).unwrap();
+            let deep = VPath::new(&format!("{top}{rest}")).unwrap();
+            let policy = SubtreePartition::new(shards);
+            let home = policy.shard_of(&root);
+            prop_assert_eq!(policy.shard_of(&deep), home);
+            prop_assert_eq!(policy.shard_of_entries(&deep), home);
+        }
+    }
+}
+
 mod metadb_props {
     use super::*;
     use metadb::table::{Record, Table};
