@@ -112,6 +112,35 @@ fn bench_client_cache(c: &mut Criterion) {
     });
 }
 
+/// A bursty create storm in the metadata-service limit, with and
+/// without the batch/pipeline layer — measures the simulator's
+/// wall-clock cost of the batching bookkeeping (the *virtual*-time win
+/// is asserted by the integration tests; here we make sure the
+/// pipeline's buffering and slot accounting stay cheap).
+fn batch_storm(max_batch_ops: Option<usize>) {
+    use cofs::config::ShardPolicyKind;
+    use workloads::scenarios::SharedDirStorm;
+
+    let storm = SharedDirStorm {
+        nodes: 4,
+        dirs: 2,
+        files_per_node: 16,
+        stats_per_create: 1,
+        burst: 8,
+        ..SharedDirStorm::default()
+    };
+    let mut fs =
+        cofs_bench::cofs_mds_limit_maybe_batched(2, ShardPolicyKind::HashByParent, max_batch_ops);
+    storm.run(&mut fs);
+}
+
+fn bench_batching(c: &mut Criterion) {
+    c.bench_function("batch_create_storm_off", |b| b.iter(|| batch_storm(None)));
+    c.bench_function("batch_create_storm_ops8", |b| {
+        b.iter(|| batch_storm(Some(8)))
+    });
+}
+
 fn bench_fig1(c: &mut Criterion) {
     c.bench_function("fig1_single_node_stat_1536", |b| {
         b.iter(|| {
@@ -186,6 +215,6 @@ fn bench_table1(c: &mut Criterion) {
 criterion_group! {
     name = paper;
     config = Criterion::default().sample_size(10);
-    targets = bench_fig1, bench_fig2, bench_fig4, bench_fig5, bench_fig6, bench_table1, bench_mds, bench_client_cache
+    targets = bench_fig1, bench_fig2, bench_fig4, bench_fig5, bench_fig6, bench_table1, bench_mds, bench_client_cache, bench_batching
 }
 criterion_main!(paper);

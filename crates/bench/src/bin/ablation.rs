@@ -11,6 +11,9 @@
 //! 5. *Client cache*: lease TTL under a read-only hot-stat storm vs.
 //!    a write-sharing storm — near-total RTT elimination in the first,
 //!    hit-rate collapse (and recall traffic) in the second.
+//! 6. *RPC batching*: batch size × burstiness under the create storm —
+//!    group commit and RTT amortization only pay when the workload
+//!    offers same-shard runs to coalesce.
 //!
 //! Alongside the text tables the binary writes `BENCH_ablation.json`
 //! (see [`cofs_bench::write_bench_json`]) for machine consumption.
@@ -23,12 +26,12 @@ use pfs::config::PfsConfig;
 use pfs::fs::PfsFs;
 use simcore::time::SimDuration;
 use workloads::metarates::{run_phase, MetaOp, MetaratesConfig};
-use workloads::report::{cache_cells, ms, Table, CACHE_COLUMNS};
+use workloads::report::{batch_cells, cache_cells, ms, Table, BATCH_COLUMNS, CACHE_COLUMNS};
 use workloads::scenarios::{HotStatStorm, SharedDirStorm};
 
 use cofs_bench::{
-    cofs_mds_limit, cofs_mds_limit_cached, smoke_files, smoke_mode, smoke_nodes, smoke_or,
-    write_bench_json,
+    cofs_mds_limit, cofs_mds_limit_cached, cofs_mds_limit_maybe_batched, smoke_files, smoke_mode,
+    smoke_nodes, smoke_or, write_bench_json,
 };
 
 fn stack(cfg: CofsConfig, placement: Box<dyn PlacementPolicy>) -> CofsFs<PfsFs> {
@@ -183,12 +186,55 @@ fn main() {
     }
     println!("{}", cache_table.render());
 
+    // ---- RPC batching ablation: batch size × workload burstiness ----
+    // The batch layer's two amortizations (round trips, commits) need
+    // same-shard create runs to bite: the bursty storm hands it trains
+    // of 8, the round-robin storm (burst 1) only what the delay window
+    // happens to catch.
+    let bursty = SharedDirStorm {
+        nodes: smoke_nodes(8),
+        dirs: 4,
+        files_per_node: smoke_files(16),
+        stats_per_create: 2,
+        burst: 8,
+        ..SharedDirStorm::default()
+    };
+    let round_robin = SharedDirStorm {
+        burst: 1,
+        ..bursty.clone()
+    };
+    println!(
+        "\n== RPC batching ablation (2 shards; {} nodes, {} dirs, {} files/node) ==\n",
+        bursty.nodes, bursty.dirs, bursty.files_per_node
+    );
+    let mut headers = vec!["workload", "batching", "makespan (ms)"];
+    headers.extend(BATCH_COLUMNS);
+    let mut batch_table = Table::new(headers);
+    for (storm, wl) in [
+        (&bursty, "bursty creates (8)"),
+        (&round_robin, "round-robin"),
+    ] {
+        for max_ops in [None, Some(8)] {
+            let mut fs = cofs_mds_limit_maybe_batched(2, ShardPolicyKind::HashByParent, max_ops);
+            let r = storm.run(&mut fs);
+            let mut row = vec![
+                wl.to_string(),
+                max_ops.map_or("off".into(), |k| k.to_string()),
+                ms(r.makespan.as_millis_f64()),
+            ];
+            row.extend(batch_cells(r.batch.as_ref()));
+            batch_table.row(row);
+        }
+    }
+    println!("{}", batch_table.render());
+
     match write_bench_json(
         "ablation",
         &[
             ("placement ablations", &table),
             ("mds sharding ablation", &shard_table),
             ("client-cache ablation", &cache_table),
+            ("rpc batching ablation", &batch_table),
         ],
     ) {
         Ok(path) => println!("wrote {}", path.display()),

@@ -101,6 +101,42 @@ pub fn cofs_mds_limit_cached(
     )
 }
 
+/// [`cofs_mds_limit`] with metadata-RPC batching switched on at the
+/// given batch size (delay window 5 ms virtual, pipeline depth 4) —
+/// the stack the batching axis of the `scaling`/`ablation` binaries
+/// sweeps. `max_batch_ops == 1` still pipelines (asynchronous
+/// singleton batches); use [`cofs_mds_limit`] for the fully
+/// synchronous baseline.
+pub fn cofs_mds_limit_batched(
+    shards: usize,
+    policy: ShardPolicyKind,
+    max_batch_ops: usize,
+) -> CofsFs<vfs::memfs::MemFs> {
+    let cfg = CofsConfig::default()
+        .with_shards(shards, policy)
+        .with_batching(max_batch_ops, simcore::time::SimDuration::from_millis(5), 4);
+    CofsFs::new(
+        vfs::memfs::MemFs::new(),
+        cfg,
+        MdsNetwork::uniform(simcore::time::SimDuration::from_micros(250)),
+        0xC0F5,
+    )
+}
+
+/// The batching axis's stack selector: [`cofs_mds_limit`] when
+/// `max_batch_ops` is `None` (fully synchronous baseline),
+/// [`cofs_mds_limit_batched`] otherwise.
+pub fn cofs_mds_limit_maybe_batched(
+    shards: usize,
+    policy: ShardPolicyKind,
+    max_batch_ops: Option<usize>,
+) -> CofsFs<vfs::memfs::MemFs> {
+    match max_batch_ops {
+        None => cofs_mds_limit(shards, policy),
+        Some(k) => cofs_mds_limit_batched(shards, policy, k),
+    }
+}
+
 /// The files-per-node sweep of Figs 4 and 5.
 pub const FILES_PER_NODE_SWEEP: [usize; 9] = [32, 64, 128, 256, 512, 1024, 2048, 4096, 8192];
 
@@ -277,6 +313,14 @@ mod tests {
             simcore::time::SimDuration::from_secs(1),
         );
         assert!(fs.client_cache().enabled());
+        assert_eq!(fs.mds_cluster().shard_count(), 2);
+    }
+
+    #[test]
+    fn batched_factory_enables_batching() {
+        let fs = cofs_mds_limit_batched(2, ShardPolicyKind::HashByParent, 16);
+        assert!(fs.batch_pipeline().enabled());
+        assert_eq!(fs.batch_pipeline().config().max_batch_ops, 16);
         assert_eq!(fs.mds_cluster().shard_count(), 2);
     }
 

@@ -7,11 +7,13 @@
 //! token delegation (modeled in the `dlm` crate): a node that holds a
 //! token operates on cached state until a conflicting access revokes
 //! it. This module brings that idea to the COFS layer: each client
-//! node keeps an attribute + directory-entry cache whose entries are
-//! backed by *leases* granted by the owning metadata shard. Reads that
-//! hit a live lease cost no RTT at all; mutations recall the leases of
-//! every other holder, paying explicit RTT-costed invalidation
-//! messages (the analogue of `dlm` token revocations).
+//! node keeps an attribute + directory-entry + negative-entry cache
+//! whose entries are backed by *leases* granted by the owning metadata
+//! shard. Reads that hit a live lease cost no RTT at all — including
+//! repeated `ENOENT` probes against a negatively-cached name
+//! ([`EntryKind::Negative`], the lock-file-polling pattern); mutations
+//! recall the leases of every other holder, paying explicit RTT-costed
+//! invalidation messages (the analogue of `dlm` token revocations).
 //!
 //! Semantics vs. cost: exactly like the shard split, the cache is a
 //! *cost* model, never a *truth* model. Every operation is still
@@ -44,6 +46,12 @@ pub enum EntryKind {
     Attr,
     /// The entry list of one directory (`readdir` answers).
     Dentry,
+    /// The *absence* of one path (a lease-covered `ENOENT`): lock-file
+    /// and output polling repeatedly `stat` names that do not exist
+    /// yet, and without negative entries every probe pays a full round
+    /// trip. Creating the name (create/mkdir/symlink/link/rename
+    /// destination) recalls these leases like any conflicting write.
+    Negative,
 }
 
 /// One lease key: which kind of state, on which virtual path.
@@ -104,6 +112,9 @@ pub struct CacheStats {
     /// Entries dropped by LRU capacity eviction (voluntary, free lease
     /// release).
     pub evictions: u64,
+    /// The subset of `hits` served by negative (`ENOENT`) entries —
+    /// repeated existence probes answered without a round trip.
+    pub negative_hits: u64,
 }
 
 impl CacheStats {
@@ -150,6 +161,7 @@ struct Entry {
 struct NodeCache {
     attrs: HashMap<VPath, Entry>,
     dentries: HashMap<VPath, Entry>,
+    negatives: HashMap<VPath, Entry>,
     use_seq: u64,
 }
 
@@ -158,14 +170,15 @@ impl NodeCache {
         match kind {
             EntryKind::Attr => &mut self.attrs,
             EntryKind::Dentry => &mut self.dentries,
+            EntryKind::Negative => &mut self.negatives,
         }
     }
 
     fn len(&self) -> usize {
-        self.attrs.len() + self.dentries.len()
+        self.attrs.len() + self.dentries.len() + self.negatives.len()
     }
 
-    /// The least-recently-used entry across both kinds (use counters
+    /// The least-recently-used entry across all kinds (use counters
     /// are unique per node, so the minimum is unambiguous whatever the
     /// map order).
     fn lru_victim(&self) -> Option<LeaseKey> {
@@ -176,6 +189,11 @@ impl NodeCache {
                 self.dentries
                     .iter()
                     .map(|(p, e)| (EntryKind::Dentry, p, e.last_use)),
+            )
+            .chain(
+                self.negatives
+                    .iter()
+                    .map(|(p, e)| (EntryKind::Negative, p, e.last_use)),
             )
             .min_by_key(|&(_, _, last_use)| last_use)
             .map(|(kind, path, _)| (kind, path.clone()))
@@ -253,6 +271,9 @@ impl ClientCache {
             Some(e) if e.expires > now => {
                 e.last_use = seq;
                 self.stats.hits += 1;
+                if kind == EntryKind::Negative {
+                    self.stats.negative_hits += 1;
+                }
                 Lookup::Hit
             }
             Some(_) => {
@@ -422,6 +443,42 @@ mod tests {
         assert!(c
             .lookup(NodeId(0), EntryKind::Attr, &x, SimTime::ZERO)
             .is_hit());
+    }
+
+    #[test]
+    fn negative_entries_hit_and_count_separately() {
+        let mut c = on(16, 1000);
+        let p = vpath("/lock");
+        assert!(!c
+            .lookup(NodeId(0), EntryKind::Negative, &p, SimTime::ZERO)
+            .is_hit());
+        c.insert(NodeId(0), EntryKind::Negative, p.clone(), SimTime::ZERO);
+        assert!(c
+            .lookup(NodeId(0), EntryKind::Negative, &p, SimTime::ZERO)
+            .is_hit());
+        // A negative entry answers only absence probes, not getattr.
+        assert!(!c
+            .lookup(NodeId(0), EntryKind::Attr, &p, SimTime::ZERO)
+            .is_hit());
+        let s = c.stats();
+        assert_eq!(s.negative_hits, 1);
+        assert_eq!(s.hits, 1);
+        // The create that materializes the name invalidates it.
+        c.invalidate(NodeId(0), EntryKind::Negative, &p);
+        assert!(!c
+            .lookup(NodeId(0), EntryKind::Negative, &p, SimTime::ZERO)
+            .is_hit());
+        assert_eq!(c.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn negative_entries_share_lru_capacity() {
+        let mut c = on(1, 1000);
+        c.insert(NodeId(0), EntryKind::Attr, vpath("/a"), SimTime::ZERO);
+        let evicted = c.insert(NodeId(0), EntryKind::Negative, vpath("/b"), SimTime::ZERO);
+        assert_eq!(evicted, Some((EntryKind::Attr, vpath("/a"))));
+        let evicted = c.insert(NodeId(0), EntryKind::Attr, vpath("/c"), SimTime::ZERO);
+        assert_eq!(evicted, Some((EntryKind::Negative, vpath("/b"))));
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! COFS configuration: FUSE interposition costs, metadata-service
 //! network model, sharding, and placement parameters.
 
+use crate::batch::BatchConfig;
 use crate::client_cache::ClientCacheConfig;
 use crate::mds_cluster::{HashByParent, ShardId, ShardPolicy, SingleShard, SubtreePartition};
 use metadb::cost::DbCostModel;
@@ -68,11 +69,24 @@ pub struct CofsConfig {
     /// operations.
     pub cross_shard_rtt: SimDuration,
 
+    /// How often (virtual time) each shard prunes expired entries from
+    /// its lease registry, bounding its memory under churn. Sweeping is
+    /// timing-neutral (expired leases are never messaged anyway), so it
+    /// defaults on; zero disables it.
+    pub lease_sweep_interval: SimDuration,
+
     // ---- client-side metadata cache ----
     /// Per-client attribute/dentry caching with lease-based coherence
     /// (see [`crate::client_cache`]). Disabled by default so the
     /// paper-calibrated numbers are reproduced bit-for-bit.
     pub client_cache: ClientCacheConfig,
+
+    // ---- metadata RPC batching ----
+    /// Client-side batching/pipelining of metadata mutations with
+    /// shard-side group commit (see [`crate::batch`]). Disabled by
+    /// default so the paper-calibrated numbers are reproduced
+    /// bit-for-bit.
+    pub batch: BatchConfig,
 }
 
 impl Default for CofsConfig {
@@ -89,7 +103,9 @@ impl Default for CofsConfig {
             mds_shards: 1,
             shard_policy: ShardPolicyKind::Single,
             cross_shard_rtt: SimDuration::from_micros(220),
+            lease_sweep_interval: SimDuration::from_secs(10),
             client_cache: ClientCacheConfig::default(),
+            batch: BatchConfig::default(),
         }
     }
 }
@@ -124,6 +140,24 @@ impl CofsConfig {
     /// switched on with the given per-node capacity and lease TTL.
     pub fn with_client_cache(mut self, capacity: usize, lease_ttl: SimDuration) -> Self {
         self.client_cache = ClientCacheConfig::enabled(capacity, lease_ttl);
+        self
+    }
+
+    /// A copy of this config with metadata-RPC batching switched on:
+    /// batches close at `max_batch_ops` operations or after
+    /// `max_batch_delay` of virtual time, with `pipeline_depth` batches
+    /// outstanding per node (see [`crate::batch`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch_ops` or `pipeline_depth` is zero.
+    pub fn with_batching(
+        mut self,
+        max_batch_ops: usize,
+        max_batch_delay: SimDuration,
+        pipeline_depth: usize,
+    ) -> Self {
+        self.batch = BatchConfig::enabled(max_batch_ops, max_batch_delay, pipeline_depth);
         self
     }
 
@@ -234,6 +268,18 @@ mod tests {
         assert_eq!(c.under_root.as_str(), "/.cofs");
         assert_eq!(c.mds_shards, 1);
         assert_eq!(c.shard_policy, ShardPolicyKind::Single);
+    }
+
+    #[test]
+    fn batching_defaults_off_and_builder_enables() {
+        let c = CofsConfig::default();
+        assert!(!c.batch.enabled);
+        assert!(!c.lease_sweep_interval.is_zero());
+        let b = CofsConfig::default().with_batching(16, SimDuration::from_millis(2), 4);
+        assert!(b.batch.enabled);
+        assert_eq!(b.batch.max_batch_ops, 16);
+        assert_eq!(b.batch.max_batch_delay, SimDuration::from_millis(2));
+        assert_eq!(b.batch.pipeline_depth, 4);
     }
 
     #[test]

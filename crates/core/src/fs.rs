@@ -8,6 +8,7 @@
 //! metadata operations to a centralized metadata service). Only
 //! requests related to file contents reach the underlying filesystem.
 
+use crate::batch::{BatchPipeline, BatchStats};
 use crate::client_cache::{CacheStats, ClientCache, EntryKind, LeaseKey};
 use crate::config::{CofsConfig, MdsNetwork};
 use crate::mds::{Cred, DbOps, Mds};
@@ -70,6 +71,7 @@ pub struct CofsFs<U: FileSystem> {
     net: MdsNetwork,
     mds: MdsCluster,
     cache: ClientCache,
+    batch: BatchPipeline,
     placement: Box<dyn PlacementPolicy>,
     made_dirs: HashSet<VPath>,
     handles: HashMap<u64, CHandle>,
@@ -136,6 +138,7 @@ impl<U: FileSystem> CofsFs<U> {
             net,
             mds: MdsCluster::new(shard_policy),
             cache: ClientCache::new(cfg.client_cache.clone()),
+            batch: BatchPipeline::new(cfg.batch.clone()),
             placement,
             made_dirs: HashSet::new(),
             handles: HashMap::new(),
@@ -195,12 +198,46 @@ impl<U: FileSystem> CofsFs<U> {
         self.cache.stats()
     }
 
+    /// The per-node batch pipeline (knobs and buffered state).
+    pub fn batch_pipeline(&self) -> &BatchPipeline {
+        &self.batch
+    }
+
+    /// Aggregate batching counters since the last [`Self::reset_time`]
+    /// (all zero with batching disabled).
+    pub fn batch_stats(&self) -> BatchStats {
+        self.batch.stats()
+    }
+
+    /// Flushes every buffered batch — each at its natural delay-window
+    /// deadline, exactly as its flush timer would have — and returns
+    /// the latest batch completion across all nodes, if batching is on
+    /// and anything was ever issued. An end-of-phase makespan must fold
+    /// this tail in: the last acknowledgements precede the last wire
+    /// completions by design.
+    pub fn drain_batches(&mut self) -> Option<SimTime> {
+        if !self.batch.enabled() {
+            return None;
+        }
+        for node in self.batch.nodes_with_work() {
+            self.batch.close_all(node);
+            self.pump(node, SimTime::MAX);
+        }
+        self.batch.last_completion()
+    }
+
     /// Rewinds every metadata shard's queue to virtual time zero (used
     /// between benchmark phases together with the underlying
     /// filesystem's own reset). Cached entries and their leases
     /// survive, like sessions; the cache counters rewind with the
     /// shard counters so reports describe the measured phase only.
+    /// Buffered batches are drained first (their cost lands in the
+    /// phase that buffered them), then the pipeline rewinds too.
     pub fn reset_time(&mut self) {
+        if self.batch.enabled() {
+            self.drain_batches();
+            self.batch.reset_time();
+        }
         self.mds.reset_time();
         self.cache.reset_stats();
     }
@@ -253,8 +290,10 @@ impl<U: FileSystem> CofsFs<U> {
     }
 
     /// Charges an operation spanning the shards of `a` and `b` — one
-    /// ordinary RPC when both live on the same shard, an explicit
-    /// two-phase commit across both otherwise.
+    /// ordinary (batchable) RPC when both live on the same shard, an
+    /// explicit two-phase commit across both otherwise. Two-phase
+    /// operations never batch: distributed agreement needs both shards
+    /// engaged synchronously.
     fn rpc_pair(
         &mut self,
         node: NodeId,
@@ -266,12 +305,61 @@ impl<U: FileSystem> CofsFs<U> {
         let sa = self.mds.route(a);
         let sb = self.mds.route(b);
         if sa == sb {
-            self.rpc_at(node, sa, ops, t)
+            self.rpc_write_at(node, sa, ops, t)
         } else {
             self.counters.bump("mds_rpcs");
             self.counters.bump("mds_two_phase");
             self.mds
                 .rpc_cross(&self.cfg, &self.net, node, (sa, sb), ops, t)
+        }
+    }
+
+    /// Charges a single-shard metadata *mutation*. With batching off
+    /// this is one synchronous RPC ([`Self::rpc_at`], the calibrated
+    /// path, bit for bit). With batching on, the op is buffered into
+    /// the node's open batch for the shard and acknowledged as soon as
+    /// the daemon accepts it — the caller's clock advances past the
+    /// round trip only when flow control (a full batch with every
+    /// pipeline slot occupied) makes it wait. See [`crate::batch`].
+    fn rpc_write_at(
+        &mut self,
+        node: NodeId,
+        shard: crate::mds_cluster::ShardId,
+        ops: DbOps,
+        t: simcore::time::SimTime,
+    ) -> simcore::time::SimTime {
+        if !self.batch.enabled() {
+            return self.rpc_at(node, shard, ops, t);
+        }
+        self.counters.bump("mds_rpcs");
+        self.batch.enqueue(node, shard, ops, t);
+        self.pump(node, t);
+        self.batch.ack_time(node, t)
+    }
+
+    /// Charges a single-shard metadata mutation against the shard
+    /// owning `path` (batched when enabled).
+    fn rpc_write(
+        &mut self,
+        node: NodeId,
+        path: &VPath,
+        ops: DbOps,
+        t: simcore::time::SimTime,
+    ) -> simcore::time::SimTime {
+        let shard = self.mds.route(path);
+        self.rpc_write_at(node, shard, ops, t)
+    }
+
+    /// Puts every closed batch of `node` due by `horizon` on the wire,
+    /// in close order, feeding each completion back into the pipeline's
+    /// slot accounting.
+    fn pump(&mut self, node: NodeId, horizon: simcore::time::SimTime) {
+        while let Some(b) = self.batch.take_due(node, horizon) {
+            self.counters.bump("mds_batches");
+            let done = self
+                .mds
+                .rpc_batch(&self.cfg, &self.net, node, b.shard, &b.ops, b.issue_at);
+            self.batch.record_completion(node, done);
         }
     }
 
@@ -307,7 +395,7 @@ impl<U: FileSystem> CofsFs<U> {
             crate::client_cache::Lookup::Miss => {}
         }
         let shard = match kind {
-            EntryKind::Attr => self.mds.route(path),
+            EntryKind::Attr | EntryKind::Negative => self.mds.route(path),
             EntryKind::Dentry => self.mds.route_entries(path),
         };
         let done = self.rpc_at(ctx.node, shard, ops, t);
@@ -359,6 +447,39 @@ impl<U: FileSystem> CofsFs<U> {
             (EntryKind::Dentry, parent.clone()),
             (EntryKind::Attr, parent),
         ]
+    }
+
+    /// The lease keys the *creation* of `path` conflicts with: the
+    /// parent keys plus any negative (`ENOENT`) leases on the name
+    /// itself — pollers that cached its absence must learn it now
+    /// exists.
+    fn creation_keys(path: &VPath) -> Vec<LeaseKey> {
+        let mut keys = vec![(EntryKind::Negative, path.clone())];
+        keys.extend(Self::parent_keys(path));
+        keys
+    }
+
+    /// A `stat` probe of a missing name still pays the round trip the
+    /// service needed to fail the lookup (the shard resolves the path
+    /// before it can say `ENOENT`). With the client cache on, the miss
+    /// installs a lease-backed *negative* entry so repeat probes — the
+    /// lock-file-polling pattern — answer locally until the name is
+    /// created (recall) or the lease lapses. Only `stat` probes are
+    /// negatively cached; `open`'s failure path stays uncharged, as
+    /// polling loops stat before they open.
+    fn negative_probe(
+        &mut self,
+        ctx: &OpCtx,
+        path: &VPath,
+        t: simcore::time::SimTime,
+    ) -> simcore::time::SimTime {
+        // Nominal resolution scan: one row per component plus the
+        // missing dentry probe itself.
+        let ops = DbOps {
+            reads: path.depth() as u64 + 1,
+            writes: 0,
+        };
+        self.cached_read(ctx, EntryKind::Negative, path, ops, t)
     }
 
     /// Ensures the underlying directory chain for `dir` exists,
@@ -450,8 +571,8 @@ impl<U: FileSystem> FileSystem for CofsFs<U> {
             .mds
             .namespace_mut()
             .mkdir(Self::cred(ctx), path, mode, ctx.now)?;
-        let t = self.rpc(ctx.node, path, ops, t);
-        let t = self.recall(ctx.node, Self::parent_keys(path).into(), t);
+        let t = self.rpc_write(ctx.node, path, ops, t);
+        let t = self.recall(ctx.node, Self::creation_keys(path), t);
         Ok(Timed::new((), t))
     }
 
@@ -462,7 +583,7 @@ impl<U: FileSystem> FileSystem for CofsFs<U> {
             .mds
             .namespace_mut()
             .rmdir(Self::cred(ctx), path, ctx.now)?;
-        let t = self.rpc(ctx.node, path, ops, t);
+        let t = self.rpc_write(ctx.node, path, ops, t);
         let mut keys = vec![
             (EntryKind::Attr, path.clone()),
             (EntryKind::Dentry, path.clone()),
@@ -493,10 +614,11 @@ impl<U: FileSystem> FileSystem for CofsFs<U> {
             mapping.clone(),
             ctx.now,
         )?;
-        let mut t = self.rpc(ctx.node, path, ops, t);
+        let mut t = self.rpc_write(ctx.node, path, ops, t);
         // Other clients caching the parent's listing (or its attrs)
-        // must give their leases back before the create is done.
-        t = self.recall(ctx.node, Self::parent_keys(path).into(), t);
+        // must give their leases back before the create is done, and
+        // pollers holding a negative lease on the name learn it exists.
+        t = self.recall(ctx.node, Self::creation_keys(path), t);
         // Materialize the underlying file in its private directory.
         t = self.ensure_under_dir(ctx, &dir, t)?;
         let dctx = Self::daemon_ctx(ctx, t);
@@ -545,7 +667,7 @@ impl<U: FileSystem> FileSystem for CofsFs<U> {
                 under_fh = Some(under.value);
                 t = under.end;
                 let ops = self.mds.namespace_mut().set_size(rec.ino, 0, ctx.now);
-                t = self.rpc(ctx.node, path, ops, t);
+                t = self.rpc_write(ctx.node, path, ops, t);
                 t = self.recall(ctx.node, vec![(EntryKind::Attr, path.clone())], t);
             } else {
                 // The daemon defers the underlying open until the
@@ -587,7 +709,7 @@ impl<U: FileSystem> FileSystem for CofsFs<U> {
                 let size = self.under.stat(&dctx, mapping)?.value.size;
                 t = t.max(dctx.now);
                 let ops = self.mds.namespace_mut().set_size(h.vino, size, ctx.now);
-                t = self.rpc(ctx.node, &h.vpath, ops, t);
+                t = self.rpc_write(ctx.node, &h.vpath, ops, t);
                 t = self.recall(ctx.node, vec![(EntryKind::Attr, h.vpath.clone())], t);
             }
         }
@@ -640,10 +762,21 @@ impl<U: FileSystem> FileSystem for CofsFs<U> {
         let t = self.fuse(ctx);
         // Pure metadata: answered entirely from the service's tables.
         // No underlying-filesystem tokens are touched at all. With the
-        // client cache on, a live attribute lease answers locally.
-        let (rec, ops) = self.mds.namespace().getattr(Self::cred(ctx), path)?;
-        let t = self.cached_read(ctx, EntryKind::Attr, path, ops, t);
-        Ok(Timed::new(rec.attr(), t))
+        // client cache on, a live attribute lease answers locally —
+        // and a missing name is a *negative* probe: the failure still
+        // costs the resolution round trip (carried on the error), but
+        // repeats hit a lease-covered negative entry.
+        match self.mds.namespace().getattr(Self::cred(ctx), path) {
+            Ok((rec, ops)) => {
+                let t = self.cached_read(ctx, EntryKind::Attr, path, ops, t);
+                Ok(Timed::new(rec.attr(), t))
+            }
+            Err(e) if e.is(Errno::ENOENT) => {
+                let t = self.negative_probe(ctx, path, t);
+                Err(e.with_end(t))
+            }
+            Err(e) => Err(e),
+        }
     }
 
     fn setattr(&mut self, ctx: &OpCtx, path: &VPath, set: SetAttr) -> FsResult<FileAttr> {
@@ -653,7 +786,7 @@ impl<U: FileSystem> FileSystem for CofsFs<U> {
             .mds
             .namespace_mut()
             .setattr(Self::cred(ctx), path, set, ctx.now)?;
-        let t = self.rpc(ctx.node, path, ops, t);
+        let t = self.rpc_write(ctx.node, path, ops, t);
         let t = self.recall(ctx.node, vec![(EntryKind::Attr, path.clone())], t);
         Ok(Timed::new(rec.attr(), t))
     }
@@ -678,7 +811,7 @@ impl<U: FileSystem> FileSystem for CofsFs<U> {
             .mds
             .namespace_mut()
             .unlink(Self::cred(ctx), path, ctx.now)?;
-        let mut t = self.rpc(ctx.node, path, ops, t);
+        let mut t = self.rpc_write(ctx.node, path, ops, t);
         let mut keys = vec![(EntryKind::Attr, path.clone())];
         keys.extend(Self::parent_keys(path));
         t = self.recall(ctx.node, keys, t);
@@ -748,10 +881,10 @@ impl<U: FileSystem> FileSystem for CofsFs<U> {
             .namespace_mut()
             .link(Self::cred(ctx), existing, new, ctx.now)?;
         let t = self.rpc_pair(ctx.node, existing, new, ops, t);
-        // The linked inode's nlink changed, and the new parent gained
-        // an entry.
+        // The linked inode's nlink changed, the new parent gained an
+        // entry, and the new name stopped being absent.
         let mut keys = vec![(EntryKind::Attr, existing.clone())];
-        keys.extend(Self::parent_keys(new));
+        keys.extend(Self::creation_keys(new));
         let t = self.recall(ctx.node, keys, t);
         Ok(Timed::new((), t))
     }
@@ -763,8 +896,8 @@ impl<U: FileSystem> FileSystem for CofsFs<U> {
             .mds
             .namespace_mut()
             .symlink(Self::cred(ctx), target, new, ctx.now)?;
-        let t = self.rpc(ctx.node, new, ops, t);
-        let t = self.recall(ctx.node, Self::parent_keys(new).into(), t);
+        let t = self.rpc_write(ctx.node, new, ops, t);
+        let t = self.recall(ctx.node, Self::creation_keys(new), t);
         Ok(Timed::new((), t))
     }
 
@@ -1293,6 +1426,183 @@ mod tests {
         assert!(fs.stat(&b, &vpath("/src/f")).is_err());
         assert_eq!(fs.stat(&b, &vpath("/moved/f")).unwrap().value.size, 0);
         assert!(fs.counters().get("mds_rpcs") > rpcs);
+    }
+
+    fn batched_fs(max_ops: usize, delay: SimDuration, depth: usize) -> CofsFs<MemFs> {
+        CofsFs::new(
+            MemFs::new(),
+            CofsConfig::default().with_batching(max_ops, delay, depth),
+            MdsNetwork::uniform(SimDuration::from_micros(250)),
+            7,
+        )
+    }
+
+    #[test]
+    fn batched_mutations_ack_at_the_daemon() {
+        let mut fs = batched_fs(4, SimDuration::from_millis(5), 4);
+        let ctx = OpCtx::test(NodeId(0));
+        // Pure-metadata mutations are acknowledged as soon as the
+        // daemon buffers them: no round trip on the caller's clock.
+        for i in 0..4 {
+            let t = fs
+                .mkdir(&ctx, &vpath(&format!("/d{i}")), Mode::dir_default())
+                .unwrap()
+                .end;
+            assert_eq!(t, ctx.now + fs.config().fuse_dispatch, "mkdir {i}");
+        }
+        // Four ops, one wire batch (the fourth filled it).
+        assert_eq!(fs.counters().get("mds_rpcs"), 4);
+        assert_eq!(fs.counters().get("mds_batches"), 1);
+        let st = fs.batch_stats();
+        assert_eq!(st.ops_enqueued, 4);
+        assert_eq!(st.batches_issued, 1);
+        assert_eq!(st.flush_full, 1);
+        assert_eq!(st.largest_batch, 4);
+        // The unbatched path pays the round trip synchronously.
+        let mut plain = new_fs();
+        let t = plain
+            .mkdir(&ctx, &vpath("/d0"), Mode::dir_default())
+            .unwrap()
+            .end;
+        assert!(t > ctx.now + plain.config().fuse_dispatch + SimDuration::from_micros(250));
+    }
+
+    #[test]
+    fn pipeline_depth_backpressures_the_client() {
+        // Depth 1, batch size 1: every mutation issues immediately, and
+        // each next one waits for the previous wire completion.
+        let mut fs = batched_fs(1, SimDuration::from_millis(5), 1);
+        let ctx = OpCtx::test(NodeId(0));
+        let first = fs
+            .mkdir(&ctx, &vpath("/a"), Mode::dir_default())
+            .unwrap()
+            .end;
+        assert_eq!(first, ctx.now + fs.config().fuse_dispatch);
+        let second = fs
+            .mkdir(&ctx, &vpath("/b"), Mode::dir_default())
+            .unwrap()
+            .end;
+        assert!(
+            second > first + SimDuration::from_micros(250),
+            "flow control must surface the oldest batch's round trip: {second:?}"
+        );
+    }
+
+    #[test]
+    fn drain_returns_the_wire_tail_and_empties_the_pipeline() {
+        let mut fs = batched_fs(8, SimDuration::from_millis(5), 4);
+        let ctx = OpCtx::test(NodeId(0));
+        let ack = fs
+            .mkdir(&ctx, &vpath("/d"), Mode::dir_default())
+            .unwrap()
+            .end;
+        // One op buffered, nothing on the wire yet.
+        assert_eq!(fs.counters().get("mds_batches"), 0);
+        assert_eq!(fs.batch_pipeline().buffered_ops(NodeId(0)), 1);
+        let tail = fs.drain_batches().expect("one batch outstanding");
+        // The drained batch flushed at its window deadline and then
+        // paid the round trip.
+        assert!(tail > ack + SimDuration::from_millis(5));
+        assert_eq!(fs.counters().get("mds_batches"), 1);
+        assert_eq!(fs.batch_stats().flush_drain, 1);
+        assert_eq!(fs.batch_pipeline().buffered_ops(NodeId(0)), 0);
+        // reset_time drains implicitly, so phases never leak work.
+        fs.mkdir(&ctx, &vpath("/e"), Mode::dir_default()).unwrap();
+        fs.reset_time();
+        assert_eq!(fs.batch_pipeline().buffered_ops(NodeId(0)), 0);
+        assert_eq!(fs.batch_stats(), crate::batch::BatchStats::default());
+    }
+
+    #[test]
+    fn batching_disabled_is_bit_for_bit_whatever_the_knobs() {
+        // Two configs that differ only in *disabled* batch knobs must
+        // price every operation identically — the calibration guard.
+        let mut a = new_fs();
+        let mut b = CofsFs::new(
+            MemFs::new(),
+            CofsConfig {
+                batch: crate::batch::BatchConfig {
+                    enabled: false,
+                    max_batch_ops: 64,
+                    max_batch_delay: SimDuration::from_secs(1),
+                    pipeline_depth: 9,
+                },
+                ..CofsConfig::default()
+            },
+            MdsNetwork::uniform(SimDuration::from_micros(250)),
+            7,
+        );
+        let ctx = OpCtx::test(NodeId(0));
+        for fs in [&mut a, &mut b] {
+            assert!(!fs.batch_pipeline().enabled());
+        }
+        let ta = a
+            .mkdir(&ctx, &vpath("/d"), Mode::dir_default())
+            .unwrap()
+            .end;
+        let tb = b
+            .mkdir(&ctx, &vpath("/d"), Mode::dir_default())
+            .unwrap()
+            .end;
+        assert_eq!(ta, tb);
+        let sa = a.stat(&ctx, &vpath("/d")).unwrap().end;
+        let sb = b.stat(&ctx, &vpath("/d")).unwrap().end;
+        assert_eq!(sa, sb);
+        assert_eq!(a.counters().get("mds_batches"), 0);
+        assert_eq!(a.drain_batches(), None);
+    }
+
+    #[test]
+    fn negative_stat_probe_charges_rpc_then_hits_lease() {
+        let mut fs = cached_fs(SimDuration::from_secs(5));
+        let ctx = OpCtx::test(NodeId(0));
+        // First probe of a missing name: full round trip, carried on
+        // the error.
+        let e1 = fs.stat(&ctx, &vpath("/lock")).unwrap_err();
+        assert!(e1.is(Errno::ENOENT));
+        let first = e1.end().expect("probe is timed");
+        assert!(first > ctx.now + fs.config().fuse_dispatch + SimDuration::from_micros(250));
+        let rpcs = fs.counters().get("mds_rpcs");
+        // Repeat probes answer from the negative lease: no RPC, FUSE
+        // dispatch only.
+        let e2 = fs.stat(&ctx, &vpath("/lock")).unwrap_err();
+        assert_eq!(e2.end(), Some(ctx.now + fs.config().fuse_dispatch));
+        assert_eq!(fs.counters().get("mds_rpcs"), rpcs);
+        assert_eq!(fs.cache_stats().negative_hits, 1);
+    }
+
+    #[test]
+    fn create_recalls_negative_lease_of_poller() {
+        let mut fs = cached_fs(SimDuration::from_secs(5));
+        let poller = OpCtx::test(NodeId(0));
+        let writer = OpCtx::test(NodeId(1));
+        // The poller caches the absence of /out.
+        fs.stat(&poller, &vpath("/out")).unwrap_err();
+        fs.stat(&poller, &vpath("/out")).unwrap_err();
+        assert_eq!(fs.cache_stats().negative_hits, 1);
+        let recalls = fs.mds_cluster().recall_count();
+        // Another node creating the name must recall that lease.
+        let fh = fs
+            .create(&writer, &vpath("/out"), Mode::file_default())
+            .unwrap()
+            .value;
+        fs.close(&writer, fh).unwrap();
+        assert!(fs.mds_cluster().recall_count() > recalls);
+        // The poller now sees the file (at miss cost, not stale).
+        assert_eq!(fs.stat(&poller, &vpath("/out")).unwrap().value.size, 0);
+    }
+
+    #[test]
+    fn negative_probe_without_cache_pays_every_time() {
+        let mut fs = new_fs();
+        let ctx = OpCtx::test(NodeId(0));
+        let before = fs.counters().get("mds_rpcs");
+        for _ in 0..3 {
+            let e = fs.stat(&ctx, &vpath("/missing")).unwrap_err();
+            assert!(e.end().expect("probes are timed") > ctx.now);
+        }
+        assert_eq!(fs.counters().get("mds_rpcs"), before + 3);
+        assert_eq!(fs.cache_stats().negative_hits, 0);
     }
 
     #[test]

@@ -54,6 +54,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod client_cache;
 pub mod config;
 pub mod fs;
@@ -63,6 +64,7 @@ pub mod placement;
 
 /// Convenient glob-import of the most commonly used items.
 pub mod prelude {
+    pub use crate::batch::{BatchConfig, BatchPipeline, BatchStats};
     pub use crate::client_cache::{CacheStats, ClientCache, ClientCacheConfig, EntryKind};
     pub use crate::config::{CofsConfig, MdsNetwork, ShardPolicyKind};
     pub use crate::fs::CofsFs;

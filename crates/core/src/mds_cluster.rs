@@ -220,6 +220,10 @@ pub struct ShardUsage {
     /// traffic of the client-side metadata cache; zero with the cache
     /// off).
     pub recalls: u64,
+    /// Batch RPCs served ([`MdsCluster::rpc_batch`]; each covers one
+    /// or more of the `rpcs` logical operations and group-commits their
+    /// writes). Zero with batching off.
+    pub batches: u64,
 }
 
 #[derive(Debug)]
@@ -229,6 +233,7 @@ struct Shard {
     rpcs: u64,
     two_phase: u64,
     recalls: u64,
+    batches: u64,
 }
 
 impl Shard {
@@ -239,6 +244,7 @@ impl Shard {
             rpcs: 0,
             two_phase: 0,
             recalls: 0,
+            batches: 0,
         }
     }
 
@@ -289,6 +295,13 @@ pub struct MdsCluster {
     /// `(kind, path)` reads locally, and until when. The shard owning
     /// the path recalls these on conflicting mutations.
     leases: HashMap<LeaseKey, HashMap<NodeId, SimTime>>,
+    /// Last periodic lease-registry sweep (virtual time).
+    last_sweep: SimTime,
+    /// Sweeps run since the last [`Self::reset_time`].
+    lease_sweeps: u64,
+    /// Expired lease holders pruned by sweeps since the last
+    /// [`Self::reset_time`].
+    leases_swept: u64,
 }
 
 impl MdsCluster {
@@ -302,6 +315,9 @@ impl MdsCluster {
             policy,
             sessions: HashSet::new(),
             leases: HashMap::new(),
+            last_sweep: SimTime::ZERO,
+            lease_sweeps: 0,
+            leases_swept: 0,
         }
     }
 
@@ -363,15 +379,71 @@ impl MdsCluster {
         ops: DbOps,
         t: SimTime,
     ) -> SimTime {
+        let (arrive, rtt) = self.request_prologue(cfg, net, node, shard, t);
+        let s = &mut self.shards[shard.0];
+        s.rpcs += 1;
+        let service = s.service(cfg, ops);
+        let done = s.cpu.acquire(arrive, service).end;
+        done + rtt / 2
+    }
+
+    /// The shared front half of every single-shard request: session
+    /// establishment on first contact, the periodic lease sweep, and
+    /// the request's travel to the shard. Returns the arrival time at
+    /// the shard and the round trip it will pay coming back, so
+    /// [`Self::rpc`] and [`Self::rpc_batch`] can only ever differ in
+    /// how they price the *service*.
+    fn request_prologue(
+        &mut self,
+        cfg: &CofsConfig,
+        net: &MdsNetwork,
+        node: NodeId,
+        shard: ShardId,
+        t: SimTime,
+    ) -> (SimTime, SimDuration) {
         let mut t = t;
         if self.sessions.insert((node, shard.0)) {
             t += cfg.session_cost;
         }
+        self.maybe_sweep_leases(cfg, t);
         let rtt = net.shard_rtt(node, shard);
-        let arrive = t + rtt / 2;
+        (t + rtt / 2, rtt)
+    }
+
+    /// Charges one *batch* RPC: `ops` same-shard operations coalesced
+    /// by the client's daemon into a single round trip. The per-request
+    /// CPU overhead is paid once for the whole batch, each operation's
+    /// row reads are charged individually, and every operation's writes
+    /// are folded into one group-commit transaction
+    /// ([`DbCostTracker::group_txn_cost`]) — `txn_cost(writes = k)`
+    /// instead of `k` single-write transactions. A batch of one is
+    /// bit-for-bit [`Self::rpc`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ops` is empty.
+    pub fn rpc_batch(
+        &mut self,
+        cfg: &CofsConfig,
+        net: &MdsNetwork,
+        node: NodeId,
+        shard: ShardId,
+        ops: &[DbOps],
+        t: SimTime,
+    ) -> SimTime {
+        assert!(!ops.is_empty(), "a batch RPC carries at least one op");
+        let (arrive, rtt) = self.request_prologue(cfg, net, node, shard, t);
         let s = &mut self.shards[shard.0];
-        s.rpcs += 1;
-        let service = s.service(cfg, ops);
+        s.rpcs += ops.len() as u64;
+        s.batches += 1;
+        let mut service = cfg.mds_service;
+        for o in ops {
+            service += s.tracker.query_cost(&cfg.db, o.reads);
+        }
+        let writes: Vec<u64> = ops.iter().map(|o| o.writes).filter(|&w| w > 0).collect();
+        if !writes.is_empty() {
+            service += s.tracker.group_txn_cost(&cfg.db, &writes);
+        }
         let done = s.cpu.acquire(arrive, service).end;
         done + rtt / 2
     }
@@ -404,6 +476,7 @@ impl MdsCluster {
                 t += cfg.session_cost;
             }
         }
+        self.maybe_sweep_leases(cfg, t);
         let rtt = net.shard_rtt(node, a);
         let cross = cfg.cross_shard_rtt;
         // Split the row work between the participants; the coordinator
@@ -507,7 +580,7 @@ impl MdsCluster {
                 continue;
             };
             let shard = match key.0 {
-                EntryKind::Attr => self.route(&key.1),
+                EntryKind::Attr | EntryKind::Negative => self.route(&key.1),
                 EntryKind::Dentry => self.route_entries(&key.1),
             };
             let mut holder_list: Vec<(NodeId, SimTime)> = holders.into_iter().collect();
@@ -535,6 +608,56 @@ impl MdsCluster {
         self.shards.iter().map(|s| s.recalls).sum()
     }
 
+    /// Runs the periodic lease-registry sweep when
+    /// `cfg.lease_sweep_interval` has lapsed since the last one.
+    /// Invoked from every RPC entry point, so a busy cluster prunes on
+    /// its own cadence without an external timer.
+    fn maybe_sweep_leases(&mut self, cfg: &CofsConfig, now: SimTime) {
+        if cfg.lease_sweep_interval.is_zero() {
+            return;
+        }
+        if now < self.last_sweep + cfg.lease_sweep_interval {
+            return;
+        }
+        self.last_sweep = now;
+        self.sweep_expired_leases(now);
+    }
+
+    /// Prunes every lease holder whose grant expired by `now` from the
+    /// registry and returns how many were dropped. Timing-neutral by
+    /// construction: [`Self::recall_leases`] already skips expired
+    /// holders without traffic, so sweeping only bounds the registry's
+    /// memory under churn (the ROADMAP's lease-table-growth item).
+    pub fn sweep_expired_leases(&mut self, now: SimTime) -> u64 {
+        let mut swept = 0u64;
+        self.leases.retain(|_, holders| {
+            let before = holders.len();
+            holders.retain(|_, &mut expires| expires > now);
+            swept += (before - holders.len()) as u64;
+            !holders.is_empty()
+        });
+        self.lease_sweeps += 1;
+        self.leases_swept += swept;
+        swept
+    }
+
+    /// Sweeps run since the last [`Self::reset_time`].
+    pub fn lease_sweep_count(&self) -> u64 {
+        self.lease_sweeps
+    }
+
+    /// Expired lease holders pruned by sweeps since the last
+    /// [`Self::reset_time`].
+    pub fn leases_swept(&self) -> u64 {
+        self.leases_swept
+    }
+
+    /// Outstanding lease holders currently tracked (over all keys) —
+    /// the registry size the sweep bounds.
+    pub fn lease_holder_count(&self) -> usize {
+        self.leases.values().map(|h| h.len()).sum()
+    }
+
     /// Per-shard load since the last [`Self::reset_time`].
     pub fn usage(&self) -> Vec<ShardUsage> {
         self.shards
@@ -547,6 +670,7 @@ impl MdsCluster {
                 mean_wait: s.cpu.mean_wait(),
                 two_phase: s.two_phase,
                 recalls: s.recalls,
+                batches: s.batches,
             })
             .collect()
     }
@@ -563,7 +687,11 @@ impl MdsCluster {
             s.rpcs = 0;
             s.two_phase = 0;
             s.recalls = 0;
+            s.batches = 0;
         }
+        self.last_sweep = SimTime::ZERO;
+        self.lease_sweeps = 0;
+        self.leases_swept = 0;
     }
 }
 
@@ -770,6 +898,126 @@ mod tests {
         assert_eq!(cluster.lease_keys_under(&vpath("/a")).len(), 2);
         // Releasing an unknown lease is a no-op.
         cluster.release_lease(NodeId(9), &(EntryKind::Attr, vpath("/nope")));
+    }
+
+    #[test]
+    fn batch_of_one_matches_rpc_bit_for_bit() {
+        let c = cfg();
+        let n = net();
+        let mut plain = MdsCluster::new(Box::new(HashByParent::new(2)));
+        let mut batched = MdsCluster::new(Box::new(HashByParent::new(2)));
+        let mut tp = SimTime::ZERO;
+        let mut tb = SimTime::ZERO;
+        for (reads, writes) in [(3u64, 2u64), (1, 0), (5, 4), (0, 1)] {
+            let ops = DbOps { reads, writes };
+            tp = plain.rpc(&c, &n, NodeId(0), ShardId(1), ops, tp);
+            tb = batched.rpc_batch(&c, &n, NodeId(0), ShardId(1), &[ops], tb);
+            assert_eq!(tp, tb, "singleton batches must reprice nothing");
+        }
+        assert_eq!(plain.usage()[1].rpcs, batched.usage()[1].rpcs);
+        assert_eq!(batched.usage()[1].batches, 4);
+        assert_eq!(plain.usage()[1].batches, 0);
+    }
+
+    #[test]
+    fn batch_amortizes_per_rpc_overhead_and_commit() {
+        let c = cfg();
+        let n = net();
+        let ops = DbOps {
+            reads: 2,
+            writes: 2,
+        };
+        let k = 4usize;
+        // k sequential single-op RPCs (client waits for each response).
+        let mut seq = MdsCluster::new(Box::new(SingleShard));
+        let mut t = SimTime::ZERO;
+        for _ in 0..k {
+            t = seq.rpc(&c, &n, NodeId(0), ShardId(0), ops, t);
+        }
+        // One k-op batch RPC.
+        let mut grp = MdsCluster::new(Box::new(SingleShard));
+        let batched = grp.rpc_batch(&c, &n, NodeId(0), ShardId(0), &vec![ops; k], SimTime::ZERO);
+        assert!(
+            batched < t,
+            "batch must beat sequential RPCs: {batched:?} vs {t:?}"
+        );
+        // Shard CPU demand shrinks by the amortized per-RPC overhead
+        // and the (k - 1) saved commits.
+        let saved = (c.mds_service + c.db.commit) * (k as u64 - 1);
+        assert_eq!(grp.usage()[0].busy + saved, seq.usage()[0].busy);
+        assert_eq!(grp.usage()[0].rpcs, k as u64);
+        assert_eq!(grp.usage()[0].batches, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one op")]
+    fn empty_batch_rpc_panics() {
+        let c = cfg();
+        let n = net();
+        MdsCluster::new(Box::new(SingleShard)).rpc_batch(
+            &c,
+            &n,
+            NodeId(0),
+            ShardId(0),
+            &[],
+            SimTime::ZERO,
+        );
+    }
+
+    #[test]
+    fn lease_sweep_prunes_expired_holders_only() {
+        let mut cluster = MdsCluster::new(Box::new(SingleShard));
+        let live = SimTime::from_secs(100);
+        for i in 0..10u32 {
+            cluster.grant_lease(
+                NodeId(i),
+                (EntryKind::Attr, vpath(&format!("/f{i}"))),
+                SimTime::from_millis(u64::from(i)),
+            );
+        }
+        cluster.grant_lease(NodeId(0), (EntryKind::Attr, vpath("/keep")), live);
+        assert_eq!(cluster.lease_holder_count(), 11);
+        let swept = cluster.sweep_expired_leases(SimTime::from_millis(20));
+        assert_eq!(swept, 10);
+        assert_eq!(cluster.lease_holder_count(), 1);
+        assert_eq!(cluster.leases_swept(), 10);
+        assert_eq!(cluster.lease_sweep_count(), 1);
+        cluster.reset_time();
+        assert_eq!(cluster.leases_swept(), 0);
+        // The surviving lease is untouched.
+        assert_eq!(cluster.lease_holder_count(), 1);
+    }
+
+    #[test]
+    fn periodic_sweep_fires_on_rpc_cadence() {
+        let c = cfg(); // default: 10s sweep interval
+        let n = net();
+        let mut cluster = MdsCluster::new(Box::new(SingleShard));
+        for i in 0..50u32 {
+            cluster.grant_lease(
+                NodeId(i),
+                (EntryKind::Attr, vpath(&format!("/f{i}"))),
+                SimTime::from_secs(1),
+            );
+        }
+        let ops = DbOps {
+            reads: 1,
+            writes: 0,
+        };
+        // Before the interval lapses nothing is swept.
+        cluster.rpc(&c, &n, NodeId(0), ShardId(0), ops, SimTime::from_secs(5));
+        assert_eq!(cluster.lease_holder_count(), 50);
+        // The first RPC past the interval prunes the lapsed grants.
+        cluster.rpc(&c, &n, NodeId(0), ShardId(0), ops, SimTime::from_secs(11));
+        assert_eq!(cluster.lease_holder_count(), 0);
+        assert_eq!(cluster.leases_swept(), 50);
+        // Sweeping is timing-neutral: the same RPC on a sweep-free
+        // cluster completes at the identical virtual time.
+        let mut quiet = MdsCluster::new(Box::new(SingleShard));
+        quiet.rpc(&c, &n, NodeId(0), ShardId(0), ops, SimTime::from_secs(5));
+        let a = cluster.rpc(&c, &n, NodeId(0), ShardId(0), ops, SimTime::from_secs(12));
+        let b = quiet.rpc(&c, &n, NodeId(0), ShardId(0), ops, SimTime::from_secs(12));
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -44,6 +44,8 @@ impl Default for DbCostModel {
 #[derive(Debug, Clone, Default)]
 pub struct DbCostTracker {
     commits: u64,
+    group_commits: u64,
+    group_committed_ops: u64,
 }
 
 impl DbCostTracker {
@@ -68,14 +70,45 @@ impl DbCostTracker {
         d
     }
 
+    /// Service demand of a *group commit*: the write sets of several
+    /// independent operations folded into one transaction. The log
+    /// records are still appended per row, but the commit bookkeeping
+    /// (and its share of the periodic fsync) is paid once for the whole
+    /// group instead of once per operation — the shard-side half of RPC
+    /// batching. A group of one is bit-for-bit [`Self::txn_cost`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `writes_per_op` is empty — an empty group has no
+    /// transaction to commit.
+    pub fn group_txn_cost(&mut self, model: &DbCostModel, writes_per_op: &[u64]) -> SimDuration {
+        assert!(!writes_per_op.is_empty(), "group commit of zero operations");
+        let total: u64 = writes_per_op.iter().sum();
+        self.group_commits += 1;
+        self.group_committed_ops += writes_per_op.len() as u64;
+        self.txn_cost(model, total)
+    }
+
     /// Transactions committed so far.
     pub fn commits(&self) -> u64 {
         self.commits
     }
 
-    /// Resets the commit counter (between benchmark phases).
+    /// Group commits performed so far (each also counts as one commit).
+    pub fn group_commits(&self) -> u64 {
+        self.group_commits
+    }
+
+    /// Operations whose writes were folded into group commits so far.
+    pub fn group_committed_ops(&self) -> u64 {
+        self.group_committed_ops
+    }
+
+    /// Resets the commit counters (between benchmark phases).
     pub fn reset(&mut self) {
         self.commits = 0;
+        self.group_commits = 0;
+        self.group_committed_ops = 0;
     }
 }
 
@@ -112,6 +145,63 @@ mod tests {
         assert_eq!(t.commits(), 8);
         t.reset();
         assert_eq!(t.commits(), 0);
+    }
+
+    #[test]
+    fn group_commit_amortizes_commit_and_sync() {
+        let m = DbCostModel::default();
+        // k single-write transactions vs. one k-op group commit.
+        let k = 4u64;
+        let mut singles = DbCostTracker::new();
+        let single_total: SimDuration = (0..k).map(|_| singles.txn_cost(&m, 1)).sum();
+        let mut grouped = DbCostTracker::new();
+        let group = grouped.group_txn_cost(&m, &[1, 1, 1, 1]);
+        // Same row work, (k - 1) fewer commits.
+        assert_eq!(single_total, group + m.commit * (k - 1));
+        assert_eq!(grouped.commits(), 1);
+        assert_eq!(grouped.group_commits(), 1);
+        assert_eq!(grouped.group_committed_ops(), k);
+        // The sync cadence counts transactions, so group commits also
+        // stretch the fsync interval over more operations.
+        let m = DbCostModel {
+            sync_every: 2,
+            ..DbCostModel::default()
+        };
+        let mut t = DbCostTracker::new();
+        t.group_txn_cost(&m, &[1, 1, 1]);
+        let second = t.group_txn_cost(&m, &[1]);
+        assert_eq!(second, m.commit + m.write + m.sync_cost);
+    }
+
+    #[test]
+    fn group_of_one_matches_txn_cost() {
+        let m = DbCostModel {
+            sync_every: 3,
+            ..DbCostModel::default()
+        };
+        let mut a = DbCostTracker::new();
+        let mut b = DbCostTracker::new();
+        for w in [1u64, 2, 5, 1, 0, 3] {
+            assert_eq!(a.txn_cost(&m, w), b.group_txn_cost(&m, &[w]));
+        }
+        assert_eq!(a.commits(), b.commits());
+    }
+
+    #[test]
+    #[should_panic(expected = "group commit of zero operations")]
+    fn empty_group_panics() {
+        DbCostTracker::new().group_txn_cost(&DbCostModel::default(), &[]);
+    }
+
+    #[test]
+    fn reset_clears_group_counters() {
+        let m = DbCostModel::default();
+        let mut t = DbCostTracker::new();
+        t.group_txn_cost(&m, &[1, 1]);
+        t.reset();
+        assert_eq!(t.commits(), 0);
+        assert_eq!(t.group_commits(), 0);
+        assert_eq!(t.group_committed_ops(), 0);
     }
 
     #[test]

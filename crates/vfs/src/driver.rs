@@ -386,12 +386,20 @@ pub fn run<F: FileSystem>(fs: &mut F, scripts: Vec<ClientScript>) -> RunReport {
                 clients[idx].clock = end;
             }
             Err(error) => {
+                // A failure that reports when it was known (e.g. an
+                // ENOENT that cost a real round trip) advances the
+                // clock honestly; otherwise the nominal penalty keeps a
+                // broken script from spinning forever.
+                let end = error
+                    .end()
+                    .unwrap_or(clients[idx].clock + ERROR_COST)
+                    .max(clients[idx].clock);
                 errors.push(RunError {
                     client: idx,
                     step: step_idx,
                     error,
                 });
-                clients[idx].clock += ERROR_COST;
+                clients[idx].clock = end;
             }
         }
         clients[idx].next_step += 1;

@@ -63,7 +63,13 @@ impl fmt::Display for Errno {
 }
 
 /// An error from a filesystem operation: which errno, which operation,
-/// and on which path (or handle).
+/// and on which path (or handle) — plus, optionally, the virtual time
+/// at which the failure was known ([`FsError::with_end`]): a failed
+/// lookup still costs a real round trip to whatever service denied it.
+///
+/// Equality deliberately ignores the timestamp: two errors are the
+/// same *outcome* whenever errno, operation, and subject match, so
+/// differential comparisons across differently-costed stacks hold.
 ///
 /// # Examples
 ///
@@ -74,12 +80,22 @@ impl fmt::Display for Errno {
 /// assert_eq!(e.errno(), Errno::ENOENT);
 /// assert!(e.to_string().contains("/missing"));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct FsError {
     errno: Errno,
     op: &'static str,
     subject: String,
+    end: Option<simcore::time::SimTime>,
 }
+
+impl PartialEq for FsError {
+    fn eq(&self, other: &Self) -> bool {
+        // `end` is cost, not identity — see the type docs.
+        self.errno == other.errno && self.op == other.op && self.subject == other.subject
+    }
+}
+
+impl Eq for FsError {}
 
 impl FsError {
     /// Creates an error for operation `op` on `subject` (usually a path).
@@ -88,7 +104,22 @@ impl FsError {
             errno,
             op,
             subject: subject.into(),
+            end: None,
         }
+    }
+
+    /// Attaches the virtual time at which the failure reached the
+    /// caller (e.g. after the round trip that returned `ENOENT`). The
+    /// driver advances a failing client's clock to this time instead of
+    /// its nominal error penalty.
+    pub fn with_end(mut self, end: simcore::time::SimTime) -> Self {
+        self.end = Some(end);
+        self
+    }
+
+    /// The failure's completion time, when the filesystem charged one.
+    pub fn end(&self) -> Option<simcore::time::SimTime> {
+        self.end
     }
 
     /// The POSIX error number.
@@ -172,6 +203,19 @@ mod tests {
             assert!(!e.message().is_empty());
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn end_time_is_carried_but_not_identity() {
+        use simcore::time::SimTime;
+
+        let plain = FsError::new(Errno::ENOENT, "stat", "/p");
+        assert_eq!(plain.end(), None);
+        let timed = plain.clone().with_end(SimTime::from_millis(3));
+        assert_eq!(timed.end(), Some(SimTime::from_millis(3)));
+        // Same outcome, different cost: still equal.
+        assert_eq!(plain, timed);
+        assert_ne!(timed, FsError::new(Errno::EEXIST, "stat", "/p"));
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! plot; these helpers keep the formatting consistent and also emit
 //! CSV for post-processing.
 
+use cofs::batch::BatchStats;
 use cofs::client_cache::CacheStats;
 use cofs::mds_cluster::ShardUsage;
 use simcore::time::SimTime;
@@ -167,6 +168,7 @@ pub fn pct(v: f64) -> String {
 ///     mean_wait: SimDuration::from_micros(40),
 ///     two_phase: 1,
 ///     recalls: 0,
+///     batches: 0,
 /// }];
 /// let t = shard_utilization_table(&usage, SimTime::from_millis(10));
 /// assert!(t.render().contains("50.0%"));
@@ -175,6 +177,7 @@ pub fn shard_utilization_table(usage: &[ShardUsage], makespan: SimTime) -> Table
     let mut t = Table::new(vec![
         "shard",
         "rpcs",
+        "batches",
         "busy (ms)",
         "util",
         "mean wait (ms)",
@@ -191,6 +194,7 @@ pub fn shard_utilization_table(usage: &[ShardUsage], makespan: SimTime) -> Table
         t.row(vec![
             u.shard.to_string(),
             u.rpcs.to_string(),
+            u.batches.to_string(),
             ms(u.busy.as_millis_f64()),
             pct(util),
             ms(u.mean_wait.as_millis_f64()),
@@ -229,6 +233,36 @@ pub fn cache_cells(stats: Option<&CacheStats>) -> Vec<String> {
             s.recall_messages.to_string(),
         ],
         None => vec!["-".into(); CACHE_COLUMNS.len()],
+    }
+}
+
+/// The batching columns scenario tables append when a run reports
+/// batch statistics: wire batches issued, mean operations per batch,
+/// and how batches closed (full vs. timer/drain). A run without
+/// batching renders as dashes so batching-on and -off rows align.
+pub const BATCH_COLUMNS: [&str; 4] = ["batches", "ops/batch", "full", "timed"];
+
+/// Formats [`BatchStats`] into the [`BATCH_COLUMNS`] cells.
+///
+/// # Examples
+///
+/// ```
+/// use cofs::batch::BatchStats;
+/// use workloads::report::batch_cells;
+///
+/// let s = BatchStats { ops_enqueued: 8, batches_issued: 2, flush_full: 2, ..Default::default() };
+/// assert_eq!(batch_cells(Some(&s))[1], "4.0");
+/// assert_eq!(batch_cells(None)[0], "-");
+/// ```
+pub fn batch_cells(stats: Option<&BatchStats>) -> Vec<String> {
+    match stats {
+        Some(s) => vec![
+            s.batches_issued.to_string(),
+            format!("{:.1}", s.mean_batch_ops()),
+            s.flush_full.to_string(),
+            (s.flush_timer + s.flush_drain).to_string(),
+        ],
+        None => vec!["-".into(); BATCH_COLUMNS.len()],
     }
 }
 
@@ -272,6 +306,22 @@ mod tests {
     }
 
     #[test]
+    fn batch_cells_align_with_columns() {
+        let s = BatchStats {
+            ops_enqueued: 12,
+            batches_issued: 3,
+            flush_full: 2,
+            flush_timer: 1,
+            flush_drain: 0,
+            largest_batch: 6,
+        };
+        let cells = batch_cells(Some(&s));
+        assert_eq!(cells.len(), BATCH_COLUMNS.len());
+        assert_eq!(cells, vec!["3", "4.0", "2", "1"]);
+        assert!(batch_cells(None).iter().all(|c| c == "-"));
+    }
+
+    #[test]
     fn cache_cells_align_with_columns() {
         let s = CacheStats {
             hits: 9,
@@ -306,6 +356,7 @@ mod tests {
                 mean_wait: SimDuration::from_micros(500),
                 two_phase: 0,
                 recalls: 4,
+                batches: 12,
             },
             ShardUsage {
                 shard: 1,
@@ -314,6 +365,7 @@ mod tests {
                 mean_wait: SimDuration::ZERO,
                 two_phase: 0,
                 recalls: 0,
+                batches: 0,
             },
         ];
         let t = shard_utilization_table(&usage, SimTime::from_millis(10));

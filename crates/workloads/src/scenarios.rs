@@ -9,6 +9,7 @@
 //! directory."
 
 use crate::target::BenchTarget;
+use cofs::batch::BatchStats;
 use cofs::client_cache::CacheStats;
 use cofs::mds_cluster::ShardUsage;
 use netsim::ids::{NodeId, Pid};
@@ -61,6 +62,10 @@ pub struct ScenarioResult {
     /// Client-cache counters during the measured phase (`None` when
     /// the target has no cache or it is disabled).
     pub cache: Option<CacheStats>,
+    /// Batching counters during the measured phase (`None` when the
+    /// target has no batch pipeline or it is disabled). The makespan
+    /// already folds in the end-of-phase drain of buffered batches.
+    pub batch: Option<BatchStats>,
 }
 
 impl ScenarioResult {
@@ -215,6 +220,12 @@ pub struct SharedDirStorm {
     /// write-sharing worst case: every listing takes a dentry lease
     /// that the very next create by any other node must recall.
     pub readdirs_per_create: usize,
+    /// How many *consecutive* files each node creates into the same
+    /// directory before moving to the next one (a create train, the
+    /// untar/compile pattern). `1` — the default, and the historical
+    /// storm shape bit-for-bit — rotates directories every file; larger
+    /// bursts give the RPC batching layer same-shard runs to coalesce.
+    pub burst: usize,
     /// Parent of the shared directories.
     pub root: VPath,
 }
@@ -227,6 +238,7 @@ impl Default for SharedDirStorm {
             files_per_node: 16,
             stats_per_create: 8,
             readdirs_per_create: 0,
+            burst: 1,
             root: vpath("/storm"),
         }
     }
@@ -256,8 +268,11 @@ impl SharedDirStorm {
             let mut s = ClientScript::new(NodeId(n as u32), Pid(1));
             s.push(Action::Barrier);
             for i in 0..self.files_per_node {
-                // Interleave so every directory stays hot on every node.
-                let d = (n + i) % self.dirs;
+                // Interleave so every directory stays hot on every
+                // node; a burst of b keeps b consecutive creates in one
+                // directory before rotating (b = 1 is the historical
+                // round-robin exactly).
+                let d = (n + i / self.burst.max(1)) % self.dirs;
                 let path = self.root.join(&format!("d{d}")).join(&format!("f.{n}.{i}"));
                 s.push_measured(
                     "create",
@@ -381,14 +396,21 @@ impl HotStatStorm {
     }
 }
 
-fn summarize<F: BenchTarget>(report: RunReport, files: usize, fs: &F) -> ScenarioResult {
+fn summarize<F: BenchTarget>(report: RunReport, files: usize, fs: &mut F) -> ScenarioResult {
+    // Pipelined batching acknowledges mutations before their wire
+    // completion; the phase is not over until the tail drains.
+    let makespan = match fs.drain_outstanding() {
+        Some(tail) => report.makespan.max(tail),
+        None => report.makespan,
+    };
     ScenarioResult {
-        makespan: report.makespan,
+        makespan,
         mean_create_ms: report.mean_millis("create"),
         mean_stat_ms: report.mean_millis("stat"),
         files,
         per_shard: fs.shard_usage(),
         cache: fs.cache_stats(),
+        batch: fs.batch_stats(),
     }
 }
 
@@ -536,6 +558,49 @@ mod tests {
         assert!(stats.recall_messages > 0, "{stats:?}");
         let recalls: u64 = r.per_shard.iter().map(|u| u.recalls).sum();
         assert!(recalls > 0, "{:?}", r.per_shard);
+    }
+
+    #[test]
+    fn batched_storm_coalesces_and_beats_unbatched() {
+        use cofs::config::{CofsConfig, MdsNetwork, ShardPolicyKind};
+        use cofs::fs::CofsFs;
+        use simcore::time::SimDuration;
+
+        let storm = SharedDirStorm {
+            nodes: 4,
+            dirs: 2,
+            files_per_node: 16,
+            stats_per_create: 1,
+            burst: 8,
+            ..SharedDirStorm::default()
+        };
+        let net = || MdsNetwork::uniform(SimDuration::from_micros(250));
+        let base = CofsConfig::default().with_shards(2, ShardPolicyKind::HashByParent);
+        let mut plain = CofsFs::new(MemFs::new(), base.clone(), net(), 7);
+        let mut batched = CofsFs::new(
+            MemFs::new(),
+            base.with_batching(8, SimDuration::from_millis(5), 4),
+            net(),
+            7,
+        );
+        let r_plain = storm.run(&mut plain);
+        let r_batched = storm.run(&mut batched);
+        assert!(r_plain.batch.is_none(), "batching off reports no stats");
+        let stats = r_batched.batch.expect("batching on");
+        assert!(
+            stats.mean_batch_ops() > 1.5,
+            "bursts must coalesce: {stats:?}"
+        );
+        assert!(
+            r_batched.makespan < r_plain.makespan,
+            "amortized RTTs and group commits must win: {:?} vs {:?}",
+            r_batched.makespan,
+            r_plain.makespan
+        );
+        // The wire batches appear in the per-shard load.
+        let batches: u64 = r_batched.per_shard.iter().map(|u| u.batches).sum();
+        assert_eq!(batches, stats.batches_issued);
+        assert!(r_plain.per_shard.iter().all(|u| u.batches == 0));
     }
 
     #[test]

@@ -7,10 +7,12 @@
 //! time zero so the next phase's driver run starts clean, while cache
 //! and token state (deliberately) survive.
 
+use cofs::batch::BatchStats;
 use cofs::client_cache::CacheStats;
 use cofs::fs::CofsFs;
 use cofs::mds_cluster::ShardUsage;
 use pfs::fs::PfsFs;
+use simcore::time::SimTime;
 use vfs::fs::FileSystem;
 use vfs::memfs::MemFs;
 
@@ -34,6 +36,20 @@ pub trait BenchTarget: FileSystem {
     /// `None` for targets without a client cache (or with it off), so
     /// reports can distinguish "no cache" from "cache saw no traffic".
     fn cache_stats(&self) -> Option<CacheStats> {
+        None
+    }
+
+    /// Flushes any buffered asynchronous work at the *end* of a
+    /// measured phase and returns the virtual time its tail completed
+    /// — `None` when nothing was buffered. Scenario makespans fold
+    /// this in, so pipelined batching cannot hide its wire time.
+    fn drain_outstanding(&mut self) -> Option<SimTime> {
+        None
+    }
+
+    /// Batching counters since the last reset — `None` for targets
+    /// without a batch pipeline (or with it off).
+    fn batch_stats(&self) -> Option<BatchStats> {
         None
     }
 }
@@ -71,6 +87,18 @@ impl<U: BenchTarget> BenchTarget for CofsFs<U> {
     fn cache_stats(&self) -> Option<CacheStats> {
         if self.client_cache().enabled() {
             Some(CofsFs::cache_stats(self))
+        } else {
+            None
+        }
+    }
+
+    fn drain_outstanding(&mut self) -> Option<SimTime> {
+        self.drain_batches()
+    }
+
+    fn batch_stats(&self) -> Option<BatchStats> {
+        if self.batch_pipeline().enabled() {
+            Some(CofsFs::batch_stats(self))
         } else {
             None
         }

@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""CI gate on the machine-readable benchmark report.
+
+Reads ``BENCH_scaling.json`` (written by ``cargo run -p cofs-bench
+--bin scaling``; see ``write_bench_json`` in ``crates/bench/src/lib.rs``)
+and fails when a structural performance claim regressed:
+
+1. **Storm throughput is monotone in shard count** — the
+   "shared-directory storm vs shard count" section's ``creates/s``
+   column must be non-decreasing as ``shards`` grows, through the
+   claimed scaling regime (<= 4 shards; beyond that the full sweep
+   deliberately explores saturation, where per-shard skew makes more
+   shards a wash).
+2. **Batching improves the bursty storm monotonically** — the
+   "shared-directory storm vs batching" section's ``makespan (ms)``
+   must not increase along ``max_batch_ops`` 1 -> 4 -> 16, and the
+   largest batch size must beat batching off.
+3. **Batching never regresses read-only work** — in the "batching
+   non-wins" section, the hot-stat rows with batching on must match the
+   batching-off makespan (reads never batch).
+
+Cells are printed at two decimals, so comparisons allow one unit of
+rounding slack (0.011 ms / 1 create/s). Stdlib only; exit status 0 on
+success, 1 on any failed check.
+
+Usage: bench_check.py [path/to/BENCH_scaling.json]
+"""
+
+import json
+import sys
+
+ROUNDING_MS = 0.011
+ROUNDING_RATE = 1.0
+MAX_CLAIMED_SHARDS = 4
+
+failures = []
+
+
+def check(ok, message):
+    tag = "ok  " if ok else "FAIL"
+    print(f"  [{tag}] {message}")
+    if not ok:
+        failures.append(message)
+
+
+def section(report, title):
+    for s in report["sections"]:
+        if s["title"] == title:
+            return s
+    print(f"  [FAIL] section missing: {title!r}")
+    failures.append(f"missing section {title!r}")
+    return None
+
+
+def column(sec, name):
+    try:
+        return sec["headers"].index(name)
+    except ValueError:
+        failures.append(f"column {name!r} missing in {sec['title']!r}")
+        print(f"  [FAIL] column missing: {name!r} in {sec['title']!r}")
+        return None
+
+
+def check_shard_monotonicity(report):
+    print("shared-directory storm vs shard count:")
+    sec = section(report, "shared-directory storm vs shard count")
+    if sec is None:
+        return
+    shards_col = column(sec, "shards")
+    rate_col = column(sec, "creates/s")
+    if shards_col is None or rate_col is None:
+        return
+    rows = sorted(sec["rows"], key=lambda r: float(r[shards_col]))
+    check(len(rows) >= 2, f"at least two shard counts swept ({len(rows)} rows)")
+    for prev, cur in zip(rows, rows[1:]):
+        if float(cur[shards_col]) > MAX_CLAIMED_SHARDS:
+            continue  # saturation regime, no monotonicity claim
+        ok = float(cur[rate_col]) >= float(prev[rate_col]) - ROUNDING_RATE
+        check(
+            ok,
+            f"creates/s monotone {prev[shards_col]} -> {cur[shards_col]} shards "
+            f"({prev[rate_col]} -> {cur[rate_col]})",
+        )
+
+
+def check_batching_monotonicity(report):
+    print("shared-directory storm vs batching:")
+    sec = section(report, "shared-directory storm vs batching")
+    if sec is None:
+        return
+    batch_col = column(sec, "batching")
+    make_col = column(sec, "makespan (ms)")
+    if batch_col is None or make_col is None:
+        return
+    off = [r for r in sec["rows"] if r[batch_col] == "off"]
+    on = sorted(
+        (r for r in sec["rows"] if r[batch_col] != "off"),
+        key=lambda r: int(r[batch_col]),
+    )
+    check(len(off) == 1, "one batching-off baseline row")
+    check(len(on) >= 3, f"max_batch_ops sweep has >= 3 points ({len(on)} rows)")
+    for prev, cur in zip(on, on[1:]):
+        ok = float(cur[make_col]) <= float(prev[make_col]) + ROUNDING_MS
+        check(
+            ok,
+            f"makespan monotone max_batch_ops {prev[batch_col]} -> {cur[batch_col]} "
+            f"({prev[make_col]} -> {cur[make_col]} ms)",
+        )
+    if off and on:
+        best = on[-1]
+        ok = float(best[make_col]) < float(off[0][make_col])
+        check(
+            ok,
+            f"largest batch ({best[batch_col]} ops, {best[make_col]} ms) beats "
+            f"batching off ({off[0][make_col]} ms)",
+        )
+
+
+def check_hot_stat_non_regression(report):
+    print("batching non-wins:")
+    sec = section(report, "batching non-wins")
+    if sec is None:
+        return
+    wl_col = column(sec, "workload")
+    batch_col = column(sec, "batching")
+    make_col = column(sec, "makespan (ms)")
+    if wl_col is None or batch_col is None or make_col is None:
+        return
+    hot = [r for r in sec["rows"] if "hot-stat" in r[wl_col]]
+    off = [r for r in hot if r[batch_col] == "off"]
+    on = [r for r in hot if r[batch_col] != "off"]
+    check(bool(off) and bool(on), "hot-stat measured with batching off and on")
+    if not (off and on):
+        return
+    for row in on:
+        ok = float(row[make_col]) <= float(off[0][make_col]) + ROUNDING_MS
+        check(
+            ok,
+            f"batching {row[batch_col]} does not regress hot-stat makespan "
+            f"({off[0][make_col]} -> {row[make_col]} ms)",
+        )
+
+
+def main():
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_scaling.json"
+    try:
+        with open(path, encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"cannot read {path}: {e}")
+        return 1
+    print(f"checking {path} (bench={report.get('bench')!r}, smoke={report.get('smoke')})")
+    check_shard_monotonicity(report)
+    check_batching_monotonicity(report)
+    check_hot_stat_non_regression(report)
+    if failures:
+        print(f"\n{len(failures)} check(s) failed")
+        return 1
+    print("\nall checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

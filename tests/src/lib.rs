@@ -85,6 +85,50 @@ pub fn cofs_over_memfs_cached(
     )
 }
 
+/// COFS over the reference filesystem with metadata-RPC batching on
+/// (`shards` may be 1) — used by the differential suite to pin that
+/// batching, like sharding and caching, is invisible in user-visible
+/// outcomes for any batch size, delay, and pipeline depth.
+pub fn cofs_over_memfs_batched(
+    shards: usize,
+    max_batch_ops: usize,
+    max_batch_delay: simcore::time::SimDuration,
+    pipeline_depth: usize,
+) -> CofsFs<MemFs> {
+    let cfg = if shards > 1 {
+        CofsConfig::default().with_shards(shards, ShardPolicyKind::HashByParent)
+    } else {
+        CofsConfig::default()
+    };
+    CofsFs::new(
+        MemFs::new(),
+        cfg.with_batching(max_batch_ops, max_batch_delay, pipeline_depth),
+        MdsNetwork::uniform(simcore::time::SimDuration::from_micros(250)),
+        7,
+    )
+}
+
+/// Batching *and* caching stacked (the full cost-model tower) over the
+/// reference filesystem.
+pub fn cofs_over_memfs_batched_cached(
+    shards: usize,
+    max_batch_ops: usize,
+    lease_ttl: simcore::time::SimDuration,
+) -> CofsFs<MemFs> {
+    let cfg = if shards > 1 {
+        CofsConfig::default().with_shards(shards, ShardPolicyKind::HashByParent)
+    } else {
+        CofsConfig::default()
+    };
+    CofsFs::new(
+        MemFs::new(),
+        cfg.with_batching(max_batch_ops, simcore::time::SimDuration::from_millis(1), 2)
+            .with_client_cache(4096, lease_ttl),
+        MdsNetwork::uniform(simcore::time::SimDuration::from_micros(250)),
+        7,
+    )
+}
+
 /// COFS over GPFS with `shards` metadata blades and the given
 /// partitioning policy.
 pub fn cofs_over_gpfs_sharded(

@@ -1,22 +1,24 @@
 //! Differential tests: random operation sequences must produce
 //! identical user-visible outcomes on the reference `MemFs`, on
-//! COFS-over-MemFs (at 1, 2, and 4 metadata shards, and with the
+//! COFS-over-MemFs (at 1, 2, and 4 metadata shards, with the
 //! client-side metadata cache on at aggressive and degenerate
-//! configurations), on bare GPFS (`PfsFs`), and on COFS-over-GPFS
-//! (centralized and at 2 and 4 shards).
+//! configurations, and with metadata-RPC batching on — alone and
+//! stacked under the cache), on bare GPFS (`PfsFs`), and on
+//! COFS-over-GPFS (centralized and at 2 and 4 shards).
 //!
 //! This is the strongest POSIX-compliance evidence in the repository:
 //! the virtualization layer reorganizes the physical layout — the
-//! shard policy partitions the metadata service, and the client cache
-//! short-circuits round trips behind leases — arbitrarily, yet no
-//! sequence of operations may be able to tell. Shard counts and cache
-//! settings are distinguishable only by simulated time, never by
-//! outcome.
+//! shard policy partitions the metadata service, the client cache
+//! short-circuits round trips behind leases, and the batch pipeline
+//! defers mutations' wire time behind asynchronous acknowledgements —
+//! arbitrarily, yet no sequence of operations may be able to tell.
+//! Shard counts, cache settings, and batch knobs are distinguishable
+//! only by simulated time, never by outcome.
 
 use cofs::config::ShardPolicyKind;
 use cofs_tests::{
-    apply, cofs_over_gpfs, cofs_over_gpfs_sharded, cofs_over_memfs, cofs_over_memfs_cached,
-    cofs_over_memfs_sharded, gen_ops, gpfs,
+    apply, cofs_over_gpfs, cofs_over_gpfs_sharded, cofs_over_memfs, cofs_over_memfs_batched,
+    cofs_over_memfs_batched_cached, cofs_over_memfs_cached, cofs_over_memfs_sharded, gen_ops, gpfs,
 };
 use netsim::ids::NodeId;
 use simcore::time::SimDuration;
@@ -34,6 +36,13 @@ fn run_differential(seed: u64, n_ops: usize) {
     let mut cofs_mem_cached = cofs_over_memfs_cached(1, 4096, SimDuration::from_secs(60));
     let mut cofs_mem_cached_4s = cofs_over_memfs_cached(4, 1, SimDuration::from_secs(60));
     let mut cofs_mem_cached_ttl = cofs_over_memfs_cached(2, 4096, SimDuration::from_micros(1));
+    // Batching extremes: a deep pipeline with big slow batches, a
+    // degenerate 1-op/depth-1 pipeline, and batching stacked under the
+    // client cache — all must be invisible in outcomes too.
+    let mut cofs_mem_batched = cofs_over_memfs_batched(1, 16, SimDuration::from_millis(10), 4);
+    let mut cofs_mem_batched_4s = cofs_over_memfs_batched(4, 1, SimDuration::from_micros(1), 1);
+    let mut cofs_mem_batched_cached =
+        cofs_over_memfs_batched_cached(2, 8, SimDuration::from_secs(60));
     let mut bare_gpfs = gpfs(2);
     let mut cofs_gpfs = cofs_over_gpfs(2);
     let mut cofs_gpfs_2s = cofs_over_gpfs_sharded(2, 2, ShardPolicyKind::HashByParent);
@@ -53,6 +62,18 @@ fn run_differential(seed: u64, n_ops: usize) {
             (
                 "cofs/memfs cached ttl 1us",
                 apply(&mut cofs_mem_cached_ttl, node, op),
+            ),
+            (
+                "cofs/memfs batched 16x4",
+                apply(&mut cofs_mem_batched, node, op),
+            ),
+            (
+                "cofs/memfs batched degenerate 4 shards",
+                apply(&mut cofs_mem_batched_4s, node, op),
+            ),
+            (
+                "cofs/memfs batched+cached 2 shards",
+                apply(&mut cofs_mem_batched_cached, node, op),
             ),
             ("gpfs", apply(&mut bare_gpfs, node, op)),
             ("cofs/gpfs", apply(&mut cofs_gpfs, node, op)),
