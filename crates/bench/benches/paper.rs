@@ -141,6 +141,56 @@ fn bench_batching(c: &mut Criterion) {
     });
 }
 
+/// The bursty create storm on an 8-op batched stack, with and without
+/// per-batch read memoization — measures the simulator's wall-clock
+/// cost of the read-set plumbing and the per-batch key dedup (the
+/// *virtual*-time win is asserted by the integration tests).
+fn memo_storm(memoize: bool) {
+    use cofs::config::ShardPolicyKind;
+    use workloads::scenarios::SharedDirStorm;
+
+    let storm = SharedDirStorm {
+        nodes: 4,
+        dirs: 2,
+        files_per_node: 16,
+        stats_per_create: 0,
+        burst: 8,
+        ..SharedDirStorm::default()
+    };
+    let mut fs =
+        cofs_bench::cofs_mds_limit_tuned(2, ShardPolicyKind::HashByParent, Some(8), memoize, false);
+    storm.run(&mut fs);
+}
+
+fn bench_memoization(c: &mut Criterion) {
+    c.bench_function("memo_batched_storm_off", |b| b.iter(|| memo_storm(false)));
+    c.bench_function("memo_batched_storm_on", |b| b.iter(|| memo_storm(true)));
+}
+
+/// The mixed stat+create storm on an 8-op batched stack, FIFO vs the
+/// read-priority lane — measures the wall-clock cost of the two-lane
+/// segment bookkeeping (the stat-tail win is asserted by the
+/// integration tests).
+fn prio_storm(priority: bool) {
+    use cofs::config::ShardPolicyKind;
+    use workloads::scenarios::SharedDirStorm;
+
+    let storm = SharedDirStorm::mixed(4, 16);
+    let mut fs = cofs_bench::cofs_mds_limit_tuned(
+        2,
+        ShardPolicyKind::HashByParent,
+        Some(8),
+        false,
+        priority,
+    );
+    storm.run(&mut fs);
+}
+
+fn bench_read_priority(c: &mut Criterion) {
+    c.bench_function("prio_mixed_storm_fifo", |b| b.iter(|| prio_storm(false)));
+    c.bench_function("prio_mixed_storm_lane", |b| b.iter(|| prio_storm(true)));
+}
+
 fn bench_fig1(c: &mut Criterion) {
     c.bench_function("fig1_single_node_stat_1536", |b| {
         b.iter(|| {
@@ -215,6 +265,6 @@ fn bench_table1(c: &mut Criterion) {
 criterion_group! {
     name = paper;
     config = Criterion::default().sample_size(10);
-    targets = bench_fig1, bench_fig2, bench_fig4, bench_fig5, bench_fig6, bench_table1, bench_mds, bench_client_cache, bench_batching
+    targets = bench_fig1, bench_fig2, bench_fig4, bench_fig5, bench_fig6, bench_table1, bench_mds, bench_client_cache, bench_batching, bench_memoization, bench_read_priority
 }
 criterion_main!(paper);

@@ -30,8 +30,8 @@ use workloads::report::{batch_cells, cache_cells, ms, Table, BATCH_COLUMNS, CACH
 use workloads::scenarios::{HotStatStorm, SharedDirStorm};
 
 use cofs_bench::{
-    cofs_mds_limit, cofs_mds_limit_cached, cofs_mds_limit_maybe_batched, smoke_files, smoke_mode,
-    smoke_nodes, smoke_or, write_bench_json,
+    cofs_mds_limit, cofs_mds_limit_cached, cofs_mds_limit_maybe_batched, cofs_mds_limit_tuned,
+    smoke_files, smoke_mode, smoke_nodes, smoke_or, write_bench_json,
 };
 
 fn stack(cfg: CofsConfig, placement: Box<dyn PlacementPolicy>) -> CofsFs<PfsFs> {
@@ -228,6 +228,43 @@ fn main() {
     }
     println!("{}", batch_table.render());
 
+    // ---- memoization × priority ablation: each knob alone and both
+    // together on the mixed stat+create storm ----
+    // Memoization attacks per-op row reads (batch service time);
+    // priority attacks head-of-line blocking (stat tail latency). They
+    // are orthogonal: memoization shrinks the lumps, priority routes
+    // reads around whatever lumps remain, and stacked they compose.
+    let mixed = workloads::scenarios::SharedDirStorm::mixed(smoke_nodes(8), smoke_files(32));
+    println!(
+        "\n== Memoization x priority ablation (2 shards, 8-op batches; \
+         mixed storm: {} nodes, {} files/node in bursts of {}, {} stats/create) ==\n",
+        mixed.nodes, mixed.files_per_node, mixed.burst, mixed.stats_per_create
+    );
+    let mut mp_table = Table::new(vec![
+        "memo",
+        "lane",
+        "stat p99 (ms)",
+        "makespan (ms)",
+        "reads memoized",
+        "bypasses",
+    ]);
+    for (memo, priority) in [(false, false), (true, false), (false, true), (true, true)] {
+        let mut fs =
+            cofs_mds_limit_tuned(2, ShardPolicyKind::HashByParent, Some(8), memo, priority);
+        let r = mixed.run(&mut fs);
+        let memoized: u64 = r.per_shard.iter().map(|u| u.reads_memoized).sum();
+        let bypasses: u64 = r.per_shard.iter().map(|u| u.read_bypasses).sum();
+        mp_table.row(vec![
+            if memo { "on" } else { "off" }.to_string(),
+            if priority { "priority" } else { "fifo" }.to_string(),
+            ms(r.stat_p50_p99_ms.map_or(0.0, |(_, p99)| p99)),
+            ms(r.makespan.as_millis_f64()),
+            memoized.to_string(),
+            bypasses.to_string(),
+        ]);
+    }
+    println!("{}", mp_table.render());
+
     match write_bench_json(
         "ablation",
         &[
@@ -235,6 +272,7 @@ fn main() {
             ("mds sharding ablation", &shard_table),
             ("client-cache ablation", &cache_table),
             ("rpc batching ablation", &batch_table),
+            ("memoization x priority ablation", &mp_table),
         ],
     ) {
         Ok(path) => println!("wrote {}", path.display()),

@@ -23,14 +23,15 @@
 
 use cofs::config::ShardPolicyKind;
 use cofs_bench::{
-    cofs_mds_limit, cofs_mds_limit_cached, cofs_mds_limit_maybe_batched, cofs_over_gpfs_on,
-    gpfs_on, smoke_files, smoke_or, write_bench_json,
+    cofs_mds_limit, cofs_mds_limit_cached, cofs_mds_limit_maybe_batched, cofs_mds_limit_tuned,
+    cofs_over_gpfs_on, gpfs_on, smoke_files, smoke_or, write_bench_json,
 };
 use netsim::topology::Topology;
 use simcore::time::SimDuration;
 use workloads::metarates::{run_phase, MetaOp, MetaratesConfig};
 use workloads::report::{
-    batch_cells, cache_cells, ms, shard_utilization_table, Table, BATCH_COLUMNS, CACHE_COLUMNS,
+    batch_cells, cache_cells, ms, read_latency_cells, shard_utilization_table, Table,
+    BATCH_COLUMNS, CACHE_COLUMNS, READ_LAT_COLUMNS,
 };
 use workloads::scenarios::{HotStatStorm, SharedDirStorm};
 
@@ -201,6 +202,86 @@ fn main() {
     }
     println!("{}", batch_table.render());
 
+    // ---- memoization axis: the same bursty storm, batch pricing by
+    // deduplicated read set ----
+    // At 16-op batches >90% of a batch's service time is per-op row
+    // reads, and a batch into one directory resolves the same parent
+    // chain 16 times. Memoized pricing charges each distinct chain row
+    // once per batch, so every batch size must get strictly cheaper
+    // with memoization on and the 16-op memoized storm must beat PR 4's
+    // unmemoized ceiling (`scripts/bench_check.py` gates both).
+    println!(
+        "== Scaling: bursty storm vs per-batch read memoization \
+         ({} nodes, {} dirs, {} files/node in bursts of {}, 2 shards) ==\n",
+        bstorm.nodes, bstorm.dirs, bstorm.files_per_node, bstorm.burst
+    );
+    let mut memo_table = Table::new(vec![
+        "batching",
+        "memo",
+        "create (ms)",
+        "makespan (ms)",
+        "reads charged",
+        "reads memoized",
+    ]);
+    for max_ops in [None, Some(1), Some(4), Some(16)] {
+        for memo in [false, true] {
+            if memo && max_ops.is_none() {
+                continue; // memoization dedupes within batches only
+            }
+            let mut fs =
+                cofs_mds_limit_tuned(2, ShardPolicyKind::HashByParent, max_ops, memo, false);
+            let r = bstorm.run(&mut fs);
+            let charged: u64 = r.per_shard.iter().map(|u| u.reads_charged).sum();
+            let memoized: u64 = r.per_shard.iter().map(|u| u.reads_memoized).sum();
+            memo_table.row(vec![
+                max_ops.map_or("off".into(), |k| k.to_string()),
+                if memo { "on" } else { "off" }.to_string(),
+                ms(r.mean_create_ms),
+                ms(r.makespan.as_millis_f64()),
+                charged.to_string(),
+                memoized.to_string(),
+            ]);
+        }
+    }
+    println!("{}", memo_table.render());
+
+    // ---- read-priority axis: mixed stat+create storm, lane × batch ----
+    // The ablation's round-robin row shows mixed storms gain nothing
+    // from batching: synchronous stats queue behind multi-op batch
+    // lumps, so stat p99 *grows* with max_batch_ops under FIFO. The
+    // priority lane lets reads bypass queued (not in-service) lumps —
+    // stat p99 must stop growing with batch size while the storm's
+    // makespan keeps its batching win (`scripts/bench_check.py` gates
+    // the tail claims).
+    let mstorm = SharedDirStorm::mixed(cofs_bench::smoke_nodes(16), smoke_files(32));
+    println!(
+        "== Scaling: mixed stat+create storm vs read priority \
+         ({} nodes, {} dirs, {} files/node in bursts of {}, \
+         {} stats/create, 2 shards) ==\n",
+        mstorm.nodes, mstorm.dirs, mstorm.files_per_node, mstorm.burst, mstorm.stats_per_create
+    );
+    let mut headers = vec!["batching", "lane"];
+    headers.extend(READ_LAT_COLUMNS);
+    headers.extend(["makespan (ms)", "bypasses"]);
+    let mut prio_table = Table::new(headers);
+    for max_ops in [None, Some(4), Some(16)] {
+        for priority in [false, true] {
+            let mut fs =
+                cofs_mds_limit_tuned(2, ShardPolicyKind::HashByParent, max_ops, false, priority);
+            let r = mstorm.run(&mut fs);
+            let bypasses: u64 = r.per_shard.iter().map(|u| u.read_bypasses).sum();
+            let mut row = vec![
+                max_ops.map_or("off".into(), |k| k.to_string()),
+                if priority { "priority" } else { "fifo" }.to_string(),
+            ];
+            row.extend(read_latency_cells(r.stat_p50_p99_ms));
+            row.push(ms(r.makespan.as_millis_f64()));
+            row.push(bypasses.to_string());
+            prio_table.row(row);
+        }
+    }
+    println!("{}", prio_table.render());
+
     // ---- batching non-wins: sparse mutators and read-only storms ----
     // The same layer must NOT pay for itself where it cannot help: a
     // sparse mutator's lone ops wait out the delay window before going
@@ -252,6 +333,8 @@ fn main() {
             ("per-shard load at largest shard count", &usage_table),
             ("hot-stat storm vs client cache", &cache_table),
             ("shared-directory storm vs batching", &batch_table),
+            ("bursty storm vs read memoization", &memo_table),
+            ("mixed stat+create storm vs read priority", &prio_table),
             ("batching non-wins", &nonwin_table),
         ],
     ) {

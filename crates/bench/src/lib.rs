@@ -73,13 +73,7 @@ pub fn cofs_over_gpfs_on(nodes: usize, topology: Topology) -> CofsFs<PfsFs> {
 /// very bottleneck shift the paper predicts — so that stack cannot
 /// resolve MDS scaling.
 pub fn cofs_mds_limit(shards: usize, policy: ShardPolicyKind) -> CofsFs<vfs::memfs::MemFs> {
-    let cfg = CofsConfig::default().with_shards(shards, policy);
-    CofsFs::new(
-        vfs::memfs::MemFs::new(),
-        cfg,
-        MdsNetwork::uniform(simcore::time::SimDuration::from_micros(250)),
-        0xC0F5,
-    )
+    cofs_mds_limit_tuned(shards, policy, None, false, false)
 }
 
 /// [`cofs_mds_limit`] with the client-side metadata cache switched on
@@ -112,15 +106,7 @@ pub fn cofs_mds_limit_batched(
     policy: ShardPolicyKind,
     max_batch_ops: usize,
 ) -> CofsFs<vfs::memfs::MemFs> {
-    let cfg = CofsConfig::default()
-        .with_shards(shards, policy)
-        .with_batching(max_batch_ops, simcore::time::SimDuration::from_millis(5), 4);
-    CofsFs::new(
-        vfs::memfs::MemFs::new(),
-        cfg,
-        MdsNetwork::uniform(simcore::time::SimDuration::from_micros(250)),
-        0xC0F5,
-    )
+    cofs_mds_limit_tuned(shards, policy, Some(max_batch_ops), false, false)
 }
 
 /// The batching axis's stack selector: [`cofs_mds_limit`] when
@@ -131,10 +117,43 @@ pub fn cofs_mds_limit_maybe_batched(
     policy: ShardPolicyKind,
     max_batch_ops: Option<usize>,
 ) -> CofsFs<vfs::memfs::MemFs> {
-    match max_batch_ops {
-        None => cofs_mds_limit(shards, policy),
-        Some(k) => cofs_mds_limit_batched(shards, policy, k),
+    cofs_mds_limit_tuned(shards, policy, max_batch_ops, false, false)
+}
+
+/// The full service-discipline selector every `cofs_mds_limit_*`
+/// batching factory funnels through: optional batching at
+/// `max_batch_ops` (delay window 5 ms, pipeline depth 4), per-batch
+/// read memoization, and the shard CPUs' read-priority lane, each
+/// independently switchable. With everything `None`/`false` this is
+/// exactly [`cofs_mds_limit`].
+///
+/// # Panics
+///
+/// Panics if `memoize_reads` is requested without batching —
+/// memoization dedupes *within* a batch.
+pub fn cofs_mds_limit_tuned(
+    shards: usize,
+    policy: ShardPolicyKind,
+    max_batch_ops: Option<usize>,
+    memoize_reads: bool,
+    read_priority: bool,
+) -> CofsFs<vfs::memfs::MemFs> {
+    let mut cfg = CofsConfig::default().with_shards(shards, policy);
+    if let Some(k) = max_batch_ops {
+        cfg = cfg.with_batching(k, simcore::time::SimDuration::from_millis(5), 4);
     }
+    if memoize_reads {
+        cfg = cfg.with_read_memoization();
+    }
+    if read_priority {
+        cfg = cfg.with_read_priority();
+    }
+    CofsFs::new(
+        vfs::memfs::MemFs::new(),
+        cfg,
+        MdsNetwork::uniform(simcore::time::SimDuration::from_micros(250)),
+        0xC0F5,
+    )
 }
 
 /// The files-per-node sweep of Figs 4 and 5.
@@ -322,6 +341,17 @@ mod tests {
         assert!(fs.batch_pipeline().enabled());
         assert_eq!(fs.batch_pipeline().config().max_batch_ops, 16);
         assert_eq!(fs.mds_cluster().shard_count(), 2);
+    }
+
+    #[test]
+    fn tuned_factory_sets_every_discipline_knob() {
+        let all = cofs_mds_limit_tuned(2, ShardPolicyKind::HashByParent, Some(8), true, true);
+        assert!(all.batch_pipeline().enabled());
+        assert!(all.batch_pipeline().config().memoize_reads);
+        assert!(all.config().read_priority);
+        let none = cofs_mds_limit_tuned(2, ShardPolicyKind::HashByParent, None, false, false);
+        assert!(!none.batch_pipeline().enabled());
+        assert!(!none.config().read_priority);
     }
 
     #[test]

@@ -51,11 +51,35 @@
 //!   synchronous in virtual time while only the durability path is
 //!   deferred.
 
-use crate::mds::DbOps;
+use crate::mds::{DbOps, ReadSet};
 use crate::mds_cluster::ShardId;
 use netsim::ids::NodeId;
 use simcore::time::{SimDuration, SimTime};
 use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// One buffered mutation: its database work plus the row keys of the
+/// memoizable reads its resolution performed. The read set rides along
+/// so the shard can price the batch by its *deduplicated* read set
+/// ([`crate::mds_cluster::MdsCluster::rpc_batch`]) when
+/// [`BatchConfig::memoize_reads`] is on; with memoization off it is
+/// carried but never consulted.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BatchedOp {
+    /// Rows read and written by the operation.
+    pub db: DbOps,
+    /// Keys of the ancestor-chain rows among `db.reads`.
+    pub read_set: ReadSet,
+}
+
+impl BatchedOp {
+    /// An op carrying no memoizable keys (every read always charged).
+    pub fn opaque(db: DbOps) -> Self {
+        BatchedOp {
+            db,
+            read_set: ReadSet::empty(),
+        }
+    }
+}
 
 /// Batching knobs on [`crate::config::CofsConfig`].
 ///
@@ -78,6 +102,13 @@ pub struct BatchConfig {
     /// full batch closing with every slot occupied blocks the client
     /// until the oldest batch completes (flow control).
     pub pipeline_depth: usize,
+    /// Price each batch by its *deduplicated* read set: the shard
+    /// charges one lookup per distinct ancestor-chain row per batch
+    /// instead of once per operation
+    /// ([`crate::mds_cluster::MdsCluster::rpc_batch`]). Off by default
+    /// — with it off (or for a batch of one) pricing is bit-for-bit
+    /// the unmemoized path.
+    pub memoize_reads: bool,
 }
 
 impl Default for BatchConfig {
@@ -87,6 +118,7 @@ impl Default for BatchConfig {
             max_batch_ops: 8,
             max_batch_delay: SimDuration::from_millis(5),
             pipeline_depth: 4,
+            memoize_reads: false,
         }
     }
 }
@@ -105,7 +137,15 @@ impl BatchConfig {
             max_batch_ops,
             max_batch_delay,
             pipeline_depth: depth,
+            memoize_reads: false,
         }
+    }
+
+    /// A copy of this config with per-batch read memoization switched
+    /// on (meaningful only when batching itself is enabled).
+    pub fn with_memoized_reads(mut self) -> Self {
+        self.memoize_reads = true;
+        self
     }
 }
 
@@ -125,8 +165,9 @@ pub enum FlushReason {
 pub struct ReadyBatch {
     /// The shard every operation in this batch routes to.
     pub shard: ShardId,
-    /// The database work of each operation, in submission order.
-    pub ops: Vec<DbOps>,
+    /// The database work (and read keys) of each operation, in
+    /// submission order.
+    pub ops: Vec<BatchedOp>,
     /// Submission sequence numbers, parallel to `ops` (ordering
     /// audits; strictly increasing within a batch).
     pub seqs: Vec<u64>,
@@ -170,7 +211,7 @@ impl BatchStats {
 
 #[derive(Debug)]
 struct OpenBatch {
-    ops: Vec<DbOps>,
+    ops: Vec<BatchedOp>,
     seqs: Vec<u64>,
     deadline: SimTime,
 }
@@ -178,7 +219,7 @@ struct OpenBatch {
 #[derive(Debug)]
 struct ClosedBatch {
     shard: ShardId,
-    ops: Vec<DbOps>,
+    ops: Vec<BatchedOp>,
     seqs: Vec<u64>,
     flushed_at: SimTime,
     reason: FlushReason,
@@ -213,7 +254,7 @@ struct NodeState {
 /// # Examples
 ///
 /// ```
-/// use cofs::batch::{BatchConfig, BatchPipeline};
+/// use cofs::batch::{BatchConfig, BatchPipeline, BatchedOp};
 /// use cofs::mds::DbOps;
 /// use cofs::mds_cluster::ShardId;
 /// use netsim::ids::NodeId;
@@ -222,8 +263,8 @@ struct NodeState {
 /// let cfg = BatchConfig::enabled(2, SimDuration::from_millis(1), 2);
 /// let mut p = BatchPipeline::new(cfg);
 /// let (n, s) = (NodeId(0), ShardId(0));
-/// let w = DbOps { reads: 1, writes: 1 };
-/// p.enqueue(n, s, w, SimTime::ZERO);
+/// let w = BatchedOp::opaque(DbOps { reads: 1, writes: 1 });
+/// p.enqueue(n, s, w.clone(), SimTime::ZERO);
 /// assert!(p.take_due(n, SimTime::ZERO).is_none()); // still open
 /// p.enqueue(n, s, w, SimTime::ZERO);
 /// let batch = p.take_due(n, SimTime::ZERO).expect("full at 2 ops");
@@ -299,7 +340,7 @@ impl BatchPipeline {
     /// # Panics
     ///
     /// Panics if batching is disabled.
-    pub fn enqueue(&mut self, node: NodeId, shard: ShardId, ops: DbOps, now: SimTime) -> u64 {
+    pub fn enqueue(&mut self, node: NodeId, shard: ShardId, ops: BatchedOp, now: SimTime) -> u64 {
         assert!(self.cfg.enabled, "enqueue on a disabled batch pipeline");
         let seq = self.seq;
         self.seq += 1;
@@ -503,18 +544,23 @@ mod tests {
         ))
     }
 
-    fn w() -> DbOps {
-        DbOps {
+    fn w() -> BatchedOp {
+        BatchedOp::opaque(DbOps {
             reads: 1,
             writes: 1,
-        }
+        })
     }
 
     #[test]
     fn default_config_is_off() {
         let cfg = BatchConfig::default();
         assert!(!cfg.enabled);
+        assert!(!cfg.memoize_reads);
         assert!(!BatchPipeline::new(cfg).enabled());
+        // Read memoization is opt-in on top of an enabled config.
+        let on = BatchConfig::enabled(4, SimDuration::from_millis(1), 2);
+        assert!(!on.memoize_reads);
+        assert!(on.with_memoized_reads().memoize_reads);
     }
 
     #[test]
@@ -639,7 +685,7 @@ mod tests {
         BatchPipeline::new(BatchConfig::default()).enqueue(
             NodeId(0),
             ShardId(0),
-            DbOps::default(),
+            BatchedOp::default(),
             SimTime::ZERO,
         );
     }

@@ -87,6 +87,15 @@ pub struct CofsConfig {
     /// default so the paper-calibrated numbers are reproduced
     /// bit-for-bit.
     pub batch: BatchConfig,
+
+    // ---- shard service discipline ----
+    /// Serve read RPCs from a priority lane on each shard CPU: reads
+    /// bypass *queued* (never in-service) batch lumps, decoupling
+    /// synchronous `stat` latency from `max_batch_ops`
+    /// ([`simcore::resource::TwoLaneResource`]). Disabled by default —
+    /// every request then takes the FIFO lane, bit-for-bit the
+    /// calibrated discipline.
+    pub read_priority: bool,
 }
 
 impl Default for CofsConfig {
@@ -106,6 +115,7 @@ impl Default for CofsConfig {
             lease_sweep_interval: SimDuration::from_secs(10),
             client_cache: ClientCacheConfig::default(),
             batch: BatchConfig::default(),
+            read_priority: false,
         }
     }
 }
@@ -158,6 +168,32 @@ impl CofsConfig {
         pipeline_depth: usize,
     ) -> Self {
         self.batch = BatchConfig::enabled(max_batch_ops, max_batch_delay, pipeline_depth);
+        self
+    }
+
+    /// A copy of this config with per-batch read memoization switched
+    /// on: each distinct ancestor-chain row is charged once per batch
+    /// RPC instead of once per operation (see
+    /// [`crate::mds_cluster::MdsCluster::rpc_batch`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if batching is not enabled — memoization dedupes *within
+    /// a batch*, so without batches there is nothing for it to do and
+    /// a silent no-op would mask a misconfigured sweep.
+    pub fn with_read_memoization(mut self) -> Self {
+        assert!(
+            self.batch.enabled,
+            "read memoization requires batching; call with_batching first"
+        );
+        self.batch = self.batch.with_memoized_reads();
+        self
+    }
+
+    /// A copy of this config with the shard CPUs' read-priority lane
+    /// switched on (see [`Self::read_priority`]).
+    pub fn with_read_priority(mut self) -> Self {
+        self.read_priority = true;
         self
     }
 
@@ -274,12 +310,25 @@ mod tests {
     fn batching_defaults_off_and_builder_enables() {
         let c = CofsConfig::default();
         assert!(!c.batch.enabled);
+        assert!(!c.batch.memoize_reads);
+        assert!(!c.read_priority);
         assert!(!c.lease_sweep_interval.is_zero());
         let b = CofsConfig::default().with_batching(16, SimDuration::from_millis(2), 4);
         assert!(b.batch.enabled);
         assert_eq!(b.batch.max_batch_ops, 16);
         assert_eq!(b.batch.max_batch_delay, SimDuration::from_millis(2));
         assert_eq!(b.batch.pipeline_depth, 4);
+        assert!(!b.batch.memoize_reads);
+        let m = b.with_read_memoization();
+        assert!(m.batch.memoize_reads);
+        let p = CofsConfig::default().with_read_priority();
+        assert!(p.read_priority);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires batching")]
+    fn read_memoization_without_batching_panics() {
+        let _ = CofsConfig::default().with_read_memoization();
     }
 
     #[test]

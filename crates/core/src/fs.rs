@@ -8,10 +8,10 @@
 //! metadata operations to a centralized metadata service). Only
 //! requests related to file contents reach the underlying filesystem.
 
-use crate::batch::{BatchPipeline, BatchStats};
+use crate::batch::{BatchPipeline, BatchStats, BatchedOp};
 use crate::client_cache::{CacheStats, ClientCache, EntryKind, LeaseKey};
 use crate::config::{CofsConfig, MdsNetwork};
-use crate::mds::{Cred, DbOps, Mds};
+use crate::mds::{Cred, DbOps, Mds, ReadSet};
 use crate::mds_cluster::{MdsCluster, ShardPolicy, ShardUsage};
 use crate::placement::{HashedPlacement, PlacementPolicy};
 use netsim::ids::NodeId;
@@ -293,7 +293,9 @@ impl<U: FileSystem> CofsFs<U> {
     /// ordinary (batchable) RPC when both live on the same shard, an
     /// explicit two-phase commit across both otherwise. Two-phase
     /// operations never batch: distributed agreement needs both shards
-    /// engaged synchronously.
+    /// engaged synchronously. A same-shard pair's read set merges both
+    /// names' resolution chains (deduped, so shared prefixes count
+    /// once).
     fn rpc_pair(
         &mut self,
         node: NodeId,
@@ -305,7 +307,14 @@ impl<U: FileSystem> CofsFs<U> {
         let sa = self.mds.route(a);
         let sb = self.mds.route(b);
         if sa == sb {
-            self.rpc_write_at(node, sa, ops, t)
+            let read_set = if self.memoizing() {
+                let mut rs = ReadSet::resolution_chain(a);
+                rs.merge(&ReadSet::resolution_chain(b));
+                rs.truncated(ops.reads)
+            } else {
+                ReadSet::empty()
+            };
+            self.rpc_write_at(node, sa, ops, read_set, t)
         } else {
             self.counters.bump("mds_rpcs");
             self.counters.bump("mds_two_phase");
@@ -326,19 +335,26 @@ impl<U: FileSystem> CofsFs<U> {
         node: NodeId,
         shard: crate::mds_cluster::ShardId,
         ops: DbOps,
+        read_set: ReadSet,
         t: simcore::time::SimTime,
     ) -> simcore::time::SimTime {
         if !self.batch.enabled() {
             return self.rpc_at(node, shard, ops, t);
         }
         self.counters.bump("mds_rpcs");
-        self.batch.enqueue(node, shard, ops, t);
+        self.batch
+            .enqueue(node, shard, BatchedOp { db: ops, read_set }, t);
         self.pump(node, t);
         self.batch.ack_time(node, t)
     }
 
     /// Charges a single-shard metadata mutation against the shard
-    /// owning `path` (batched when enabled).
+    /// owning `path` (batched when enabled). The op carries the row
+    /// keys of `path`'s resolution chain — clamped to the rows the
+    /// operation actually read, so short-circuiting mutations (pure
+    /// size publication) advertise nothing — which lets the shard
+    /// price the whole batch by its deduplicated read set
+    /// ([`crate::mds_cluster::MdsCluster::rpc_batch`]).
     fn rpc_write(
         &mut self,
         node: NodeId,
@@ -347,7 +363,19 @@ impl<U: FileSystem> CofsFs<U> {
         t: simcore::time::SimTime,
     ) -> simcore::time::SimTime {
         let shard = self.mds.route(path);
-        self.rpc_write_at(node, shard, ops, t)
+        let read_set = if self.memoizing() {
+            ReadSet::resolution_chain(path).truncated(ops.reads)
+        } else {
+            ReadSet::empty()
+        };
+        self.rpc_write_at(node, shard, ops, read_set, t)
+    }
+
+    /// True when batched ops should carry their resolution chains:
+    /// with memoization off the shard never consults them, so the
+    /// unmemoized batched path stays allocation-free.
+    fn memoizing(&self) -> bool {
+        self.batch.enabled() && self.batch.config().memoize_reads
     }
 
     /// Puts every closed batch of `node` due by `horizon` on the wire,
@@ -1526,6 +1554,7 @@ mod tests {
                     max_batch_ops: 64,
                     max_batch_delay: SimDuration::from_secs(1),
                     pipeline_depth: 9,
+                    memoize_reads: true,
                 },
                 ..CofsConfig::default()
             },

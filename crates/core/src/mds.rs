@@ -14,6 +14,7 @@
 //! service's CPU queue and the network.
 
 use metadb::table::{Record, Table};
+use simcore::rng::{stable_hash, stable_hash_combine};
 use simcore::time::SimTime;
 use vfs::error::{Errno, FsError};
 use vfs::path::VPath;
@@ -113,6 +114,132 @@ pub struct DbOps {
     pub reads: u64,
     /// Rows written (inserts, updates, deletes).
     pub writes: u64,
+}
+
+/// Stable identifier of one database row in the cost model's eyes —
+/// what per-batch read memoization dedupes on.
+pub type RowKey = u64;
+
+/// The row keys of an operation's *memoizable* reads: the
+/// ancestor-chain inode and dentry rows its path resolution walks,
+/// which every other operation resolving through the same directories
+/// re-reads. A batch of creates into one directory resolves the same
+/// parent chain k times; carrying these keys lets the shard charge each
+/// distinct row once per batch ([`crate::mds_cluster::MdsCluster::rpc_batch`]).
+///
+/// Keys identify rows for *pricing*, not for semantics: the unified
+/// namespace is still consulted synchronously for every operation.
+/// Invariant: a `ReadSet` never names more rows than its operation's
+/// [`DbOps::reads`] (op-private probes — the duplicate-name check, the
+/// final attribute read — carry no key and are always charged), and its
+/// keys are distinct, so a batch of one memoizes nothing.
+///
+/// # Examples
+///
+/// ```
+/// use cofs::mds::ReadSet;
+/// use vfs::path::vpath;
+///
+/// // Resolving /shared/out walks inode(/) and dentry(/shared):
+/// let rs = ReadSet::resolution_chain(&vpath("/shared/out"));
+/// assert_eq!(rs.len(), 2);
+/// // Siblings share the whole chain:
+/// assert_eq!(rs, ReadSet::resolution_chain(&vpath("/shared/log")));
+/// // A file in the root has no chain to share.
+/// assert!(ReadSet::resolution_chain(&vpath("/f")).is_empty());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReadSet {
+    keys: Vec<RowKey>,
+}
+
+impl ReadSet {
+    /// A read set naming no memoizable rows (every read is charged).
+    pub fn empty() -> Self {
+        ReadSet::default()
+    }
+
+    /// A read set over explicit keys (harnesses and property tests);
+    /// duplicates are dropped, preserving first-occurrence order, so
+    /// the distinct-keys invariant holds however the keys were drawn.
+    pub fn from_keys(keys: impl IntoIterator<Item = RowKey>) -> Self {
+        let mut out = ReadSet::default();
+        for k in keys {
+            out.push_unique(k);
+        }
+        out
+    }
+
+    /// Appends `key` unless already present — the single home of the
+    /// distinct-keys invariant (chains are a handful of rows, so the
+    /// linear scan beats hashing).
+    fn push_unique(&mut self, key: RowKey) {
+        if !self.keys.contains(&key) {
+            self.keys.push(key);
+        }
+    }
+
+    /// The ancestor-chain rows read while resolving the *parent* of
+    /// `path` — exactly the rows the service's path resolution touches
+    /// before the final component: the inode of each directory the walk passes
+    /// through and the dentry of each component it follows. These are
+    /// the rows shared by every mutation under the same parent.
+    pub fn resolution_chain(path: &VPath) -> Self {
+        let mut keys = Vec::new();
+        if let Some(parent) = path.parent() {
+            let mut prefix = VPath::root();
+            for comp in parent.components() {
+                keys.push(Self::inode_key(&prefix));
+                prefix = prefix.join(comp);
+                keys.push(Self::dentry_key(&prefix));
+            }
+        }
+        ReadSet { keys }
+    }
+
+    /// Key of a directory's inode row.
+    fn inode_key(dir: &VPath) -> RowKey {
+        stable_hash_combine(1, stable_hash(dir.as_str().as_bytes()))
+    }
+
+    /// Key of the dentry row resolving the last component of `path`.
+    fn dentry_key(path: &VPath) -> RowKey {
+        stable_hash_combine(2, stable_hash(path.as_str().as_bytes()))
+    }
+
+    /// Merges another chain in, skipping keys already present (rename
+    /// and link resolve two chains whose prefixes overlap; each shared
+    /// row must appear once so a batch of one still memoizes nothing).
+    pub fn merge(&mut self, other: &ReadSet) {
+        for &k in &other.keys {
+            self.push_unique(k);
+        }
+    }
+
+    /// Keeps at most the first `max` keys — the chain rows are the
+    /// *first* reads a resolution performs, so clamping to the op's
+    /// actual read count preserves the `len() <= reads` invariant for
+    /// operations that short-circuit (e.g. pure size publication reads
+    /// nothing).
+    pub fn truncated(mut self, max: u64) -> Self {
+        self.keys.truncate(max as usize);
+        self
+    }
+
+    /// The row keys, in resolution order.
+    pub fn keys(&self) -> &[RowKey] {
+        &self.keys
+    }
+
+    /// Number of memoizable rows named.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True when no rows are named.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
 }
 
 impl DbOps {
@@ -1147,6 +1274,56 @@ mod tests {
         // Unknown inodes are ignored.
         let ops = mds.set_size(9999, 1, t(3));
         assert_eq!(ops.writes, 0);
+    }
+
+    #[test]
+    fn resolution_chain_matches_resolve_reads_and_stays_under_op_reads() {
+        let mut mds = Mds::new();
+        mds.mkdir(cred(), &vpath("/a"), Mode::dir_default(), t(1))
+            .unwrap();
+        mds.mkdir(cred(), &vpath("/a/b"), Mode::dir_default(), t(1))
+            .unwrap();
+        // create /a/b/f: the parent resolution reads inode(/), dent(/a),
+        // inode(/a), dent(/a/b) — four chain rows — plus one op-private
+        // duplicate-name probe.
+        let (_, ops) = mds
+            .create(
+                cred(),
+                &vpath("/a/b/f"),
+                Mode::file_default(),
+                vpath("/.u/f"),
+                t(2),
+            )
+            .unwrap();
+        let chain = ReadSet::resolution_chain(&vpath("/a/b/f"));
+        assert_eq!(chain.len(), 4);
+        assert!((chain.len() as u64) < ops.reads, "{ops:?}");
+        // Distinct keys, shared bit-for-bit by a sibling.
+        let mut uniq = chain.keys().to_vec();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), chain.len());
+        assert_eq!(chain, ReadSet::resolution_chain(&vpath("/a/b/g")));
+        // A different directory shares only the common prefix rows.
+        let other = ReadSet::resolution_chain(&vpath("/a/c/f"));
+        let shared = other.keys().iter().filter(|k| chain.keys().contains(k));
+        assert_eq!(shared.count(), 3, "inode(/), dent(/a), inode(/a)");
+    }
+
+    #[test]
+    fn read_set_merge_dedupes_and_truncate_clamps() {
+        let mut a = ReadSet::resolution_chain(&vpath("/a/b/f"));
+        let b = ReadSet::resolution_chain(&vpath("/a/c/f"));
+        let before = a.len();
+        a.merge(&b);
+        // 4 + 4 keys, 3 shared → 5 distinct.
+        assert_eq!(a.len(), before + 1);
+        a.merge(&b.clone());
+        assert_eq!(a.len(), before + 1, "merging twice adds nothing");
+        assert_eq!(a.clone().truncated(2).len(), 2);
+        assert_eq!(a.clone().truncated(0).len(), 0);
+        assert!(ReadSet::empty().is_empty());
+        assert!(ReadSet::resolution_chain(&VPath::root()).is_empty());
     }
 
     #[test]

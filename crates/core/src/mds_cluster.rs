@@ -20,9 +20,10 @@
 //! link, and commit — strictly more expensive than the single-shard
 //! path, but still atomic in outcome.
 
+use crate::batch::BatchedOp;
 use crate::client_cache::{EntryKind, LeaseKey};
 use crate::config::{CofsConfig, MdsNetwork};
-use crate::mds::{DbOps, Mds};
+use crate::mds::{DbOps, Mds, RowKey};
 use metadb::cost::DbCostTracker;
 use netsim::ids::NodeId;
 use simcore::prelude::*;
@@ -224,11 +225,21 @@ pub struct ShardUsage {
     /// or more of the `rpcs` logical operations and group-commits their
     /// writes). Zero with batching off.
     pub batches: u64,
+    /// Row reads actually charged against the shard's database
+    /// ([`DbCostTracker::reads_charged`]).
+    pub reads_charged: u64,
+    /// Row reads absorbed by per-batch memoization
+    /// ([`DbCostTracker::reads_memoized`]); zero with memoization off.
+    pub reads_memoized: u64,
+    /// Read RPCs that jumped the priority lane past queued batch lumps
+    /// ([`simcore::resource::TwoLaneResource::priority_bypasses`]);
+    /// zero with `read_priority` off.
+    pub read_bypasses: u64,
 }
 
 #[derive(Debug)]
 struct Shard {
-    cpu: FifoResource,
+    cpu: TwoLaneResource,
     tracker: DbCostTracker,
     rpcs: u64,
     two_phase: u64,
@@ -239,7 +250,7 @@ struct Shard {
 impl Shard {
     fn new(idx: usize) -> Self {
         Shard {
-            cpu: FifoResource::new(format!("cofs-mds-{idx}")),
+            cpu: TwoLaneResource::new(format!("cofs-mds-{idx}")),
             tracker: DbCostTracker::new(),
             rpcs: 0,
             two_phase: 0,
@@ -251,7 +262,7 @@ impl Shard {
     /// Service demand of one request on this shard, advancing the
     /// shard's commit log for the write portion.
     fn service(&mut self, cfg: &CofsConfig, ops: DbOps) -> SimDuration {
-        let mut service = cfg.mds_service + self.tracker.query_cost(&cfg.db, ops.reads);
+        let mut service = cfg.mds_service + self.tracker.query_cost_dedup(&cfg.db, ops.reads, 0);
         if ops.writes > 0 {
             service += self.tracker.txn_cost(&cfg.db, ops.writes);
         }
@@ -370,6 +381,13 @@ impl MdsCluster {
     /// first contact, network round trip to the shard's host, and
     /// queueing at the shard's CPU for the database work performed.
     /// Returns when the response reaches the client.
+    ///
+    /// With [`CofsConfig::read_priority`] on, pure reads (`writes ==
+    /// 0`) take the shard CPU's priority lane: they bypass queued —
+    /// but never in-service — work, so a synchronous `stat` no longer
+    /// waits out multi-op batch lumps ahead of it in the queue. Off by
+    /// default; with it off every request takes the FIFO lane, bit for
+    /// bit the calibrated discipline.
     pub fn rpc(
         &mut self,
         cfg: &CofsConfig,
@@ -383,7 +401,11 @@ impl MdsCluster {
         let s = &mut self.shards[shard.0];
         s.rpcs += 1;
         let service = s.service(cfg, ops);
-        let done = s.cpu.acquire(arrive, service).end;
+        let done = if cfg.read_priority && ops.writes == 0 {
+            s.cpu.acquire_priority(arrive, service).end
+        } else {
+            s.cpu.acquire(arrive, service).end
+        };
         done + rtt / 2
     }
 
@@ -419,6 +441,16 @@ impl MdsCluster {
     /// instead of `k` single-write transactions. A batch of one is
     /// bit-for-bit [`Self::rpc`].
     ///
+    /// With [`crate::batch::BatchConfig::memoize_reads`] on, the batch
+    /// is priced by its *deduplicated* read set: each distinct row key
+    /// in the ops' [`crate::mds::ReadSet`]s is charged once per batch
+    /// ([`DbCostTracker::query_cost_dedup`]) — a batch of creates into
+    /// one directory resolves the shared parent chain once instead of
+    /// k times. Keyless reads (op-private probes) are always charged.
+    /// Off by default, and a batch of one memoizes nothing (its keys
+    /// are distinct by construction), so the calibrated pricing is
+    /// reproduced bit-for-bit in both pinned regimes.
+    ///
     /// # Panics
     ///
     /// Panics if `ops` is empty.
@@ -428,7 +460,7 @@ impl MdsCluster {
         net: &MdsNetwork,
         node: NodeId,
         shard: ShardId,
-        ops: &[DbOps],
+        ops: &[BatchedOp],
         t: SimTime,
     ) -> SimTime {
         assert!(!ops.is_empty(), "a batch RPC carries at least one op");
@@ -436,11 +468,22 @@ impl MdsCluster {
         let s = &mut self.shards[shard.0];
         s.rpcs += ops.len() as u64;
         s.batches += 1;
+        let memoize = cfg.batch.memoize_reads;
+        let mut seen: HashSet<RowKey> = HashSet::new();
         let mut service = cfg.mds_service;
         for o in ops {
-            service += s.tracker.query_cost(&cfg.db, o.reads);
+            let memoized = if memoize {
+                o.read_set
+                    .keys()
+                    .iter()
+                    .filter(|&&k| !seen.insert(k))
+                    .count() as u64
+            } else {
+                0
+            };
+            service += s.tracker.query_cost_dedup(&cfg.db, o.db.reads, memoized);
         }
-        let writes: Vec<u64> = ops.iter().map(|o| o.writes).filter(|&w| w > 0).collect();
+        let writes: Vec<u64> = ops.iter().map(|o| o.db.writes).filter(|&w| w > 0).collect();
         if !writes.is_empty() {
             service += s.tracker.group_txn_cost(&cfg.db, &writes);
         }
@@ -671,6 +714,9 @@ impl MdsCluster {
                 two_phase: s.two_phase,
                 recalls: s.recalls,
                 batches: s.batches,
+                reads_charged: s.tracker.reads_charged(),
+                reads_memoized: s.tracker.reads_memoized(),
+                read_bypasses: s.cpu.priority_bypasses(),
             })
             .collect()
     }
@@ -911,7 +957,7 @@ mod tests {
         for (reads, writes) in [(3u64, 2u64), (1, 0), (5, 4), (0, 1)] {
             let ops = DbOps { reads, writes };
             tp = plain.rpc(&c, &n, NodeId(0), ShardId(1), ops, tp);
-            tb = batched.rpc_batch(&c, &n, NodeId(0), ShardId(1), &[ops], tb);
+            tb = batched.rpc_batch(&c, &n, NodeId(0), ShardId(1), &[BatchedOp::opaque(ops)], tb);
             assert_eq!(tp, tb, "singleton batches must reprice nothing");
         }
         assert_eq!(plain.usage()[1].rpcs, batched.usage()[1].rpcs);
@@ -936,7 +982,14 @@ mod tests {
         }
         // One k-op batch RPC.
         let mut grp = MdsCluster::new(Box::new(SingleShard));
-        let batched = grp.rpc_batch(&c, &n, NodeId(0), ShardId(0), &vec![ops; k], SimTime::ZERO);
+        let batched = grp.rpc_batch(
+            &c,
+            &n,
+            NodeId(0),
+            ShardId(0),
+            &vec![BatchedOp::opaque(ops); k],
+            SimTime::ZERO,
+        );
         assert!(
             batched < t,
             "batch must beat sequential RPCs: {batched:?} vs {t:?}"
@@ -947,6 +1000,123 @@ mod tests {
         assert_eq!(grp.usage()[0].busy + saved, seq.usage()[0].busy);
         assert_eq!(grp.usage()[0].rpcs, k as u64);
         assert_eq!(grp.usage()[0].batches, 1);
+    }
+
+    #[test]
+    fn memoized_batch_charges_each_distinct_row_once() {
+        use crate::mds::ReadSet;
+
+        let c = cfg();
+        let memo_cfg = CofsConfig {
+            batch: crate::batch::BatchConfig::enabled(16, SimDuration::from_millis(5), 4)
+                .with_memoized_reads(),
+            ..cfg()
+        };
+        let n = net();
+        // Four creates into the same parent: each reads the 2-row chain
+        // of /d plus 3 private rows (5 reads total, 2 keyed).
+        let chain = ReadSet::resolution_chain(&vpath("/d/f"));
+        assert_eq!(chain.len(), 2);
+        let op = BatchedOp {
+            db: DbOps {
+                reads: 5,
+                writes: 2,
+            },
+            read_set: chain,
+        };
+        let batch = vec![op; 4];
+        let mut plain = MdsCluster::new(Box::new(SingleShard));
+        let mut memo = MdsCluster::new(Box::new(SingleShard));
+        let t_plain = plain.rpc_batch(&c, &n, NodeId(0), ShardId(0), &batch, SimTime::ZERO);
+        let t_memo = memo.rpc_batch(&memo_cfg, &n, NodeId(0), ShardId(0), &batch, SimTime::ZERO);
+        // Three repeat resolutions of the 2-row chain are absorbed.
+        let saved = c.db.lookup * 2 * 3;
+        assert_eq!(t_plain, t_memo + saved);
+        assert_eq!(memo.usage()[0].reads_memoized, 6);
+        assert_eq!(memo.usage()[0].reads_charged, 4 * 5 - 6);
+        assert_eq!(plain.usage()[0].reads_memoized, 0);
+        assert_eq!(plain.usage()[0].reads_charged, 20);
+        // A memoized batch of one reprices nothing: its keys are
+        // distinct by construction.
+        let mut one_memo = MdsCluster::new(Box::new(SingleShard));
+        let mut one_plain = MdsCluster::new(Box::new(SingleShard));
+        let a = one_memo.rpc_batch(
+            &memo_cfg,
+            &n,
+            NodeId(0),
+            ShardId(0),
+            &batch[..1],
+            SimTime::ZERO,
+        );
+        let b = one_plain.rpc_batch(&c, &n, NodeId(0), ShardId(0), &batch[..1], SimTime::ZERO);
+        assert_eq!(a, b);
+        assert_eq!(one_memo.usage()[0].reads_memoized, 0);
+    }
+
+    #[test]
+    fn read_priority_bypasses_queued_batch_lumps() {
+        let fifo_cfg = cfg();
+        let prio_cfg = CofsConfig {
+            read_priority: true,
+            ..cfg()
+        };
+        let n = net();
+        let lump: Vec<BatchedOp> = vec![
+            BatchedOp::opaque(DbOps {
+                reads: 5,
+                writes: 2,
+            });
+            16
+        ];
+        let read = DbOps {
+            reads: 3,
+            writes: 0,
+        };
+        let run = |cfg: &CofsConfig| {
+            let mut cluster = MdsCluster::new(Box::new(SingleShard));
+            // Two 16-op lumps from node 0: one in service, one queued.
+            cluster.rpc_batch(cfg, &n, NodeId(0), ShardId(0), &lump, SimTime::ZERO);
+            cluster.rpc_batch(cfg, &n, NodeId(0), ShardId(0), &lump, SimTime::ZERO);
+            // Node 1's stat arrives while the first lump is in service.
+            // (Session establishment shifts its arrival, not the queue.)
+            let done = cluster.rpc(cfg, &n, NodeId(1), ShardId(0), read, SimTime::ZERO);
+            (done, cluster.usage()[0].read_bypasses)
+        };
+        let (fifo_done, fifo_bypasses) = run(&fifo_cfg);
+        let (prio_done, prio_bypasses) = run(&prio_cfg);
+        assert_eq!(fifo_bypasses, 0);
+        assert_eq!(prio_bypasses, 1);
+        assert!(
+            prio_done < fifo_done,
+            "the priority lane must skip the queued lump: {prio_done:?} vs {fifo_done:?}"
+        );
+        // With priority off, the knobless default prices identically —
+        // the calibration pin at the RPC level.
+        let default_done = run(&cfg()).0;
+        assert_eq!(fifo_done, default_done);
+    }
+
+    #[test]
+    fn read_priority_never_touches_write_rpcs() {
+        let prio_cfg = CofsConfig {
+            read_priority: true,
+            ..cfg()
+        };
+        let n = net();
+        let w = DbOps {
+            reads: 2,
+            writes: 1,
+        };
+        let mut a = MdsCluster::new(Box::new(SingleShard));
+        let mut b = MdsCluster::new(Box::new(SingleShard));
+        let mut ta = SimTime::ZERO;
+        let mut tb = SimTime::ZERO;
+        for _ in 0..4 {
+            ta = a.rpc(&cfg(), &n, NodeId(0), ShardId(0), w, ta);
+            tb = b.rpc(&prio_cfg, &n, NodeId(0), ShardId(0), w, tb);
+        }
+        assert_eq!(ta, tb, "mutations always take the FIFO lane");
+        assert_eq!(b.usage()[0].read_bypasses, 0);
     }
 
     #[test]

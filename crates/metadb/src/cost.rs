@@ -46,6 +46,8 @@ pub struct DbCostTracker {
     commits: u64,
     group_commits: u64,
     group_committed_ops: u64,
+    reads_charged: u64,
+    reads_memoized: u64,
 }
 
 impl DbCostTracker {
@@ -57,6 +59,26 @@ impl DbCostTracker {
     /// Service demand of a read-only query touching `rows` rows.
     pub fn query_cost(&self, model: &DbCostModel, rows: u64) -> SimDuration {
         model.lookup * rows.max(1)
+    }
+
+    /// Service demand of a query whose `memoized` rows were already
+    /// resolved earlier in the same batch (per-batch read memoization):
+    /// the base cost of [`Self::query_cost`] minus one lookup step per
+    /// memoized row. `memoized` is clamped to `rows`, so the result is
+    /// never negative and `memoized == 0` is bit-for-bit
+    /// [`Self::query_cost`] — the calibrated path. Also advances the
+    /// charged/memoized read counters, so reports can show how much of
+    /// a batch's row work the memo table absorbed.
+    pub fn query_cost_dedup(
+        &mut self,
+        model: &DbCostModel,
+        rows: u64,
+        memoized: u64,
+    ) -> SimDuration {
+        let memoized = memoized.min(rows);
+        self.reads_charged += rows - memoized;
+        self.reads_memoized += memoized;
+        model.lookup * rows.max(1) - model.lookup * memoized
     }
 
     /// Service demand of a transaction performing `writes` mutations;
@@ -104,11 +126,23 @@ impl DbCostTracker {
         self.group_committed_ops
     }
 
+    /// Row reads actually charged by [`Self::query_cost_dedup`] so far.
+    pub fn reads_charged(&self) -> u64 {
+        self.reads_charged
+    }
+
+    /// Row reads absorbed by per-batch memoization so far.
+    pub fn reads_memoized(&self) -> u64 {
+        self.reads_memoized
+    }
+
     /// Resets the commit counters (between benchmark phases).
     pub fn reset(&mut self) {
         self.commits = 0;
         self.group_commits = 0;
         self.group_committed_ops = 0;
+        self.reads_charged = 0;
+        self.reads_memoized = 0;
     }
 }
 
@@ -124,6 +158,38 @@ mod tests {
         assert_eq!(t.query_cost(&m, 10), m.lookup * 10);
         // Zero-row queries still cost one lookup step.
         assert_eq!(t.query_cost(&m, 0), m.lookup);
+    }
+
+    #[test]
+    fn dedup_query_cost_discounts_memoized_rows() {
+        let m = DbCostModel::default();
+        let mut t = DbCostTracker::new();
+        // No memoized rows: bit-for-bit the plain query cost.
+        assert_eq!(t.query_cost_dedup(&m, 5, 0), t.query_cost(&m, 5));
+        assert_eq!(t.query_cost_dedup(&m, 0, 0), t.query_cost(&m, 0));
+        // Each memoized row saves exactly one lookup step.
+        assert_eq!(t.query_cost_dedup(&m, 5, 3), m.lookup * 2);
+        // A fully memoized read set costs nothing.
+        assert_eq!(t.query_cost_dedup(&m, 4, 4), SimDuration::ZERO);
+        // Memoized counts clamp to the rows actually read.
+        assert_eq!(t.query_cost_dedup(&m, 2, 10), SimDuration::ZERO);
+        assert_eq!(t.reads_charged(), 5 + 2);
+        assert_eq!(t.reads_memoized(), 3 + 4 + 2);
+        t.reset();
+        assert_eq!(t.reads_charged(), 0);
+        assert_eq!(t.reads_memoized(), 0);
+    }
+
+    #[test]
+    fn dedup_never_exceeds_plain_query_cost() {
+        let m = DbCostModel::default();
+        let mut t = DbCostTracker::new();
+        for rows in 0..20u64 {
+            for memo in 0..25u64 {
+                let plain = t.query_cost(&m, rows);
+                assert!(t.query_cost_dedup(&m, rows, memo) <= plain);
+            }
+        }
     }
 
     #[test]

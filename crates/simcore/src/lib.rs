@@ -43,7 +43,7 @@ pub mod time;
 /// Convenient glob-import of the most commonly used items.
 pub mod prelude {
     pub use crate::bandwidth::{Bandwidth, BandwidthLink};
-    pub use crate::resource::{FifoResource, Grant, MultiResource};
+    pub use crate::resource::{FifoResource, Grant, MultiResource, TwoLaneResource};
     pub use crate::rng::{stable_hash, stable_hash_combine, SimRng};
     pub use crate::stats::{Counters, Summary};
     pub use crate::time::{SimDuration, SimTime};

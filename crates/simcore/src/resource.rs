@@ -125,6 +125,227 @@ impl FifoResource {
     }
 }
 
+/// A single server with two service lanes: a normal FIFO lane and a
+/// *priority* lane whose requests bypass queued — but never in-service
+/// — normal work.
+///
+/// The normal lane is bit-for-bit [`FifoResource`]: as long as the
+/// priority lane is unused, [`TwoLaneResource::acquire`] produces the
+/// identical grants, statistics, and `free_at` trajectory. A priority
+/// request arriving at `t` starts as soon as the normal-lane segment
+/// *in service* at `t` completes (or immediately when the server is
+/// idle at `t`), ahead of every queued segment — the read-priority
+/// discipline of a metadata shard whose synchronous stats must not
+/// wait out multi-op batch lumps.
+///
+/// Capacity is conserved: the virtual-time model hands out normal-lane
+/// completion times eagerly, so already-granted queued segments cannot
+/// be pushed back retroactively; instead, priority service delivered
+/// inside time already promised to queued work accrues as *debt* that
+/// the next normal-lane acquisition repays in full (its start shifts by
+/// the accumulated priority service). In steady state the server does
+/// exactly the same total work — the lanes only reorder who waits.
+///
+/// # Examples
+///
+/// ```
+/// use simcore::resource::TwoLaneResource;
+/// use simcore::time::{SimDuration, SimTime};
+///
+/// let mut cpu = TwoLaneResource::new("mds-cpu");
+/// // Two 4ms batch lumps: the first is in service, the second queued.
+/// cpu.acquire(SimTime::ZERO, SimDuration::from_millis(4));
+/// cpu.acquire(SimTime::ZERO, SimDuration::from_millis(4));
+/// // A read at 1ms bypasses the queued lump but not the in-service one.
+/// let r = cpu.acquire_priority(SimTime::from_millis(1), SimDuration::from_micros(100));
+/// assert_eq!(r.start, SimTime::from_millis(4));
+/// // The next normal request repays the read's service (debt).
+/// let b = cpu.acquire(SimTime::from_millis(2), SimDuration::from_millis(4));
+/// assert_eq!(b.start, SimTime::from_millis(8) + SimDuration::from_micros(100));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TwoLaneResource {
+    name: String,
+    /// End of the last scheduled normal-lane segment.
+    free_at: SimTime,
+    /// End of the last scheduled priority-lane segment.
+    prio_free_at: SimTime,
+    /// Scheduled normal-lane segments `(start, end)` not yet known to
+    /// be finished — consulted to find the segment in service at a
+    /// priority arrival; pruned by the advancing arrival clock.
+    segments: std::collections::VecDeque<(SimTime, SimTime)>,
+    /// Latest end among pruned segments. Arrival clocks are only
+    /// *approximately* monotone (session establishment and two-phase
+    /// votes shift individual arrivals forward), so a priority request
+    /// can arrive inside a segment a later-clocked request already
+    /// pruned; this watermark upper-bounds that segment's end so the
+    /// request still cannot start before the in-service work of its
+    /// arrival instant finished.
+    pruned_until: SimTime,
+    /// Priority service delivered inside time already promised to
+    /// queued normal work; repaid by the next normal acquisition.
+    debt: SimDuration,
+    requests: u64,
+    busy: SimDuration,
+    waited: SimDuration,
+    prio_requests: u64,
+    prio_bypasses: u64,
+}
+
+impl TwoLaneResource {
+    /// Creates an idle two-lane resource with a diagnostic name.
+    pub fn new(name: impl Into<String>) -> Self {
+        TwoLaneResource {
+            name: name.into(),
+            free_at: SimTime::ZERO,
+            prio_free_at: SimTime::ZERO,
+            segments: std::collections::VecDeque::new(),
+            pruned_until: SimTime::ZERO,
+            debt: SimDuration::ZERO,
+            requests: 0,
+            busy: SimDuration::ZERO,
+            waited: SimDuration::ZERO,
+            prio_requests: 0,
+            prio_bypasses: 0,
+        }
+    }
+
+    /// Drops scheduled segments that completed by `now`, remembering
+    /// the latest end dropped (see `pruned_until`).
+    fn prune(&mut self, now: SimTime) {
+        while let Some(&(_, end)) = self.segments.front() {
+            if end > now {
+                break;
+            }
+            self.pruned_until = self.pruned_until.max(end);
+            self.segments.pop_front();
+        }
+    }
+
+    /// Serves a normal-lane request — FIFO behind all scheduled work
+    /// on either lane, plus repayment of any outstanding priority debt.
+    /// With the priority lane unused this is bit-for-bit
+    /// [`FifoResource::acquire`].
+    pub fn acquire(&mut self, arrival: SimTime, service: SimDuration) -> Grant {
+        self.prune(arrival);
+        let start = arrival.max(self.free_at + self.debt).max(self.prio_free_at);
+        self.debt = SimDuration::ZERO;
+        let end = start + service;
+        self.free_at = end;
+        self.segments.push_back((start, end));
+        self.requests += 1;
+        self.busy += service;
+        self.waited += start.saturating_since(arrival);
+        Grant { start, end }
+    }
+
+    /// Serves a priority-lane request: it waits only for the normal
+    /// segment in service at its arrival (plus earlier priority work),
+    /// bypassing every queued segment. Service that lands inside time
+    /// already promised to queued work accrues as debt for the next
+    /// normal acquisition.
+    pub fn acquire_priority(&mut self, arrival: SimTime, service: SimDuration) -> Grant {
+        self.prune(arrival);
+        // The segment in service at `arrival`; when a later-clocked
+        // request already pruned it, `pruned_until` bounds its end, so
+        // out-of-order arrivals can never sneak ahead of in-service
+        // work (an idle arrival has `pruned_until <= arrival` and
+        // starts immediately).
+        let in_service_end = self
+            .segments
+            .iter()
+            .find(|&&(s, e)| s <= arrival && arrival < e)
+            .map(|&(_, e)| e)
+            .unwrap_or_else(|| self.pruned_until.max(arrival));
+        let start = arrival.max(in_service_end).max(self.prio_free_at);
+        let end = start + service;
+        // Only service that actually overlaps time promised to
+        // scheduled normal segments displaces them (a read served in
+        // an idle gap consumes spare capacity and owes nothing); the
+        // overlap accrues as debt and counts as a bypass.
+        let mut displaced = SimDuration::ZERO;
+        for &(s, e) in &self.segments {
+            if s >= end {
+                break;
+            }
+            let (lo, hi) = (start.max(s), end.min(e));
+            if hi > lo {
+                displaced += hi - lo;
+            }
+        }
+        if !displaced.is_zero() {
+            self.prio_bypasses += 1;
+            self.debt += displaced;
+        }
+        self.prio_free_at = end;
+        self.requests += 1;
+        self.prio_requests += 1;
+        self.busy += service;
+        self.waited += start.saturating_since(arrival);
+        Grant { start, end }
+    }
+
+    /// When the *normal* lane next becomes idle (ignoring unpaid debt).
+    pub fn free_at(&self) -> SimTime {
+        self.free_at
+    }
+
+    /// Number of requests served so far, both lanes.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Cumulative service time delivered, both lanes.
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy
+    }
+
+    /// Cumulative queueing delay experienced by requests.
+    pub fn total_wait(&self) -> SimDuration {
+        self.waited
+    }
+
+    /// Mean queueing delay per request, or zero when unused.
+    pub fn mean_wait(&self) -> SimDuration {
+        if self.requests == 0 {
+            SimDuration::ZERO
+        } else {
+            self.waited / self.requests
+        }
+    }
+
+    /// Priority-lane requests served so far.
+    pub fn priority_requests(&self) -> u64 {
+        self.prio_requests
+    }
+
+    /// Priority-lane requests that actually jumped ahead of queued
+    /// normal work (started before the normal lane would have served
+    /// them).
+    pub fn priority_bypasses(&self) -> u64 {
+        self.prio_bypasses
+    }
+
+    /// Diagnostic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Resets queue state and statistics (e.g. between benchmark phases).
+    pub fn reset(&mut self) {
+        self.free_at = SimTime::ZERO;
+        self.prio_free_at = SimTime::ZERO;
+        self.segments.clear();
+        self.pruned_until = SimTime::ZERO;
+        self.debt = SimDuration::ZERO;
+        self.requests = 0;
+        self.busy = SimDuration::ZERO;
+        self.waited = SimDuration::ZERO;
+        self.prio_requests = 0;
+        self.prio_bypasses = 0;
+    }
+}
+
 /// A pool of `k` identical servers with a shared FIFO queue.
 ///
 /// Used for multi-threaded services (e.g. a metadata server with
@@ -296,5 +517,153 @@ mod tests {
     #[should_panic(expected = "at least one server")]
     fn zero_server_pool_panics() {
         let _ = MultiResource::new("empty", 0);
+    }
+
+    #[test]
+    fn two_lane_normal_lane_matches_fifo_bit_for_bit() {
+        let mut fifo = FifoResource::new("fifo");
+        let mut lanes = TwoLaneResource::new("lanes");
+        // A busy period, an idle gap, another busy period.
+        let schedule = [
+            (0u64, 3000u64),
+            (0, 500),
+            (1000, 2000),
+            (20_000, 100),
+            (20_010, 4000),
+            (20_020, 4000),
+        ];
+        for (arrive_us, service_us) in schedule {
+            let a = SimTime::from_micros(arrive_us);
+            let s = SimDuration::from_micros(service_us);
+            assert_eq!(fifo.acquire(a, s), lanes.acquire(a, s));
+        }
+        assert_eq!(fifo.free_at(), lanes.free_at());
+        assert_eq!(fifo.requests(), lanes.requests());
+        assert_eq!(fifo.busy_time(), lanes.busy_time());
+        assert_eq!(fifo.total_wait(), lanes.total_wait());
+        assert_eq!(fifo.mean_wait(), lanes.mean_wait());
+        assert_eq!(lanes.priority_requests(), 0);
+        assert_eq!(lanes.priority_bypasses(), 0);
+    }
+
+    #[test]
+    fn priority_bypasses_queued_but_waits_for_in_service() {
+        let mut cpu = TwoLaneResource::new("cpu");
+        let lump = SimDuration::from_millis(4);
+        cpu.acquire(SimTime::ZERO, lump); // in service 0..4ms
+        cpu.acquire(SimTime::ZERO, lump); // queued 4..8ms
+        cpu.acquire(SimTime::ZERO, lump); // queued 8..12ms
+        let read = SimDuration::from_micros(100);
+        let g = cpu.acquire_priority(SimTime::from_millis(1), read);
+        // Bypasses both queued lumps, waits out the in-service one.
+        assert_eq!(g.start, SimTime::from_millis(4));
+        assert_eq!(g.end, SimTime::from_millis(4) + read);
+        // A second read queues behind the first, not behind the lumps.
+        let g2 = cpu.acquire_priority(SimTime::from_millis(1), read);
+        assert_eq!(g2.start, g.end);
+        assert_eq!(cpu.priority_requests(), 2);
+        assert_eq!(cpu.priority_bypasses(), 2);
+        // The displaced service is repaid by the next normal request:
+        // it starts at 12ms (promised work) + 200µs (debt).
+        let b = cpu.acquire(SimTime::from_millis(2), lump);
+        assert_eq!(b.start, SimTime::from_millis(12) + read * 2);
+        // Debt is repaid once, not forever.
+        let b2 = cpu.acquire(SimTime::from_millis(2), lump);
+        assert_eq!(b2.start, b.end);
+    }
+
+    #[test]
+    fn priority_on_idle_server_starts_immediately_without_debt() {
+        let mut cpu = TwoLaneResource::new("cpu");
+        cpu.acquire(SimTime::ZERO, SimDuration::from_millis(1));
+        // Server idle at 5ms: the read starts at once, displacing
+        // nothing.
+        let g = cpu.acquire_priority(SimTime::from_millis(5), SimDuration::from_micros(50));
+        assert_eq!(g.start, SimTime::from_millis(5));
+        assert_eq!(cpu.priority_bypasses(), 0);
+        // The next normal request pays no debt.
+        let b = cpu.acquire(SimTime::from_millis(6), SimDuration::from_millis(1));
+        assert_eq!(b.start, SimTime::from_millis(6));
+        // Total capacity delivered is the sum of all service.
+        assert_eq!(
+            cpu.busy_time(),
+            SimDuration::from_millis(2) + SimDuration::from_micros(50)
+        );
+    }
+
+    #[test]
+    fn priority_behind_only_in_service_work_accrues_no_debt() {
+        let mut cpu = TwoLaneResource::new("cpu");
+        cpu.acquire(SimTime::ZERO, SimDuration::from_millis(4)); // in service, no queue
+        let g = cpu.acquire_priority(SimTime::from_millis(1), SimDuration::from_micros(100));
+        // Nothing queued to bypass: the read simply runs after the
+        // in-service lump, like FIFO would — no debt, no bypass.
+        assert_eq!(g.start, SimTime::from_millis(4));
+        assert_eq!(cpu.priority_bypasses(), 0);
+        let b = cpu.acquire(SimTime::from_millis(2), SimDuration::from_millis(1));
+        assert_eq!(
+            b.start,
+            SimTime::from_millis(4) + SimDuration::from_micros(100)
+        );
+    }
+
+    #[test]
+    fn out_of_order_priority_arrival_cannot_bypass_pruned_in_service_work() {
+        // Arrival clocks are only approximately monotone: a session
+        // establishment can push one request's arrival past another's.
+        // A priority request arriving *inside* a segment that a
+        // later-clocked request already pruned must still wait that
+        // segment out (via the pruned-end watermark), never start
+        // mid-lump.
+        let mut cpu = TwoLaneResource::new("cpu");
+        cpu.acquire(SimTime::ZERO, SimDuration::from_millis(4)); // 0..4ms
+        cpu.acquire(SimTime::ZERO, SimDuration::from_millis(4)); // 4..8ms
+                                                                 // A session-shifted normal request at 5ms prunes the 0..4ms
+                                                                 // segment.
+        cpu.acquire(SimTime::from_millis(5), SimDuration::from_millis(1)); // 8..9ms
+                                                                           // A read whose arrival (3ms) predates the prune watermark:
+                                                                           // the lump serving it ended at 4ms, so that is where it may
+                                                                           // start — not at its own arrival.
+        let g = cpu.acquire_priority(SimTime::from_millis(3), SimDuration::from_micros(100));
+        assert_eq!(g.start, SimTime::from_millis(4));
+        assert_eq!(cpu.priority_bypasses(), 1);
+        // Once genuinely idle, the watermark no longer delays anyone.
+        let idle = cpu.acquire_priority(SimTime::from_millis(20), SimDuration::from_micros(100));
+        assert_eq!(idle.start, SimTime::from_millis(20));
+    }
+
+    #[test]
+    fn priority_in_idle_gap_before_future_segment_owes_nothing() {
+        // Out-of-order arrivals can leave an idle gap before a
+        // future-scheduled normal segment. A read served entirely
+        // inside that gap displaces nothing: no bypass, no debt.
+        let mut cpu = TwoLaneResource::new("cpu");
+        cpu.acquire(SimTime::ZERO, SimDuration::from_millis(4)); // 0..4ms
+                                                                 // A session-shifted request arrives at 10ms: served 10..11ms.
+        cpu.acquire(SimTime::from_millis(10), SimDuration::from_millis(1));
+        // A read whose arrival (5ms) lands in the idle gap runs
+        // immediately, bypassing and displacing nothing.
+        let g = cpu.acquire_priority(SimTime::from_millis(5), SimDuration::from_micros(100));
+        assert_eq!(g.start, SimTime::from_millis(5));
+        assert_eq!(cpu.priority_bypasses(), 0);
+        // The next normal request pays no debt for it.
+        let b = cpu.acquire(SimTime::from_millis(6), SimDuration::from_millis(1));
+        assert_eq!(b.start, SimTime::from_millis(11));
+    }
+
+    #[test]
+    fn two_lane_reset_clears_both_lanes() {
+        let mut cpu = TwoLaneResource::new("cpu");
+        cpu.acquire(SimTime::ZERO, SimDuration::from_millis(4));
+        cpu.acquire(SimTime::ZERO, SimDuration::from_millis(4));
+        cpu.acquire_priority(SimTime::ZERO, SimDuration::from_millis(1));
+        cpu.reset();
+        assert_eq!(cpu.free_at(), SimTime::ZERO);
+        assert_eq!(cpu.requests(), 0);
+        assert_eq!(cpu.priority_requests(), 0);
+        assert_eq!(cpu.priority_bypasses(), 0);
+        assert_eq!(cpu.mean_wait(), SimDuration::ZERO);
+        let g = cpu.acquire(SimTime::ZERO, SimDuration::from_millis(1));
+        assert_eq!(g.start, SimTime::ZERO);
     }
 }

@@ -169,6 +169,9 @@ pub fn pct(v: f64) -> String {
 ///     two_phase: 1,
 ///     recalls: 0,
 ///     batches: 0,
+///     reads_charged: 30,
+///     reads_memoized: 0,
+///     read_bypasses: 0,
 /// }];
 /// let t = shard_utilization_table(&usage, SimTime::from_millis(10));
 /// assert!(t.render().contains("50.0%"));
@@ -183,6 +186,9 @@ pub fn shard_utilization_table(usage: &[ShardUsage], makespan: SimTime) -> Table
         "mean wait (ms)",
         "2pc",
         "recalls",
+        "reads",
+        "memoized",
+        "bypasses",
     ]);
     let span = makespan.as_secs_f64();
     for u in usage {
@@ -200,9 +206,38 @@ pub fn shard_utilization_table(usage: &[ShardUsage], makespan: SimTime) -> Table
             ms(u.mean_wait.as_millis_f64()),
             u.two_phase.to_string(),
             u.recalls.to_string(),
+            u.reads_charged.to_string(),
+            u.reads_memoized.to_string(),
+            u.read_bypasses.to_string(),
         ]);
     }
     t
+}
+
+/// The read-latency columns scenario tables append when a run measures
+/// synchronous reads: `stat` p50 and p99 in milliseconds. Makespan
+/// alone hides head-of-line blocking — a storm can finish at the same
+/// time while its interactive stats wait out whole batch lumps — so
+/// the priority-lane studies report these tail columns per storm.
+pub const READ_LAT_COLUMNS: [&str; 2] = ["stat p50 (ms)", "stat p99 (ms)"];
+
+/// Formats a scenario's stat-latency percentiles into the
+/// [`READ_LAT_COLUMNS`] cells (dashes when the storm measured no
+/// stats, so rows with and without read traffic align).
+///
+/// # Examples
+///
+/// ```
+/// use workloads::report::read_latency_cells;
+///
+/// assert_eq!(read_latency_cells(Some((0.5, 2.25))), vec!["0.50", "2.25"]);
+/// assert_eq!(read_latency_cells(None), vec!["-", "-"]);
+/// ```
+pub fn read_latency_cells(p50_p99_ms: Option<(f64, f64)>) -> Vec<String> {
+    match p50_p99_ms {
+        Some((p50, p99)) => vec![ms(p50), ms(p99)],
+        None => vec!["-".into(); READ_LAT_COLUMNS.len()],
+    }
 }
 
 /// The client-cache columns scenario tables append when a run reports
@@ -357,6 +392,9 @@ mod tests {
                 two_phase: 0,
                 recalls: 4,
                 batches: 12,
+                reads_charged: 180,
+                reads_memoized: 45,
+                read_bypasses: 7,
             },
             ShardUsage {
                 shard: 1,
@@ -366,12 +404,19 @@ mod tests {
                 two_phase: 0,
                 recalls: 0,
                 batches: 0,
+                reads_charged: 20,
+                reads_memoized: 0,
+                read_bypasses: 0,
             },
         ];
         let t = shard_utilization_table(&usage, SimTime::from_millis(10));
         let text = t.render();
         assert!(text.contains("90.0%"), "{text}");
         assert!(text.contains("10.0%"), "{text}");
+        // The memoization and priority-lane counters are visible.
+        assert!(text.contains("memoized"), "{text}");
+        assert!(text.contains("bypasses"), "{text}");
+        assert!(text.contains("45"), "{text}");
         assert_eq!(t.len(), 2);
         // A zero makespan must not divide by zero.
         let z = shard_utilization_table(&usage, SimTime::ZERO);

@@ -54,6 +54,11 @@ pub struct ScenarioResult {
     pub mean_create_ms: f64,
     /// Mean time per `stat`, in ms (0.0 when unmeasured).
     pub mean_stat_ms: f64,
+    /// Median and 99th-percentile `stat` latency, in ms (`None` when
+    /// the scenario measured no stats). Makespans hide head-of-line
+    /// blocking of synchronous reads behind batch service lumps; these
+    /// tail columns expose it per storm.
+    pub stat_p50_p99_ms: Option<(f64, f64)>,
     /// Total files created.
     pub files: usize,
     /// Per-shard metadata-service load during the measured phase
@@ -226,6 +231,16 @@ pub struct SharedDirStorm {
     /// storm shape bit-for-bit — rotates directories every file; larger
     /// bursts give the RPC batching layer same-shard runs to coalesce.
     pub burst: usize,
+    /// Defer each create's polling to the end of its burst: the node
+    /// fires the whole create train back-to-back, *then* stats (and
+    /// lists) everything it just created. `false` — the default, and
+    /// the historical shape bit-for-bit — interleaves the polling
+    /// after every create, which paces the train at synchronous-read
+    /// speed and keeps batches timer-bound. With it on, trains fill
+    /// real `max_batch_ops`-sized batches and the polling reads land
+    /// while those multi-op lumps occupy the shard queues — the
+    /// head-of-line collision the read-priority lane exists for.
+    pub poll_after_burst: bool,
     /// Parent of the shared directories.
     pub root: VPath,
 }
@@ -239,12 +254,33 @@ impl Default for SharedDirStorm {
             stats_per_create: 8,
             readdirs_per_create: 0,
             burst: 1,
+            poll_after_burst: false,
             root: vpath("/storm"),
         }
     }
 }
 
 impl SharedDirStorm {
+    /// The mixed stat+create storm of the read-priority study: bursty
+    /// create trains (which the batch layer coalesces into multi-op
+    /// service lumps) with synchronous stats interleaved after every
+    /// create. The ablation's round-robin row showed this shape gains
+    /// nothing from batching alone — the stats queue behind the lumps
+    /// — so it is the workload where `CofsConfig::read_priority` must
+    /// decouple stat tail latency from `max_batch_ops`.
+    pub fn mixed(nodes: usize, files_per_node: usize) -> Self {
+        SharedDirStorm {
+            nodes,
+            dirs: 8,
+            files_per_node,
+            stats_per_create: 2,
+            readdirs_per_create: 0,
+            burst: 16,
+            poll_after_burst: true,
+            root: vpath("/storm"),
+        }
+    }
+
     /// Runs the storm and reports completion time plus per-shard load.
     ///
     /// # Panics
@@ -267,6 +303,7 @@ impl SharedDirStorm {
         for n in 0..self.nodes {
             let mut s = ClientScript::new(NodeId(n as u32), Pid(1));
             s.push(Action::Barrier);
+            let mut pending: Vec<VPath> = Vec::new();
             for i in 0..self.files_per_node {
                 // Interleave so every directory stays hot on every
                 // node; a burst of b keeps b consecutive creates in one
@@ -283,12 +320,30 @@ impl SharedDirStorm {
                     },
                 );
                 s.push(Action::Close { slot: 0 });
-                for _ in 0..self.stats_per_create {
-                    s.push_measured("stat", Action::Stat(path.clone()));
-                }
                 let dir = self.root.join(&format!("d{d}"));
-                for _ in 0..self.readdirs_per_create {
-                    s.push_measured("readdir", Action::Readdir(dir.clone()));
+                if self.poll_after_burst {
+                    // Polling waits for the burst boundary: the create
+                    // train runs back-to-back first.
+                    pending.push(path);
+                    let burst_done =
+                        (i + 1) % self.burst.max(1) == 0 || i + 1 == self.files_per_node;
+                    if burst_done {
+                        for p in pending.drain(..) {
+                            for _ in 0..self.stats_per_create {
+                                s.push_measured("stat", Action::Stat(p.clone()));
+                            }
+                            for _ in 0..self.readdirs_per_create {
+                                s.push_measured("readdir", Action::Readdir(dir.clone()));
+                            }
+                        }
+                    }
+                } else {
+                    for _ in 0..self.stats_per_create {
+                        s.push_measured("stat", Action::Stat(path.clone()));
+                    }
+                    for _ in 0..self.readdirs_per_create {
+                        s.push_measured("readdir", Action::Readdir(dir.clone()));
+                    }
                 }
             }
             scripts.push(s);
@@ -403,10 +458,17 @@ fn summarize<F: BenchTarget>(report: RunReport, files: usize, fs: &mut F) -> Sce
         Some(tail) => report.makespan.max(tail),
         None => report.makespan,
     };
+    let stat_p50_p99_ms = report.label("stat").map(|s| {
+        (
+            s.quantile(0.5).as_millis_f64(),
+            s.quantile(0.99).as_millis_f64(),
+        )
+    });
     ScenarioResult {
         makespan,
         mean_create_ms: report.mean_millis("create"),
         mean_stat_ms: report.mean_millis("stat"),
+        stat_p50_p99_ms,
         files,
         per_shard: fs.shard_usage(),
         cache: fs.cache_stats(),

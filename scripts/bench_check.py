@@ -18,6 +18,21 @@ and fails when a structural performance claim regressed:
 3. **Batching never regresses read-only work** — in the "batching
    non-wins" section, the hot-stat rows with batching on must match the
    batching-off makespan (reads never batch).
+4. **Read memoization never costs and pays at scale** — in the "bursty
+   storm vs read memoization" section, the memoized makespan must not
+   exceed the unmemoized one at *every* batch size (a batch of one
+   memoizes nothing, so that row is equality), and at the largest batch
+   size memoization must strictly beat both the unmemoized run and the
+   batching-off baseline — the post-PR-4 per-op-row-work ceiling.
+5. **The read-priority lane decouples stat tails from batch size** —
+   in the "mixed stat+create storm vs read priority" section, the
+   priority rows' stat p99 must not exceed the FIFO rows' at any batch
+   size; the FIFO p99 at the largest batch must visibly exceed the
+   priority p99 (head-of-line blocking is real and the lane removes
+   it); and the priority p99 at the largest batch must stay within
+   TAIL_GROWTH_CAP of the priority batching-off p99 (bounded by the
+   in-service lump, not the queue, so it no longer grows with
+   ``max_batch_ops``).
 
 Cells are printed at two decimals, so comparisons allow one unit of
 rounding slack (0.011 ms / 1 create/s). Stdlib only; exit status 0 on
@@ -32,6 +47,10 @@ import sys
 ROUNDING_MS = 0.011
 ROUNDING_RATE = 1.0
 MAX_CLAIMED_SHARDS = 4
+# A priority-lane stat still waits out the lump *in service* at its
+# arrival, so its p99 may sit a bounded factor above the unbatched
+# baseline — but it must not track the queue depth the way FIFO does.
+TAIL_GROWTH_CAP = 2.0
 
 failures = []
 
@@ -141,6 +160,111 @@ def check_hot_stat_non_regression(report):
         )
 
 
+def check_memoization(report):
+    print("bursty storm vs read memoization:")
+    sec = section(report, "bursty storm vs read memoization")
+    if sec is None:
+        return
+    batch_col = column(sec, "batching")
+    memo_col = column(sec, "memo")
+    make_col = column(sec, "makespan (ms)")
+    if batch_col is None or memo_col is None or make_col is None:
+        return
+    off_baseline = [r for r in sec["rows"] if r[batch_col] == "off"]
+    check(len(off_baseline) == 1, "one batching-off baseline row")
+    sizes = sorted(
+        {int(r[batch_col]) for r in sec["rows"] if r[batch_col] != "off"}
+    )
+    check(len(sizes) >= 3, f"batch-size sweep has >= 3 points ({sizes})")
+
+    def row(size, memo):
+        for r in sec["rows"]:
+            if r[batch_col] != "off" and int(r[batch_col]) == size and r[memo_col] == memo:
+                return r
+        return None
+
+    for size in sizes:
+        plain, memo = row(size, "off"), row(size, "on")
+        if plain is None or memo is None:
+            check(False, f"batch size {size} measured with memo off and on")
+            continue
+        ok = float(memo[make_col]) <= float(plain[make_col]) + ROUNDING_MS
+        check(
+            ok,
+            f"memoized <= unmemoized at {size}-op batches "
+            f"({memo[make_col]} vs {plain[make_col]} ms)",
+        )
+    largest = sizes[-1]
+    plain, memo = row(largest, "off"), row(largest, "on")
+    if plain is not None and memo is not None:
+        check(
+            float(memo[make_col]) < float(plain[make_col]),
+            f"memoization strictly beats unmemoized at {largest}-op batches "
+            f"({memo[make_col]} vs {plain[make_col]} ms)",
+        )
+        if off_baseline:
+            check(
+                float(memo[make_col]) < float(off_baseline[0][make_col]),
+                f"memoized {largest}-op storm beats batching off "
+                f"({memo[make_col]} vs {off_baseline[0][make_col]} ms)",
+            )
+
+
+def check_read_priority(report):
+    print("mixed stat+create storm vs read priority:")
+    sec = section(report, "mixed stat+create storm vs read priority")
+    if sec is None:
+        return
+    batch_col = column(sec, "batching")
+    lane_col = column(sec, "lane")
+    p99_col = column(sec, "stat p99 (ms)")
+    if batch_col is None or lane_col is None or p99_col is None:
+        return
+
+    def row(batching, lane):
+        for r in sec["rows"]:
+            if r[batch_col] == batching and r[lane_col] == lane:
+                return r
+        return None
+
+    batchings = []
+    for r in sec["rows"]:
+        if r[batch_col] not in batchings:
+            batchings.append(r[batch_col])
+    check(len(batchings) >= 3, f"batching sweep has >= 3 points ({batchings})")
+    for b in batchings:
+        fifo, prio = row(b, "fifo"), row(b, "priority")
+        if fifo is None or prio is None:
+            check(False, f"batching {b} measured under fifo and priority")
+            continue
+        ok = float(prio[p99_col]) <= float(fifo[p99_col]) + ROUNDING_MS
+        check(
+            ok,
+            f"priority stat p99 <= fifo at batching {b} "
+            f"({prio[p99_col]} vs {fifo[p99_col]} ms)",
+        )
+    on_sizes = [b for b in batchings if b != "off"]
+    if not on_sizes:
+        return
+    largest = max(on_sizes, key=int)
+    fifo_l, prio_l = row(largest, "fifo"), row(largest, "priority")
+    prio_off = row("off", "priority")
+    if fifo_l is None or prio_l is None or prio_off is None:
+        check(False, "largest-batch and batching-off rows present for both lanes")
+        return
+    check(
+        float(fifo_l[p99_col]) > float(prio_l[p99_col]) + ROUNDING_MS,
+        f"fifo p99 at {largest}-op batches exceeds priority "
+        f"({fifo_l[p99_col]} vs {prio_l[p99_col]} ms): the lane's win is real",
+    )
+    cap = TAIL_GROWTH_CAP * float(prio_off[p99_col]) + ROUNDING_MS
+    check(
+        float(prio_l[p99_col]) <= cap,
+        f"priority p99 at {largest}-op batches ({prio_l[p99_col]} ms) stays within "
+        f"{TAIL_GROWTH_CAP}x of its batching-off value ({prio_off[p99_col]} ms)",
+    )
+
+
 def main():
     path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_scaling.json"
     try:
@@ -153,6 +277,8 @@ def main():
     check_shard_monotonicity(report)
     check_batching_monotonicity(report)
     check_hot_stat_non_regression(report)
+    check_memoization(report)
+    check_read_priority(report)
     if failures:
         print(f"\n{len(failures)} check(s) failed")
         return 1

@@ -129,6 +129,45 @@ pub fn cofs_over_memfs_batched_cached(
     )
 }
 
+/// Batching with per-batch read memoization over the reference
+/// filesystem — used by the differential suite to pin that memoized
+/// batch *pricing* is invisible in user-visible outcomes.
+pub fn cofs_over_memfs_memoized(shards: usize, max_batch_ops: usize) -> CofsFs<MemFs> {
+    let cfg = if shards > 1 {
+        CofsConfig::default().with_shards(shards, ShardPolicyKind::HashByParent)
+    } else {
+        CofsConfig::default()
+    };
+    CofsFs::new(
+        MemFs::new(),
+        cfg.with_batching(max_batch_ops, simcore::time::SimDuration::from_millis(5), 4)
+            .with_read_memoization(),
+        MdsNetwork::uniform(simcore::time::SimDuration::from_micros(250)),
+        7,
+    )
+}
+
+/// The complete cost-model tower: sharded, batched, memoized, cached,
+/// and with the shard CPUs' read-priority lane on — every performance
+/// knob this repository has, stacked. The differential suite pins that
+/// outcomes are invariant to all of them at once.
+pub fn cofs_over_memfs_full_stack(shards: usize) -> CofsFs<MemFs> {
+    let cfg = if shards > 1 {
+        CofsConfig::default().with_shards(shards, ShardPolicyKind::HashByParent)
+    } else {
+        CofsConfig::default()
+    };
+    CofsFs::new(
+        MemFs::new(),
+        cfg.with_batching(8, simcore::time::SimDuration::from_millis(1), 2)
+            .with_read_memoization()
+            .with_read_priority()
+            .with_client_cache(4096, simcore::time::SimDuration::from_secs(60)),
+        MdsNetwork::uniform(simcore::time::SimDuration::from_micros(250)),
+        7,
+    )
+}
+
 /// COFS over GPFS with `shards` metadata blades and the given
 /// partitioning policy.
 pub fn cofs_over_gpfs_sharded(

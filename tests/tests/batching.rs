@@ -6,7 +6,7 @@
 //! invariance at the namespace level, and the ordering property —
 //! batching never reorders conflicting same-path operations.
 
-use cofs::batch::{BatchConfig, BatchPipeline};
+use cofs::batch::{BatchConfig, BatchPipeline, BatchedOp};
 use cofs::config::{CofsConfig, MdsNetwork, ShardPolicyKind};
 use cofs::fs::CofsFs;
 use cofs::mds::DbOps;
@@ -131,6 +131,7 @@ fn default_config_reproduces_unbatched_times_bit_for_bit() {
                 max_batch_ops: 32,
                 max_batch_delay: SimDuration::from_secs(1),
                 pipeline_depth: 8,
+                memoize_reads: true,
             },
             ..CofsConfig::default()
         },
@@ -232,7 +233,7 @@ mod order_props {
                 let seq = p.enqueue(
                     node,
                     shard,
-                    DbOps { reads: 1, writes: 1 },
+                    BatchedOp::opaque(DbOps { reads: 1, writes: 1 }),
                     clock[n],
                 );
                 submitted.push((node, shard.0, seq));

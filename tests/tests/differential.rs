@@ -2,9 +2,11 @@
 //! identical user-visible outcomes on the reference `MemFs`, on
 //! COFS-over-MemFs (at 1, 2, and 4 metadata shards, with the
 //! client-side metadata cache on at aggressive and degenerate
-//! configurations, and with metadata-RPC batching on — alone and
-//! stacked under the cache), on bare GPFS (`PfsFs`), and on
-//! COFS-over-GPFS (centralized and at 2 and 4 shards).
+//! configurations, with metadata-RPC batching on — alone and stacked
+//! under the cache — and with per-batch read memoization and the
+//! read-priority service lane, alone and stacked with everything
+//! else), on bare GPFS (`PfsFs`), and on COFS-over-GPFS (centralized
+//! and at 2 and 4 shards).
 //!
 //! This is the strongest POSIX-compliance evidence in the repository:
 //! the virtualization layer reorganizes the physical layout — the
@@ -18,7 +20,8 @@
 use cofs::config::ShardPolicyKind;
 use cofs_tests::{
     apply, cofs_over_gpfs, cofs_over_gpfs_sharded, cofs_over_memfs, cofs_over_memfs_batched,
-    cofs_over_memfs_batched_cached, cofs_over_memfs_cached, cofs_over_memfs_sharded, gen_ops, gpfs,
+    cofs_over_memfs_batched_cached, cofs_over_memfs_cached, cofs_over_memfs_full_stack,
+    cofs_over_memfs_memoized, cofs_over_memfs_sharded, gen_ops, gpfs,
 };
 use netsim::ids::NodeId;
 use simcore::time::SimDuration;
@@ -43,6 +46,11 @@ fn run_differential(seed: u64, n_ops: usize) {
     let mut cofs_mem_batched_4s = cofs_over_memfs_batched(4, 1, SimDuration::from_micros(1), 1);
     let mut cofs_mem_batched_cached =
         cofs_over_memfs_batched_cached(2, 8, SimDuration::from_secs(60));
+    // Memoized batch pricing, alone and stacked with the priority lane
+    // and the client cache — pricing and scheduling knobs must never
+    // leak into outcomes.
+    let mut cofs_mem_memoized = cofs_over_memfs_memoized(2, 16);
+    let mut cofs_mem_full = cofs_over_memfs_full_stack(4);
     let mut bare_gpfs = gpfs(2);
     let mut cofs_gpfs = cofs_over_gpfs(2);
     let mut cofs_gpfs_2s = cofs_over_gpfs_sharded(2, 2, ShardPolicyKind::HashByParent);
@@ -74,6 +82,14 @@ fn run_differential(seed: u64, n_ops: usize) {
             (
                 "cofs/memfs batched+cached 2 shards",
                 apply(&mut cofs_mem_batched_cached, node, op),
+            ),
+            (
+                "cofs/memfs memoized 2 shards",
+                apply(&mut cofs_mem_memoized, node, op),
+            ),
+            (
+                "cofs/memfs memo+prio+cached 4 shards",
+                apply(&mut cofs_mem_full, node, op),
             ),
             ("gpfs", apply(&mut bare_gpfs, node, op)),
             ("cofs/gpfs", apply(&mut cofs_gpfs, node, op)),

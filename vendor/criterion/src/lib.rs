@@ -19,17 +19,29 @@ pub fn black_box<T>(x: T) -> T {
 
 /// Benchmark driver. Collects `sample_size` timed samples per
 /// benchmark and prints a mean/min/max summary line.
+///
+/// Like real criterion, positional command-line arguments act as name
+/// filters: `cargo bench -p cofs-bench -- memo_ prio_` runs only the
+/// benchmarks whose names contain one of those substrings (flags
+/// starting with `-` are ignored). With no positional arguments every
+/// benchmark runs.
 pub struct Criterion {
     sample_size: usize,
     test_mode: bool,
+    filters: Vec<String>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
         let test_mode = std::env::args().any(|a| a == "--test");
+        let filters = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
         Criterion {
             sample_size: 20,
             test_mode,
+            filters,
         }
     }
 }
@@ -43,10 +55,16 @@ impl Criterion {
 
     /// Runs one benchmark. In `--test` mode the body executes once
     /// (smoke check); otherwise it is timed `sample_size` times.
+    /// Benchmarks not matching the command-line name filters (if any)
+    /// are skipped.
     pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
+        if !self.filters.is_empty() && !self.filters.iter().any(|filt| name.contains(filt.as_str()))
+        {
+            return self;
+        }
         let samples = if self.test_mode { 1 } else { self.sample_size };
         let mut b = Bencher { nanos: Vec::new() };
         for _ in 0..samples {
