@@ -1,0 +1,40 @@
+//! Seeded rule violations for the CI self-check: `cofs-analyze
+//! --strict crates/analyze/fixtures` must exit nonzero, proving the
+//! gate actually trips. This directory is excluded from the normal
+//! workspace scan (see `config::EXCLUDED_DIRS`) and is not compiled.
+
+use std::collections::HashMap;
+use std::time::Instant; // D001: std::time import
+
+fn wall_clock() -> u64 {
+    let t = Instant::now(); // D001: wall-clock read
+    t.elapsed().as_nanos() as u64
+}
+
+fn ambient_rng() -> u64 {
+    let mut rng = thread_rng(); // D002: ambient randomness
+    rand::random() // D002
+}
+
+struct Registry {
+    holders: HashMap<u64, u64>,
+}
+
+impl Registry {
+    fn visit(&self) -> u64 {
+        let mut sum = 0;
+        for (k, v) in self.holders.iter() {
+            // D003: unordered iteration
+            sum += k + v;
+        }
+        sum
+    }
+}
+
+static mut GLOBAL: u64 = 0; // D004: unaudited global mutable state
+
+fn parallelism() {
+    let lock = std::sync::Mutex::new(0u64); // D004
+    let h = std::thread::spawn(move || *lock.lock().unwrap()); // D004
+    let _ = h.join();
+}

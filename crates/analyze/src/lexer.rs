@@ -1,0 +1,320 @@
+//! A minimal Rust lexer: just enough to tell identifiers and
+//! punctuation apart from the insides of strings, raw strings, char
+//! literals, and (nested) comments.
+//!
+//! `syn` is unavailable offline, and the lint rules only need token
+//! sequences (`Instant :: now`, `name . iter (`) plus comment text for
+//! `cofs-lint:` directives — a full parse would buy nothing.
+
+/// One lexed token. Literals (strings, chars, numbers) are dropped —
+/// no rule matches inside them — so the stream is identifiers,
+/// lifetimes, and single-character punctuation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// Token text; punctuation is a single character.
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// True for identifiers and keywords.
+    pub is_ident: bool,
+}
+
+/// A comment's text and the line it starts on (directives live here).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub line: u32,
+    pub text: String,
+}
+
+/// Lexes `src` into punctuation/identifier tokens plus comments.
+pub fn lex(src: &str) -> (Vec<Tok>, Vec<Comment>) {
+    let b: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut comments = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = b.len();
+    let at = |i: usize| -> char {
+        if i < n {
+            b[i]
+        } else {
+            '\0'
+        }
+    };
+    while i < n {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if at(i + 1) == '/' => {
+                let start = i;
+                while i < n && b[i] != '\n' {
+                    i += 1;
+                }
+                comments.push(Comment {
+                    line,
+                    text: b[start..i].iter().collect(),
+                });
+            }
+            '/' if at(i + 1) == '*' => {
+                let start_line = line;
+                let start = i;
+                i += 2;
+                let mut depth = 1;
+                while i < n && depth > 0 {
+                    if b[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == '/' && at(i + 1) == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && at(i + 1) == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                comments.push(Comment {
+                    line: start_line,
+                    text: b[start..i.min(n)].iter().collect(),
+                });
+            }
+            '"' => i = skip_string(&b, i, &mut line),
+            '\'' => {
+                // Lifetime ('a) vs char literal ('a', '\n', '\u{1}').
+                let c1 = at(i + 1);
+                if c1 == '\\' {
+                    i = skip_char_literal(&b, i, &mut line);
+                } else if (c1.is_alphanumeric() || c1 == '_') && at(i + 2) != '\'' {
+                    // Lifetime: skip the quote and let the identifier
+                    // path consume the name (rules never match it).
+                    i += 1;
+                } else {
+                    i = skip_char_literal(&b, i, &mut line);
+                }
+            }
+            c if c.is_ascii_digit() => i = skip_number(&b, i),
+            c if c.is_alphanumeric() || c == '_' => {
+                // Raw/byte string prefixes first: r", r#, b", br", br#.
+                if c == 'r' && (at(i + 1) == '"' || at(i + 1) == '#') {
+                    if let Some(j) = skip_raw_string(&b, i + 1, &mut line) {
+                        i = j;
+                        continue;
+                    }
+                }
+                if c == 'b' {
+                    if at(i + 1) == '"' {
+                        i = skip_string(&b, i + 1, &mut line);
+                        continue;
+                    }
+                    if at(i + 1) == '\'' {
+                        i = skip_char_literal(&b, i + 1, &mut line);
+                        continue;
+                    }
+                    if at(i + 1) == 'r' && (at(i + 2) == '"' || at(i + 2) == '#') {
+                        if let Some(j) = skip_raw_string(&b, i + 2, &mut line) {
+                            i = j;
+                            continue;
+                        }
+                    }
+                }
+                let start = i;
+                while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    text: b[start..i].iter().collect(),
+                    line,
+                    is_ident: true,
+                });
+            }
+            _ => {
+                toks.push(Tok {
+                    text: c.to_string(),
+                    line,
+                    is_ident: false,
+                });
+                i += 1;
+            }
+        }
+    }
+    (toks, comments)
+}
+
+/// Skips a normal `"…"` string starting at the opening quote; returns
+/// the index just past the closing quote.
+fn skip_string(b: &[char], mut i: usize, line: &mut u32) -> usize {
+    i += 1; // opening quote
+    while i < b.len() {
+        match b[i] {
+            '\\' => i += 2,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            '"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skips a `'…'` char literal starting at the opening quote.
+fn skip_char_literal(b: &[char], mut i: usize, line: &mut u32) -> usize {
+    i += 1;
+    while i < b.len() {
+        match b[i] {
+            '\\' => i += 2,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            '\'' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skips a raw string whose `#…"` part starts at `i` (the `r`/`br`
+/// prefix is already consumed). Returns `None` if this is not actually
+/// a raw string (e.g. `r#foo` raw identifiers).
+fn skip_raw_string(b: &[char], mut i: usize, line: &mut u32) -> Option<usize> {
+    let mut hashes = 0usize;
+    while i < b.len() && b[i] == '#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i >= b.len() || b[i] != '"' {
+        return None; // raw identifier like r#type
+    }
+    i += 1;
+    while i < b.len() {
+        if b[i] == '\n' {
+            *line += 1;
+            i += 1;
+        } else if b[i] == '"' {
+            let mut k = 0;
+            while k < hashes && i + 1 + k < b.len() && b[i + 1 + k] == '#' {
+                k += 1;
+            }
+            if k == hashes {
+                return Some(i + 1 + hashes);
+            }
+            i += 1;
+        } else {
+            i += 1;
+        }
+    }
+    Some(i)
+}
+
+/// Skips a numeric literal (ints, floats, hex, suffixes, exponents).
+fn skip_number(b: &[char], mut i: usize) -> usize {
+    let n = b.len();
+    while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+        i += 1;
+    }
+    // Fractional part — but not the `..` of a range expression.
+    if i + 1 < n && b[i] == '.' && b[i + 1].is_ascii_digit() {
+        i += 1;
+        while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+            if (b[i] == 'e' || b[i] == 'E') && i + 1 < n && (b[i + 1] == '+' || b[i + 1] == '-') {
+                i += 2;
+                continue;
+            }
+            i += 1;
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .0
+            .into_iter()
+            .filter(|t| t.is_ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_identifiers() {
+        let src = r##"
+            let a = "Instant::now()"; // Instant::now in a comment
+            /* thread_rng in a block
+               comment */
+            let b = r#"SystemTime::now"#;
+            let c = b"thread_rng";
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"Instant".to_string()));
+        assert!(!ids.contains(&"thread_rng".to_string()));
+        assert!(!ids.contains(&"SystemTime".to_string()));
+        assert!(ids.contains(&"let".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; let q = '\"'; }";
+        let (toks, _) = lex(src);
+        let ids: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.is_ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        // 'x' is a char literal, not an identifier; 'a is a lifetime.
+        assert!(!ids.contains(&"x") || ids.iter().filter(|&&s| s == "x").count() == 1);
+        assert!(ids.contains(&"a"));
+        assert!(ids.contains(&"str"));
+    }
+
+    #[test]
+    fn comments_are_captured_with_lines() {
+        let src = "let x = 1;\n// cofs-lint: allow(D001, because)\nlet y = 2;";
+        let (_, comments) = lex(src);
+        assert_eq!(comments.len(), 1);
+        assert_eq!(comments[0].line, 2);
+        assert!(comments[0].text.contains("cofs-lint"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ let z = 3;";
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "z"]);
+    }
+
+    #[test]
+    fn raw_identifiers_are_not_raw_strings() {
+        let src = "let r#type = 1; let rr = r\"text\";";
+        let ids = idents(src);
+        assert!(ids.contains(&"type".to_string()));
+        assert!(!ids.contains(&"text".to_string()));
+    }
+
+    #[test]
+    fn numbers_with_ranges_and_floats() {
+        let src = "for i in 0..10 { let f = 1.5e-3; let h = 0xFF_u64; }";
+        let (toks, _) = lex(src);
+        // The `..` survives as two dots; float/hex bodies are dropped.
+        let dots = toks.iter().filter(|t| t.text == ".").count();
+        assert_eq!(dots, 2);
+    }
+
+    #[test]
+    fn line_numbers_advance_through_literals() {
+        let src = "let a = \"two\nlines\";\nlet b = 1;";
+        let (toks, _) = lex(src);
+        let b_tok = toks.iter().find(|t| t.text == "b").unwrap();
+        assert_eq!(b_tok.line, 3);
+    }
+}

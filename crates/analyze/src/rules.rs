@@ -1,0 +1,714 @@
+//! The determinism & simulation-safety rules.
+//!
+//! | rule | denies |
+//! |------|--------|
+//! | D001 | wall-clock: `Instant::now`, `SystemTime::now`, `std::time` |
+//! | D002 | ambient randomness: `thread_rng`, `rand::random` |
+//! | D003 | unordered iteration over `HashMap`/`HashSet` values |
+//! | D004 | threads & interior mutability: `thread::spawn`, `Mutex`, `RwLock`, `RefCell`, `UnsafeCell`, `static mut` |
+//!
+//! Escapes: `// cofs-lint: allow(RULE, reason)` suppresses RULE on its
+//! own line and the next one. A reason is mandatory — an allow without
+//! one is itself reported (rule `A001`).
+
+use crate::config::{FilePolicy, RULES};
+use crate::lexer::{lex, Comment, Tok};
+use std::collections::BTreeSet;
+
+/// One diagnostic: `file:line: rule: message`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Violation {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule identifier (`D001`…`D004`, or `A001` for a bad escape).
+    pub rule: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// A parsed `cofs-lint: allow(RULE, reason)` directive.
+#[derive(Debug, Clone)]
+struct Directive {
+    line: u32,
+    rule: String,
+    reason: Option<String>,
+}
+
+/// Extracts `cofs-lint:` directives from comment text. Only plain
+/// `//` or `/*` comments that *start* with `cofs-lint:` count — doc
+/// comments (`///`, `//!`) are prose and may mention the syntax.
+fn parse_directives(comments: &[Comment]) -> Vec<Directive> {
+    let mut out = Vec::new();
+    for c in comments {
+        let text = c.text.trim_start();
+        let content = if let Some(r) = text.strip_prefix("//") {
+            if r.starts_with('/') || r.starts_with('!') {
+                continue; // doc comment
+            }
+            r
+        } else if let Some(r) = text.strip_prefix("/*") {
+            r
+        } else {
+            text
+        };
+        let Some(rest) = content.trim_start().strip_prefix("cofs-lint:") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(body) = rest.strip_prefix("allow(") else {
+            // An unparseable directive must not silently pass.
+            out.push(Directive {
+                line: c.line,
+                rule: String::new(),
+                reason: None,
+            });
+            continue;
+        };
+        let Some(close) = body.find(')') else {
+            out.push(Directive {
+                line: c.line,
+                rule: String::new(),
+                reason: None,
+            });
+            continue;
+        };
+        let inner = &body[..close];
+        let (rule, reason) = match inner.split_once(',') {
+            Some((r, why)) => {
+                let why = why.trim();
+                (
+                    r.trim().to_string(),
+                    (!why.is_empty()).then(|| why.to_string()),
+                )
+            }
+            None => (inner.trim().to_string(), None),
+        };
+        out.push(Directive {
+            line: c.line,
+            rule,
+            reason,
+        });
+    }
+    out
+}
+
+/// Line ranges covered by `#[cfg(test)]` items (D003 is relaxed there:
+/// test-module iteration only feeds assertions, never the simulation).
+fn cfg_test_regions(toks: &[Tok]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let t = |i: usize| -> &str {
+        if i < toks.len() {
+            toks[i].text.as_str()
+        } else {
+            ""
+        }
+    };
+    let mut i = 0usize;
+    while i + 6 < toks.len() {
+        if t(i) == "#"
+            && t(i + 1) == "["
+            && t(i + 2) == "cfg"
+            && t(i + 3) == "("
+            && t(i + 4) == "test"
+            && t(i + 5) == ")"
+            && t(i + 6) == "]"
+        {
+            let start_line = toks[i].line;
+            let mut j = i + 7;
+            // Skip any further attributes on the same item.
+            while t(j) == "#" && t(j + 1) == "[" {
+                let mut depth = 0i32;
+                j += 1;
+                while j < toks.len() {
+                    match t(j) {
+                        "[" => depth += 1,
+                        "]" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                j += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+            // Find the item's body and brace-match it; `mod x;` (no
+            // body) ends at the semicolon.
+            while j < toks.len() && t(j) != "{" && t(j) != ";" {
+                j += 1;
+            }
+            if t(j) == "{" {
+                let mut depth = 0i32;
+                while j < toks.len() {
+                    match t(j) {
+                        "{" => depth += 1,
+                        "}" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+            let end_line = if j < toks.len() {
+                toks[j].line
+            } else {
+                u32::MAX
+            };
+            regions.push((start_line, end_line));
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    regions
+}
+
+fn in_regions(regions: &[(u32, u32)], line: u32) -> bool {
+    regions.iter().any(|&(a, b)| a <= line && line <= b)
+}
+
+/// Methods whose iteration order follows the map's internal order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "retain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+/// D003 pass 1 over raw source: names declared with a
+/// `HashMap`/`HashSet` type. The driver unions these per *crate*, so
+/// a field declared in `cache.rs` is still recognized when a sibling
+/// file iterates it through an accessor.
+pub fn hash_typed_names_in(src: &str) -> BTreeSet<String> {
+    hash_typed_names(&lex(src).0)
+}
+
+/// D003 pass 1: names declared in this file with a `HashMap`/`HashSet`
+/// type (struct fields, lets, params) or initialized from one
+/// (`= HashMap::new()` and friends).
+fn hash_typed_names(toks: &[Tok]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    let t = |i: usize| -> &str {
+        if i < toks.len() {
+            toks[i].text.as_str()
+        } else {
+            ""
+        }
+    };
+    for i in 0..toks.len() {
+        if t(i) != "HashMap" && t(i) != "HashSet" {
+            continue;
+        }
+        // Walk back over a `std :: collections ::` path prefix.
+        let mut k = i;
+        while k >= 3
+            && t(k - 1) == ":"
+            && t(k - 2) == ":"
+            && (t(k - 3) == "collections" || t(k - 3) == "std")
+        {
+            k -= 3;
+        }
+        if k == 0 {
+            continue;
+        }
+        let prev = t(k - 1);
+        if prev == ":" && k >= 2 && toks[k - 2].is_ident {
+            // `name: HashMap<…>` — field, let-with-annotation, param.
+            names.insert(toks[k - 2].text.clone());
+        } else if prev == "=" && k >= 2 && toks[k - 2].is_ident && t(k - 2) != "=" {
+            // `let [mut] name = HashMap::new()` (or ::from, ::default).
+            names.insert(toks[k - 2].text.clone());
+        }
+    }
+    names
+}
+
+/// Runs every applicable rule over one file's source. `crate_names`
+/// carries HashMap/HashSet-typed names declared elsewhere in the same
+/// crate (fields reached through accessors); pass an empty set to
+/// match on this file's declarations only.
+pub fn analyze_source(
+    rel_path: &str,
+    src: &str,
+    policy: FilePolicy,
+    crate_names: &BTreeSet<String>,
+) -> Vec<Violation> {
+    let (toks, comments) = lex(src);
+    let directives = parse_directives(&comments);
+    let test_regions = cfg_test_regions(&toks);
+    let mut raw: Vec<Violation> = Vec::new();
+    let t = |i: usize| -> &str {
+        if i < toks.len() {
+            toks[i].text.as_str()
+        } else {
+            ""
+        }
+    };
+    let push = |raw: &mut Vec<Violation>, line: u32, rule: &str, msg: String| {
+        raw.push(Violation {
+            file: rel_path.to_string(),
+            line,
+            rule: rule.to_string(),
+            message: msg,
+        });
+    };
+
+    let hash_names = if policy.d003 {
+        let mut names = hash_typed_names(&toks);
+        names.extend(crate_names.iter().cloned());
+        names
+    } else {
+        BTreeSet::new()
+    };
+
+    for i in 0..toks.len() {
+        let line = toks[i].line;
+        // ---- D001: wall-clock ------------------------------------------
+        if policy.d001 {
+            if (t(i) == "Instant" || t(i) == "SystemTime")
+                && t(i + 1) == ":"
+                && t(i + 2) == ":"
+                && t(i + 3) == "now"
+            {
+                push(
+                    &mut raw,
+                    line,
+                    "D001",
+                    format!(
+                        "wall-clock read `{}::now` — use virtual time (simcore::time)",
+                        t(i)
+                    ),
+                );
+            }
+            if t(i) == "std" && t(i + 1) == ":" && t(i + 2) == ":" && t(i + 3) == "time" {
+                push(
+                    &mut raw,
+                    line,
+                    "D001",
+                    "`std::time` — simulation code must use simcore::time".to_string(),
+                );
+            }
+        }
+        // ---- D002: ambient randomness ----------------------------------
+        if policy.d002 {
+            if t(i) == "thread_rng" {
+                push(
+                    &mut raw,
+                    line,
+                    "D002",
+                    "`thread_rng` — RNG must flow from simcore::rng seeds".to_string(),
+                );
+            }
+            if t(i) == "rand" && t(i + 1) == ":" && t(i + 2) == ":" && t(i + 3) == "random" {
+                push(
+                    &mut raw,
+                    line,
+                    "D002",
+                    "`rand::random` — RNG must flow from simcore::rng seeds".to_string(),
+                );
+            }
+        }
+        // ---- D004: threads & interior mutability -----------------------
+        if policy.d004 {
+            if t(i) == "thread" && t(i + 1) == ":" && t(i + 2) == ":" && t(i + 3) == "spawn" {
+                push(
+                    &mut raw,
+                    line,
+                    "D004",
+                    "`thread::spawn` — the simulator is single-threaded; parallel \
+                     code needs a config.rs allowlist entry"
+                        .to_string(),
+                );
+            }
+            if matches!(t(i), "Mutex" | "RwLock" | "RefCell" | "UnsafeCell") {
+                push(
+                    &mut raw,
+                    line,
+                    "D004",
+                    format!(
+                        "`{}` — interior mutability outside the config.rs allowlist",
+                        t(i)
+                    ),
+                );
+            }
+            if t(i) == "static" && t(i + 1) == "mut" {
+                push(
+                    &mut raw,
+                    line,
+                    "D004",
+                    "`static mut` — unaudited global mutable state".to_string(),
+                );
+            }
+        }
+        // ---- D003: unordered iteration ---------------------------------
+        if policy.d003 && !in_regions(&test_regions, line) {
+            // `name.iter()` / `self.name.keys()` …
+            if toks[i].is_ident
+                && ITER_METHODS.contains(&t(i))
+                && t(i + 1) == "("
+                && i >= 2
+                && t(i - 1) == "."
+                && hash_names.contains(t(i - 2))
+            {
+                push(
+                    &mut raw,
+                    line,
+                    "D003",
+                    format!(
+                        "`{}.{}()` iterates a HashMap/HashSet — use BTreeMap/BTreeSet \
+                         or a sorted collect",
+                        t(i - 2),
+                        t(i)
+                    ),
+                );
+            }
+            // `for … in …name… {`
+            if t(i) == "for" {
+                let mut j = i + 1;
+                // Find the `in` of this for-expression (patterns are
+                // short; bail out quickly so `for` in macros/doc text
+                // cannot run away).
+                let mut depth = 0i32;
+                let mut found_in = None;
+                while j < toks.len() && j < i + 24 {
+                    match t(j) {
+                        "(" | "[" => depth += 1,
+                        ")" | "]" => depth -= 1,
+                        "{" => break,
+                        "in" if depth == 0 => {
+                            found_in = Some(j);
+                            break;
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if let Some(start) = found_in {
+                    let mut k = start + 1;
+                    while k < toks.len() && t(k) != "{" && k < start + 12 {
+                        // A name followed by `.` is a method call; the
+                        // method-call check above owns that case.
+                        if toks[k].is_ident && hash_names.contains(t(k)) && t(k + 1) != "." {
+                            // Iterating an iterator-returning call like
+                            // `name.keys()` is caught above; a bare
+                            // `for x in &name` lands here.
+                            push(
+                                &mut raw,
+                                toks[k].line,
+                                "D003",
+                                format!(
+                                    "`for … in` over HashMap/HashSet `{}` — use \
+                                     BTreeMap/BTreeSet or a sorted collect",
+                                    t(k)
+                                ),
+                            );
+                            break;
+                        }
+                        k += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- apply escapes -----------------------------------------------
+    let mut out: Vec<Violation> = Vec::new();
+    for v in raw {
+        let suppressed = directives.iter().any(|d| {
+            d.rule == v.rule && d.reason.is_some() && (d.line == v.line || d.line + 1 == v.line)
+        });
+        if !suppressed {
+            out.push(v);
+        }
+    }
+    // Malformed or reason-less escapes are themselves violations.
+    for d in &directives {
+        if d.rule.is_empty() || !RULES.contains(&d.rule.as_str()) {
+            out.push(Violation {
+                file: rel_path.to_string(),
+                line: d.line,
+                rule: "A001".to_string(),
+                message: "malformed cofs-lint directive — expected \
+                          `cofs-lint: allow(RULE, reason)`"
+                    .to_string(),
+            });
+        } else if d.reason.is_none() {
+            out.push(Violation {
+                file: rel_path.to_string(),
+                line: d.line,
+                rule: "A001".to_string(),
+                message: format!("cofs-lint allow({}) without a reason", d.rule),
+            });
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FilePolicy;
+
+    fn sim_policy() -> FilePolicy {
+        FilePolicy::for_path("crates/core/src/x.rs", false)
+    }
+
+    fn rules_of(src: &str) -> Vec<String> {
+        analyze_source("crates/core/src/x.rs", src, sim_policy(), &BTreeSet::new())
+            .into_iter()
+            .map(|v| v.rule)
+            .collect()
+    }
+
+    // ---- D001 ----------------------------------------------------------
+
+    #[test]
+    fn d001_instant_now_fires() {
+        let src = "fn f() { let t = Instant::now(); }";
+        assert_eq!(rules_of(src), vec!["D001"]);
+    }
+
+    #[test]
+    fn d001_system_time_and_std_time_import() {
+        let src = "use std::time::Duration;\nfn f() { let t = SystemTime::now(); }";
+        let r = rules_of(src);
+        assert_eq!(r, vec!["D001", "D001"]);
+    }
+
+    #[test]
+    fn d001_exempt_in_time_module() {
+        let p = FilePolicy::for_path("crates/simcore/src/time.rs", false);
+        let v = analyze_source(
+            "crates/simcore/src/time.rs",
+            "use std::time::Duration;",
+            p,
+            &BTreeSet::new(),
+        );
+        assert!(v.is_empty());
+    }
+
+    // ---- D002 ----------------------------------------------------------
+
+    #[test]
+    fn d002_thread_rng_and_rand_random() {
+        let src = "fn f() { let a = thread_rng(); let b: u8 = rand::random(); }";
+        assert_eq!(rules_of(src), vec!["D002", "D002"]);
+    }
+
+    #[test]
+    fn d002_simcore_rng_is_fine() {
+        let src = "fn f() { let mut r = simcore::rng::SimRng::seeded(7); }";
+        assert!(rules_of(src).is_empty());
+    }
+
+    // ---- D003 ----------------------------------------------------------
+
+    #[test]
+    fn d003_field_iteration_fires() {
+        let src = "
+            struct S { leases: HashMap<u64, u64> }
+            impl S { fn f(&self) -> u64 { self.leases.keys().sum() } }
+        ";
+        assert_eq!(rules_of(src), vec!["D003"]);
+    }
+
+    #[test]
+    fn d003_let_binding_and_for_loop() {
+        let src = "
+            fn f() {
+                let mut m = HashMap::new();
+                m.insert(1, 2);
+                for (k, v) in &m { println!(\"{k}{v}\"); }
+            }
+        ";
+        assert_eq!(rules_of(src), vec!["D003"]);
+    }
+
+    #[test]
+    fn d003_values_drain_retain() {
+        let src = "
+            struct S { m: HashMap<u64, u64>, s: HashSet<u64> }
+            impl S {
+                fn f(&mut self) {
+                    let _ = self.m.values().count();
+                    self.m.retain(|_, v| *v > 0);
+                    for x in self.s.drain() { let _ = x; }
+                }
+            }
+        ";
+        assert_eq!(rules_of(src), vec!["D003", "D003", "D003"]);
+    }
+
+    #[test]
+    fn d003_btreemap_is_fine() {
+        let src = "
+            struct S { m: BTreeMap<u64, u64> }
+            impl S { fn f(&self) -> usize { self.m.keys().count() } }
+        ";
+        assert!(rules_of(src).is_empty());
+    }
+
+    #[test]
+    fn d003_lookup_without_iteration_is_fine() {
+        let src = "
+            struct S { m: HashMap<u64, u64> }
+            impl S {
+                fn f(&mut self) -> Option<u64> {
+                    self.m.insert(1, 2);
+                    self.m.get(&1).copied()
+                }
+            }
+        ";
+        assert!(rules_of(src).is_empty());
+    }
+
+    #[test]
+    fn d003_relaxed_in_cfg_test_modules() {
+        let src = "
+            struct S { m: HashMap<u64, u64> }
+            #[cfg(test)]
+            mod tests {
+                fn f(s: &super::S) -> usize { s.m.iter().count() }
+            }
+        ";
+        // The field is declared outside the test module but only
+        // iterated inside it.
+        assert!(rules_of(src).is_empty());
+    }
+
+    #[test]
+    fn d003_relaxed_in_non_sim_crates() {
+        let p = FilePolicy::for_path("tests/tests/properties.rs", false);
+        let src = "
+            fn f() {
+                let mut counts: HashMap<u64, u32> = HashMap::new();
+                for (k, v) in &counts { let _ = (k, v); }
+            }
+        ";
+        assert!(analyze_source("tests/tests/properties.rs", src, p, &BTreeSet::new()).is_empty());
+    }
+
+    // ---- D004 ----------------------------------------------------------
+
+    #[test]
+    fn d004_thread_spawn_mutex_refcell_static_mut() {
+        let src = "
+            static mut COUNTER: u64 = 0;
+            fn f() {
+                let h = std::thread::spawn(|| 1);
+                let m = Mutex::new(0);
+                let c = RefCell::new(0);
+            }
+        ";
+        assert_eq!(rules_of(src), vec!["D004", "D004", "D004", "D004"]);
+    }
+
+    // ---- escapes -------------------------------------------------------
+
+    #[test]
+    fn allow_with_reason_suppresses_same_and_next_line() {
+        let src = "// cofs-lint: allow(D001, calibration-only timestamp)\n\
+                   fn f() { let t = Instant::now(); }";
+        assert!(rules_of(src).is_empty());
+        let trailing = "fn f() { let t = Instant::now(); } \
+                        // cofs-lint: allow(D001, calibration-only timestamp)";
+        assert!(rules_of(trailing).is_empty());
+    }
+
+    #[test]
+    fn allow_without_reason_is_itself_flagged() {
+        let src = "// cofs-lint: allow(D001)\nfn f() { let t = Instant::now(); }";
+        let r = rules_of(src);
+        // The violation stays AND the bad escape is reported.
+        assert!(r.contains(&"D001".to_string()));
+        assert!(r.contains(&"A001".to_string()));
+    }
+
+    #[test]
+    fn allow_wrong_rule_does_not_suppress() {
+        let src = "// cofs-lint: allow(D002, wrong rule)\n\
+                   fn f() { let t = Instant::now(); }";
+        assert!(rules_of(src).contains(&"D001".to_string()));
+    }
+
+    #[test]
+    fn malformed_directive_is_flagged() {
+        let src = "// cofs-lint: allow D001 no parens";
+        assert_eq!(rules_of(src), vec!["A001"]);
+    }
+
+    #[test]
+    fn doc_comment_prose_is_not_a_directive() {
+        let src = "//! Escape with `cofs-lint: allow(RULE, reason)`.\n\
+                   /// Mentions cofs-lint: allow(D001, prose) in docs.\n\
+                   fn f() {}";
+        assert!(rules_of(src).is_empty());
+    }
+
+    #[test]
+    fn crate_wide_names_catch_cross_file_field_iteration() {
+        // `dirty_attr` is declared HashSet in a sibling file; this file
+        // only iterates it through an accessor.
+        let mut names = BTreeSet::new();
+        names.insert("dirty_attr".to_string());
+        let src = "fn f(fs: &mut Pfs) { let v: Vec<u64> = \
+                   fs.cache_of(n).dirty_attr.iter().copied().collect(); }";
+        let v = analyze_source("crates/core/src/x.rs", src, sim_policy(), &names);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "D003");
+        // Without the crate-wide set there is nothing to match.
+        assert!(
+            analyze_source("crates/core/src/x.rs", src, sim_policy(), &BTreeSet::new()).is_empty()
+        );
+    }
+
+    #[test]
+    fn patterns_inside_strings_do_not_fire() {
+        let src = r##"
+            fn f() -> &'static str {
+                let msg = "never call Instant::now or thread_rng here";
+                let raw = r#"Mutex<RefCell<HashMap>> for x in map.iter()"#;
+                msg
+            }
+        "##;
+        assert!(rules_of(src).is_empty());
+    }
+
+    #[test]
+    fn diagnostics_carry_file_line_rule() {
+        let src = "fn f() {\n let t = Instant::now();\n}";
+        let v = analyze_source("crates/core/src/x.rs", src, sim_policy(), &BTreeSet::new());
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 2);
+        assert!(v[0].to_string().split(':').count() >= 4);
+        assert!(v[0]
+            .to_string()
+            .starts_with("crates/core/src/x.rs:2: D001:"));
+    }
+}

@@ -55,7 +55,7 @@ use crate::mds::{DbOps, ReadSet};
 use crate::mds_cluster::ShardId;
 use netsim::ids::NodeId;
 use simcore::time::{SimDuration, SimTime};
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// One buffered mutation: its database work plus the row keys of the
 /// memoizable reads its resolution performed. The read set rides along
@@ -274,7 +274,9 @@ struct NodeState {
 #[derive(Debug)]
 pub struct BatchPipeline {
     cfg: BatchConfig,
-    nodes: HashMap<NodeId, NodeState>,
+    // Ordered so per-node bookkeeping sweeps run in NodeId order on
+    // every platform (lint rule D003).
+    nodes: BTreeMap<NodeId, NodeState>,
     seq: u64,
     stats: BatchStats,
 }
@@ -284,7 +286,7 @@ impl BatchPipeline {
     pub fn new(cfg: BatchConfig) -> Self {
         BatchPipeline {
             cfg,
-            nodes: HashMap::new(),
+            nodes: BTreeMap::new(),
             seq: 0,
             stats: BatchStats::default(),
         }

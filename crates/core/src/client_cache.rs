@@ -36,7 +36,7 @@
 
 use netsim::ids::NodeId;
 use simcore::time::{SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use vfs::path::VPath;
 
 /// What a cache entry (and its lease) covers.
@@ -156,17 +156,18 @@ struct Entry {
 }
 
 /// Per-kind maps keyed by bare `VPath`, so the hot probe path never
-/// clones a path just to build a tuple key.
+/// clones a path just to build a tuple key. Ordered maps keep the
+/// LRU scan and any future iteration deterministic (lint rule D003).
 #[derive(Debug, Default)]
 struct NodeCache {
-    attrs: HashMap<VPath, Entry>,
-    dentries: HashMap<VPath, Entry>,
-    negatives: HashMap<VPath, Entry>,
+    attrs: BTreeMap<VPath, Entry>,
+    dentries: BTreeMap<VPath, Entry>,
+    negatives: BTreeMap<VPath, Entry>,
     use_seq: u64,
 }
 
 impl NodeCache {
-    fn map(&mut self, kind: EntryKind) -> &mut HashMap<VPath, Entry> {
+    fn map(&mut self, kind: EntryKind) -> &mut BTreeMap<VPath, Entry> {
         match kind {
             EntryKind::Attr => &mut self.attrs,
             EntryKind::Dentry => &mut self.dentries,
@@ -225,7 +226,7 @@ impl NodeCache {
 #[derive(Debug)]
 pub struct ClientCache {
     cfg: ClientCacheConfig,
-    nodes: HashMap<NodeId, NodeCache>,
+    nodes: BTreeMap<NodeId, NodeCache>,
     stats: CacheStats,
 }
 
@@ -234,7 +235,7 @@ impl ClientCache {
     pub fn new(cfg: ClientCacheConfig) -> Self {
         ClientCache {
             cfg,
-            nodes: HashMap::new(),
+            nodes: BTreeMap::new(),
             stats: CacheStats::default(),
         }
     }

@@ -16,7 +16,7 @@ use crate::mds_cluster::{MdsCluster, ShardPolicy, ShardUsage};
 use crate::placement::{HashedPlacement, PlacementPolicy};
 use netsim::ids::NodeId;
 use simcore::prelude::*;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 use vfs::error::{Errno, FsError};
 use vfs::fs::{FileSystem, FsResult, OpCtx, Timed};
 use vfs::path::VPath;
@@ -74,7 +74,9 @@ pub struct CofsFs<U: FileSystem> {
     batch: BatchPipeline,
     placement: Box<dyn PlacementPolicy>,
     made_dirs: HashSet<VPath>,
-    handles: HashMap<u64, CHandle>,
+    // Ordered: rename re-roots open handles by iterating this map, and
+    // the visit order must not depend on hasher state (lint rule D003).
+    handles: BTreeMap<u64, CHandle>,
     next_fh: u64,
     next_under_name: u64,
     counters: Counters,
@@ -141,7 +143,7 @@ impl<U: FileSystem> CofsFs<U> {
             batch: BatchPipeline::new(cfg.batch.clone()),
             placement,
             made_dirs: HashSet::new(),
-            handles: HashMap::new(),
+            handles: BTreeMap::new(),
             next_fh: 1,
             next_under_name: 1,
             counters: Counters::new(),

@@ -27,7 +27,7 @@ use crate::mds::{DbOps, Mds, RowKey};
 use metadb::cost::DbCostTracker;
 use netsim::ids::NodeId;
 use simcore::prelude::*;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 use vfs::path::VPath;
 
 /// Identifies one shard within an [`MdsCluster`].
@@ -304,8 +304,10 @@ pub struct MdsCluster {
     sessions: HashSet<(NodeId, usize)>,
     /// Outstanding client-cache leases: which nodes may answer which
     /// `(kind, path)` reads locally, and until when. The shard owning
-    /// the path recalls these on conflicting mutations.
-    leases: HashMap<LeaseKey, HashMap<NodeId, SimTime>>,
+    /// the path recalls these on conflicting mutations. Ordered maps
+    /// so recall/revoke visit order is deterministic by construction
+    /// (lint rule D003).
+    leases: BTreeMap<LeaseKey, BTreeMap<NodeId, SimTime>>,
     /// Last periodic lease-registry sweep (virtual time).
     last_sweep: SimTime,
     /// Sweeps run since the last [`Self::reset_time`].
@@ -325,7 +327,7 @@ impl MdsCluster {
             shards,
             policy,
             sessions: HashSet::new(),
-            leases: HashMap::new(),
+            leases: BTreeMap::new(),
             last_sweep: SimTime::ZERO,
             lease_sweeps: 0,
             leases_swept: 0,

@@ -35,8 +35,8 @@
 
 use netsim::ids::NodeId;
 use simcore::stats::Counters;
-use std::collections::hash_map::Entry;
-use std::collections::HashMap;
+use std::collections::btree_map::Entry;
+use std::collections::BTreeMap;
 
 /// Identifies one lockable object (a directory block, an inode block,
 /// a directory inode, an allocation region). Producers hash their
@@ -103,7 +103,9 @@ impl AcquireOutcome {
 
 #[derive(Debug, Clone, Default)]
 struct TokenState {
-    holders: HashMap<NodeId, TokenMode>,
+    // Ordered so revocation plans visit holders in NodeId order on
+    // every platform — token handoff timing is replay-critical.
+    holders: BTreeMap<NodeId, TokenMode>,
 }
 
 /// The centralized token manager.
@@ -113,7 +115,7 @@ struct TokenState {
 /// on file server 0 and charges round trips accordingly.
 #[derive(Debug, Clone, Default)]
 pub struct TokenManager {
-    tokens: HashMap<TokenId, TokenState>,
+    tokens: BTreeMap<TokenId, TokenState>,
     stats: Counters,
 }
 

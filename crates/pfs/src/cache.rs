@@ -5,7 +5,7 @@
 //! paper's Fig 1 its knees (512 entries for create, 1024 for
 //! stat/utime/open, page pool for data).
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::hash::Hash;
 
 /// A capacity-bounded LRU set of cache keys.
@@ -201,22 +201,26 @@ pub struct NodeCache {
     /// Cached inode attributes (the stat cache), keyed by inode number.
     pub attr_entries: LruSet<u64>,
     /// Inodes with local dirty attributes (flushed on revoke).
-    pub dirty_attr: HashSet<u64>,
+    /// Ordered: flush-victim selection iterates this set, and the
+    /// chosen block must not depend on hasher state (lint rule D003).
+    pub dirty_attr: BTreeSet<u64>,
     /// Cached directory entry blocks, keyed by (dir ino, block index,
     /// block-count generation).
     pub dir_blocks: LruSet<(u64, u64, u64)>,
-    /// Dirty directory blocks per directory.
-    pub dirty_dir: HashMap<u64, HashSet<(u64, u64)>>,
+    /// Dirty directory blocks per directory (ordered: revoke flushes
+    /// and throttle victims iterate these).
+    pub dirty_dir: BTreeMap<u64, BTreeSet<(u64, u64)>>,
     /// Directory blocks dirtied since this node last took the
     /// directory-inode token (what a revocation must flush).
-    pub recent_dir_dirty: HashMap<u64, HashSet<(u64, u64)>>,
+    pub recent_dir_dirty: BTreeMap<u64, BTreeSet<(u64, u64)>>,
     /// Last inode block flushed by the background flusher (used to
     /// coalesce per-inode eviction writebacks into block writes).
     pub last_async_attr_block: Option<u64>,
     /// Data page pool.
     pub pagepool: PagePool,
-    /// Unflushed dirty data bytes per file.
-    pub dirty_data: HashMap<u64, u64>,
+    /// Unflushed dirty data bytes per file (ordered: the write-behind
+    /// drain picks its next victim by iterating).
+    pub dirty_data: BTreeMap<u64, u64>,
     /// Total dirty data bytes (== sum of `dirty_data` values).
     pub dirty_data_total: u64,
     /// Directories this node has already attached to (first-touch
@@ -229,13 +233,13 @@ impl NodeCache {
     pub fn new(dir_cache_blocks: usize, attr_cache_entries: usize, pagepool_bytes: u64) -> Self {
         NodeCache {
             attr_entries: LruSet::new(attr_cache_entries),
-            dirty_attr: HashSet::new(),
+            dirty_attr: BTreeSet::new(),
             dir_blocks: LruSet::new(dir_cache_blocks),
-            dirty_dir: HashMap::new(),
-            recent_dir_dirty: HashMap::new(),
+            dirty_dir: BTreeMap::new(),
+            recent_dir_dirty: BTreeMap::new(),
             last_async_attr_block: None,
             pagepool: PagePool::new(pagepool_bytes),
-            dirty_data: HashMap::new(),
+            dirty_data: BTreeMap::new(),
             dirty_data_total: 0,
             attached_dirs: HashSet::new(),
         }

@@ -28,7 +28,7 @@ use netsim::cluster::Cluster;
 use netsim::ids::NodeId;
 use simcore::prelude::*;
 use simcore::rng::{stable_hash, stable_hash_combine};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use vfs::error::FsError;
 use vfs::fs::{FileSystem, FsResult, OpCtx, Timed};
 use vfs::memfs::MemFs;
@@ -120,7 +120,9 @@ pub struct PfsFs {
     server_media: Vec<MultiResource>,
     server_data: Vec<FifoResource>,
     grant_done: HashMap<TokenId, SimTime>,
-    caches: HashMap<NodeId, NodeCache>,
+    // Ordered: quiesce sweeps every node cache, and the visit order
+    // must not depend on hasher state (lint rule D003).
+    caches: BTreeMap<NodeId, NodeCache>,
     handles: HashMap<u64, PHandle>,
     /// GPFS allocates inodes from per-node segments, so files created
     /// by one node pack into that node's inode blocks. `packed` maps
@@ -167,7 +169,7 @@ impl PfsFs {
             ns: MemFs::new(),
             tm: TokenManager::new(),
             grant_done: HashMap::new(),
-            caches: HashMap::new(),
+            caches: BTreeMap::new(),
             handles: HashMap::new(),
             packed: HashMap::new(),
             arena: HashMap::new(),
@@ -638,7 +640,9 @@ impl PfsFs {
     /// granularity), the mutating operation synchronously flushes one
     /// block before proceeding.
     fn throttle_dirty_meta(&mut self, node: NodeId, t: SimTime) -> SimTime {
-        let dirty_attr_blocks: std::collections::HashSet<u64> = {
+        // Ordered set: the flush victim below is "first dirty block",
+        // which must be the same block on every platform.
+        let dirty_attr_blocks: std::collections::BTreeSet<u64> = {
             let inos: Vec<u64> = self.cache_of(node).dirty_attr.iter().copied().collect();
             inos.iter().map(|&i| self.packed_block_of(i)).collect()
         };

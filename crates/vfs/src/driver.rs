@@ -275,6 +275,12 @@ pub fn run<F: FileSystem>(fs: &mut F, scripts: Vec<ClientScript>) -> RunReport {
 
     let mut per_label: BTreeMap<&'static str, Summary> = BTreeMap::new();
     let mut errors = Vec::new();
+    // Debug-build invariant: the min-clock dispatch order is the
+    // simulation's definition of virtual time, so the selected clock
+    // must never regress between dispatches (deterministic-replay
+    // audit; backstops the cofs-analyze static pass).
+    #[cfg(debug_assertions)]
+    let mut dispatch_watermark = SimTime::ZERO;
 
     loop {
         // Release a barrier if every unfinished client is waiting at one.
@@ -298,6 +304,14 @@ pub fn run<F: FileSystem>(fs: &mut F, scripts: Vec<ClientScript>) -> RunReport {
                     c.finished = true;
                 }
             }
+            // A release starts a new monotonicity epoch: a client that
+            // finished its script may have run past the waiters, so the
+            // epoch re-anchors at the release clock rather than the
+            // last dispatch.
+            #[cfg(debug_assertions)]
+            {
+                dispatch_watermark = release;
+            }
             continue;
         }
 
@@ -312,6 +326,16 @@ pub fn run<F: FileSystem>(fs: &mut F, scripts: Vec<ClientScript>) -> RunReport {
             // Everyone left is at a barrier or finished; loop handles it.
             continue;
         };
+        #[cfg(debug_assertions)]
+        {
+            debug_assert!(
+                clients[idx].clock >= dispatch_watermark,
+                "virtual time regressed: dispatching at {:?} after {:?}",
+                clients[idx].clock,
+                dispatch_watermark
+            );
+            dispatch_watermark = clients[idx].clock;
+        }
 
         let step_idx = clients[idx].next_step;
         let step = clients[idx].script.steps[step_idx].clone();

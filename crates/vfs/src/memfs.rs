@@ -102,7 +102,9 @@ struct Handle {
 /// ```
 #[derive(Debug, Clone)]
 pub struct MemFs {
-    inodes: HashMap<Ino, Inode>,
+    // Ordered so statfs and any future whole-namespace sweep visit
+    // inodes in a platform-independent order (lint rule D003).
+    inodes: BTreeMap<Ino, Inode>,
     handles: HashMap<FileHandle, Handle>,
     next_ino: u64,
     next_fh: u64,
@@ -117,7 +119,7 @@ impl MemFs {
     /// world-writable (like a freshly formatted scratch filesystem),
     /// so unprivileged test contexts can populate it.
     pub fn new() -> Self {
-        let mut inodes = HashMap::new();
+        let mut inodes = BTreeMap::new();
         inodes.insert(
             ROOT_INO,
             Inode {

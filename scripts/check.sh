@@ -9,6 +9,15 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cofs-analyze (workspace determinism lint)"
+cargo run -q -p cofs-analyze --release
+
+echo "==> cofs-analyze self-check (gate must trip on the seeded fixture)"
+if cargo run -q -p cofs-analyze --release -- --strict crates/analyze/fixtures >/dev/null 2>&1; then
+    echo "cofs-analyze failed to flag the seeded fixture violations" >&2
+    exit 1
+fi
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
