@@ -186,6 +186,40 @@ fn prio_storm(priority: bool) {
     storm.run(&mut fs);
 }
 
+/// The bursty create storm on a memoized 8-op batched stack, with and
+/// without the write-behind journal — measures the simulator's
+/// wall-clock cost of the write-set plumbing, the per-batch sibling
+/// coalescing pass, and the unapplied-entry window bookkeeping (the
+/// *virtual*-time win is asserted by the integration tests).
+fn journal_storm(write_behind: bool) {
+    use cofs::config::ShardPolicyKind;
+    use workloads::scenarios::SharedDirStorm;
+
+    let storm = SharedDirStorm {
+        nodes: 4,
+        dirs: 2,
+        files_per_node: 16,
+        stats_per_create: 0,
+        burst: 8,
+        ..SharedDirStorm::default()
+    };
+    let mut fs = if write_behind {
+        cofs_bench::cofs_mds_limit_write_behind(2, ShardPolicyKind::HashByParent, 8, true)
+    } else {
+        cofs_bench::cofs_mds_limit_tuned(2, ShardPolicyKind::HashByParent, Some(8), true, false)
+    };
+    storm.run(&mut fs);
+}
+
+fn bench_write_behind(c: &mut Criterion) {
+    c.bench_function("journal_batched_storm_off", |b| {
+        b.iter(|| journal_storm(false))
+    });
+    c.bench_function("journal_batched_storm_on", |b| {
+        b.iter(|| journal_storm(true))
+    });
+}
+
 fn bench_read_priority(c: &mut Criterion) {
     c.bench_function("prio_mixed_storm_fifo", |b| b.iter(|| prio_storm(false)));
     c.bench_function("prio_mixed_storm_lane", |b| b.iter(|| prio_storm(true)));
@@ -265,6 +299,6 @@ fn bench_table1(c: &mut Criterion) {
 criterion_group! {
     name = paper;
     config = Criterion::default().sample_size(10);
-    targets = bench_fig1, bench_fig2, bench_fig4, bench_fig5, bench_fig6, bench_table1, bench_mds, bench_client_cache, bench_batching, bench_memoization, bench_read_priority
+    targets = bench_fig1, bench_fig2, bench_fig4, bench_fig5, bench_fig6, bench_table1, bench_mds, bench_client_cache, bench_batching, bench_memoization, bench_write_behind, bench_read_priority
 }
 criterion_main!(paper);

@@ -14,6 +14,10 @@
 //! 6. *RPC batching*: batch size × burstiness under the create storm —
 //!    group commit and RTT amortization only pay when the workload
 //!    offers same-shard runs to coalesce.
+//! 7. *Memoization × priority*: each service-discipline knob alone and
+//!    both together on the mixed stat+create storm.
+//! 8. *Write-behind journal*: journal × memoization × batch size on
+//!    the bursty storm, including the singleton-batch non-win.
 //!
 //! Alongside the text tables the binary writes `BENCH_ablation.json`
 //! (see [`cofs_bench::write_bench_json`]) for machine consumption.
@@ -31,7 +35,7 @@ use workloads::scenarios::{HotStatStorm, SharedDirStorm};
 
 use cofs_bench::{
     cofs_mds_limit, cofs_mds_limit_cached, cofs_mds_limit_maybe_batched, cofs_mds_limit_tuned,
-    smoke_files, smoke_mode, smoke_nodes, smoke_or, write_bench_json,
+    cofs_mds_limit_write_behind, smoke_files, smoke_mode, smoke_nodes, smoke_or, write_bench_json,
 };
 
 fn stack(cfg: CofsConfig, placement: Box<dyn PlacementPolicy>) -> CofsFs<PfsFs> {
@@ -265,6 +269,72 @@ fn main() {
     }
     println!("{}", mp_table.render());
 
+    // ---- write-behind ablation: journal × memoization × batch size on
+    // the bursty create storm ----
+    // Write-behind attacks the ack-critical group commit (writes priced
+    // row by row before the client hears back); memoization attacks the
+    // read half of the same service time. Orthogonal, and both need
+    // multi-op batches: the 1-op rows show the journal's honest non-win
+    // — a singleton batch has no siblings to coalesce, so under CPU
+    // saturation the append is pure tax and makespan *grows*.
+    let wstorm = SharedDirStorm {
+        nodes: smoke_nodes(8),
+        dirs: 8,
+        files_per_node: smoke_files(64),
+        stats_per_create: 0,
+        burst: 16,
+        ..SharedDirStorm::default()
+    };
+    println!(
+        "\n== Write-behind ablation (2 shards; bursty storm: {} nodes, {} dirs, \
+         {} files/node in bursts of {}) ==\n",
+        wstorm.nodes, wstorm.dirs, wstorm.files_per_node, wstorm.burst
+    );
+    let mut wb_table = Table::new(vec![
+        "batching",
+        "memo",
+        "write-behind",
+        "makespan (ms)",
+        "journal",
+        "coalesced",
+        "apply lag (ms)",
+        "apply tail (ms)",
+    ]);
+    for (k, memo, behind) in [
+        (16, false, false),
+        (16, false, true),
+        (16, true, false),
+        (16, true, true),
+        (1, true, false),
+        (1, true, true),
+    ] {
+        let mut fs = if behind {
+            cofs_mds_limit_write_behind(2, ShardPolicyKind::HashByParent, k, memo)
+        } else {
+            cofs_mds_limit_tuned(2, ShardPolicyKind::HashByParent, Some(k), memo, false)
+        };
+        let r = wstorm.run(&mut fs);
+        let appends: u64 = r.per_shard.iter().map(|u| u.journal_appends).sum();
+        let coalesced: u64 = r.per_shard.iter().map(|u| u.rows_coalesced).sum();
+        let lag = r
+            .per_shard
+            .iter()
+            .map(|u| u.apply_lag)
+            .max()
+            .unwrap_or(SimDuration::ZERO);
+        wb_table.row(vec![
+            k.to_string(),
+            if memo { "on" } else { "off" }.to_string(),
+            if behind { "on" } else { "off" }.to_string(),
+            ms(r.makespan.as_millis_f64()),
+            appends.to_string(),
+            coalesced.to_string(),
+            ms(lag.as_millis_f64()),
+            ms(r.apply_tail_ms),
+        ]);
+    }
+    println!("{}", wb_table.render());
+
     match write_bench_json(
         "ablation",
         &[
@@ -273,6 +343,7 @@ fn main() {
             ("client-cache ablation", &cache_table),
             ("rpc batching ablation", &batch_table),
             ("memoization x priority ablation", &mp_table),
+            ("write-behind ablation", &wb_table),
         ],
     ) {
         Ok(path) => println!("wrote {}", path.display()),

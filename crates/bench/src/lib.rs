@@ -120,6 +120,36 @@ pub fn cofs_mds_limit_maybe_batched(
     cofs_mds_limit_tuned(shards, policy, max_batch_ops, false, false)
 }
 
+/// [`cofs_mds_limit_tuned`] plus write-behind dentry journaling: the
+/// shard acks a mutation batch at journal append and applies the
+/// (sibling-coalesced) rows behind the ack — the stack the journal
+/// axis of the `scaling`/`ablation` binaries sweeps against its
+/// journal-OFF twin.
+///
+/// # Panics
+///
+/// Panics if `max_batch_ops == 0` — write-behind requires batching.
+pub fn cofs_mds_limit_write_behind(
+    shards: usize,
+    policy: ShardPolicyKind,
+    max_batch_ops: usize,
+    memoize_reads: bool,
+) -> CofsFs<vfs::memfs::MemFs> {
+    let mut cfg = CofsConfig::default()
+        .with_shards(shards, policy)
+        .with_batching(max_batch_ops, simcore::time::SimDuration::from_millis(5), 4);
+    if memoize_reads {
+        cfg = cfg.with_read_memoization();
+    }
+    cfg = cfg.with_write_behind();
+    CofsFs::new(
+        vfs::memfs::MemFs::new(),
+        cfg,
+        MdsNetwork::uniform(simcore::time::SimDuration::from_micros(250)),
+        0xC0F5,
+    )
+}
+
 /// The full service-discipline selector every `cofs_mds_limit_*`
 /// batching factory funnels through: optional batching at
 /// `max_batch_ops` (delay window 5 ms, pipeline depth 4), per-batch
@@ -352,6 +382,16 @@ mod tests {
         let none = cofs_mds_limit_tuned(2, ShardPolicyKind::HashByParent, None, false, false);
         assert!(!none.batch_pipeline().enabled());
         assert!(!none.config().read_priority);
+    }
+
+    #[test]
+    fn write_behind_factory_enables_journal_and_batching() {
+        let fs = cofs_mds_limit_write_behind(2, ShardPolicyKind::HashByParent, 16, true);
+        assert!(fs.batch_pipeline().enabled());
+        assert!(fs.batch_pipeline().config().memoize_reads);
+        assert!(fs.config().write_behind.enabled);
+        let plain = cofs_mds_limit_tuned(2, ShardPolicyKind::HashByParent, Some(16), true, false);
+        assert!(!plain.config().write_behind.enabled);
     }
 
     #[test]

@@ -51,33 +51,111 @@
 //!   synchronous in virtual time while only the durability path is
 //!   deferred.
 
-use crate::mds::{DbOps, ReadSet};
+use crate::mds::{DbOps, ReadSet, RowKey, WriteSet};
 use crate::mds_cluster::ShardId;
 use netsim::ids::NodeId;
 use simcore::time::{SimDuration, SimTime};
 use std::collections::{BTreeMap, VecDeque};
 
 /// One buffered mutation: its database work plus the row keys of the
-/// memoizable reads its resolution performed. The read set rides along
-/// so the shard can price the batch by its *deduplicated* read set
+/// memoizable reads its resolution performed and the coalescable rows
+/// it writes. The read set rides along so the shard can price the batch
+/// by its *deduplicated* read set
 /// ([`crate::mds_cluster::MdsCluster::rpc_batch`]) when
-/// [`BatchConfig::memoize_reads`] is on; with memoization off it is
-/// carried but never consulted.
+/// [`BatchConfig::memoize_reads`] is on; the write set feeds
+/// [`coalesce_writes`] when write-behind journaling is on. With both
+/// knobs off the sets are carried but never consulted.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct BatchedOp {
     /// Rows read and written by the operation.
     pub db: DbOps,
     /// Keys of the ancestor-chain rows among `db.reads`.
     pub read_set: ReadSet,
+    /// Keys of the coalescable (shared-parent) rows among `db.writes`.
+    pub write_set: WriteSet,
 }
 
 impl BatchedOp {
-    /// An op carrying no memoizable keys (every read always charged).
+    /// An op carrying no memoizable or coalescable keys (every read
+    /// charged, every write applied).
     pub fn opaque(db: DbOps) -> Self {
         BatchedOp {
             db,
             read_set: ReadSet::empty(),
+            write_set: WriteSet::empty(),
         }
+    }
+}
+
+/// Result of same-parent sibling coalescing over one batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoalescedWrites {
+    /// Rows each op actually applies after coalescing, in batch order
+    /// (an op whose coalescable rows were all absorbed may reach 0).
+    pub writes_per_op: Vec<u64>,
+    /// Rows absorbed: duplicate write-set keys folded into the first
+    /// op that touches them. `sum(writes_per_op) + rows_coalesced`
+    /// always equals the batch's raw write count.
+    pub rows_coalesced: u64,
+}
+
+/// Folds same-parent sibling dentry updates across a batch: a row key
+/// written by several ops in the batch is applied once, by the first
+/// op that names it. A 16-create burst into one directory carries the
+/// parent row's key 16 times and applies it once — 15 rows coalesced.
+///
+/// Only keys named in each op's [`BatchedOp::write_set`] participate;
+/// op-private rows (child inodes, new dentries) carry no key and are
+/// always applied. The *total* applied row count is invariant to batch
+/// order (first-toucher attribution moves rows between ops but never
+/// creates or destroys one), so deferred-apply pricing built on it is
+/// order-stable.
+///
+/// # Examples
+///
+/// ```
+/// use cofs::batch::{coalesce_writes, BatchedOp};
+/// use cofs::mds::{DbOps, WriteSet};
+/// use vfs::path::vpath;
+///
+/// let creat = |name: &str| BatchedOp {
+///     db: DbOps { reads: 2, writes: 3 },
+///     write_set: WriteSet::parent_row(&vpath(name)),
+///     ..BatchedOp::default()
+/// };
+/// let batch = [creat("/shared/a"), creat("/shared/b"), creat("/shared/c")];
+/// let cw = coalesce_writes(&batch);
+/// // First create applies all 3 rows; siblings skip the parent row.
+/// assert_eq!(cw.writes_per_op, [3, 2, 2]);
+/// assert_eq!(cw.rows_coalesced, 2);
+/// ```
+pub fn coalesce_writes(ops: &[BatchedOp]) -> CoalescedWrites {
+    let mut seen: Vec<RowKey> = Vec::new();
+    let mut writes_per_op = Vec::with_capacity(ops.len());
+    let mut rows_coalesced = 0u64;
+    for o in ops {
+        let dups = o
+            .write_set
+            .keys()
+            .iter()
+            .filter(|&&k| {
+                if seen.contains(&k) {
+                    true
+                } else {
+                    seen.push(k);
+                    false
+                }
+            })
+            .count() as u64;
+        // The WriteSet invariant (len <= db.writes) makes this
+        // subtraction safe; min() keeps hand-built harness ops sane.
+        let applied = o.db.writes - dups.min(o.db.writes);
+        rows_coalesced += o.db.writes - applied;
+        writes_per_op.push(applied);
+    }
+    CoalescedWrites {
+        writes_per_op,
+        rows_coalesced,
     }
 }
 
@@ -551,6 +629,73 @@ mod tests {
             reads: 1,
             writes: 1,
         })
+    }
+
+    fn keyed(writes: u64, keys: &[RowKey]) -> BatchedOp {
+        BatchedOp {
+            db: DbOps { reads: 0, writes },
+            write_set: WriteSet::from_keys(keys.iter().copied()),
+            ..BatchedOp::default()
+        }
+    }
+
+    #[test]
+    fn coalesce_folds_shared_rows_onto_first_toucher() {
+        // 16 creates into one directory: 3 writes each, one shared
+        // parent row — the canonical bursty-storm batch.
+        let batch: Vec<BatchedOp> = (0..16).map(|_| keyed(3, &[42])).collect();
+        let cw = coalesce_writes(&batch);
+        assert_eq!(cw.writes_per_op[0], 3);
+        assert!(cw.writes_per_op[1..].iter().all(|&w| w == 2));
+        assert_eq!(cw.rows_coalesced, 15);
+        let total: u64 = cw.writes_per_op.iter().sum();
+        assert_eq!(total + cw.rows_coalesced, 48, "rows conserved");
+    }
+
+    #[test]
+    fn coalesce_is_identity_without_shared_keys() {
+        // Distinct parents (or no keys at all): nothing to fold.
+        let batch = [
+            keyed(3, &[1]),
+            keyed(2, &[2]),
+            BatchedOp::opaque(DbOps {
+                reads: 0,
+                writes: 4,
+            }),
+        ];
+        let cw = coalesce_writes(&batch);
+        assert_eq!(cw.writes_per_op, [3, 2, 4]);
+        assert_eq!(cw.rows_coalesced, 0);
+        // Batch of one never coalesces, whatever it carries.
+        let one = coalesce_writes(&[keyed(3, &[42])]);
+        assert_eq!(one.writes_per_op, [3]);
+        assert_eq!(one.rows_coalesced, 0);
+    }
+
+    #[test]
+    fn coalesce_total_is_order_invariant() {
+        // Rename-style ops carrying two keys, interleaved with creates:
+        // per-op attribution shifts with order, totals never do.
+        let a = keyed(1, &[7]);
+        let b = keyed(2, &[7, 8]);
+        let c = keyed(3, &[8]);
+        let fwd = coalesce_writes(&[a.clone(), b.clone(), c.clone()]);
+        let rev = coalesce_writes(&[c, b, a]);
+        assert_eq!(fwd.rows_coalesced, rev.rows_coalesced);
+        assert_eq!(
+            fwd.writes_per_op.iter().sum::<u64>(),
+            rev.writes_per_op.iter().sum::<u64>()
+        );
+        assert_ne!(fwd.writes_per_op, rev.writes_per_op, "attribution moves");
+    }
+
+    #[test]
+    fn coalesce_clamps_hand_built_ops() {
+        // A harness op naming more keys than writes cannot go negative.
+        let odd = keyed(1, &[5, 6]);
+        let cw = coalesce_writes(&[odd.clone(), odd]);
+        assert_eq!(cw.writes_per_op, [1, 0]);
+        assert_eq!(cw.rows_coalesced, 1);
     }
 
     #[test]

@@ -26,6 +26,52 @@ pub enum ShardPolicyKind {
     Subtree,
 }
 
+/// Write-behind journaling knobs on [`CofsConfig`].
+///
+/// With write-behind on, [`crate::mds_cluster::MdsCluster::rpc_batch`]
+/// acks a mutation batch once its ops are appended to the shard's
+/// journal (one sequential append per batch) and applies the rows off
+/// the critical path, after coalescing same-parent siblings
+/// ([`crate::batch::coalesce_writes`]). The durability window bounds
+/// how far application may trail acks: a batch whose admission would
+/// exceed either limit waits for older applies to finish, exactly like
+/// `pipeline_depth` slot backpressure. Acked-but-unapplied work is the
+/// *crash-consistency window* — what a shard crash could lose.
+///
+/// The default is **disabled**, so existing calibration numbers are
+/// reproduced bit-for-bit unless a harness opts in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteBehindConfig {
+    /// Master switch. Off by default.
+    pub enabled: bool,
+    /// Maximum acked-but-unapplied operations per shard before new
+    /// mutation batches are held back.
+    pub max_unapplied_ops: u64,
+    /// Maximum virtual-time age of the oldest unapplied batch before
+    /// new mutation batches are held back.
+    pub max_unapplied_window: SimDuration,
+}
+
+impl Default for WriteBehindConfig {
+    fn default() -> Self {
+        WriteBehindConfig {
+            enabled: false,
+            max_unapplied_ops: 256,
+            max_unapplied_window: SimDuration::from_millis(20),
+        }
+    }
+}
+
+impl WriteBehindConfig {
+    /// An enabled config with the default durability window.
+    pub fn enabled() -> Self {
+        WriteBehindConfig {
+            enabled: true,
+            ..WriteBehindConfig::default()
+        }
+    }
+}
+
 /// Tunable parameters of the COFS virtualization layer.
 #[derive(Debug, Clone)]
 pub struct CofsConfig {
@@ -88,6 +134,13 @@ pub struct CofsConfig {
     /// bit-for-bit.
     pub batch: BatchConfig,
 
+    // ---- write-behind journaling ----
+    /// Shard-side write-behind dentry journaling with same-parent
+    /// sibling coalescing (see [`WriteBehindConfig`]). Disabled by
+    /// default so the paper-calibrated numbers are reproduced
+    /// bit-for-bit.
+    pub write_behind: WriteBehindConfig,
+
     // ---- shard service discipline ----
     /// Serve read RPCs from a priority lane on each shard CPU: reads
     /// bypass *queued* (never in-service) batch lumps, decoupling
@@ -115,6 +168,7 @@ impl Default for CofsConfig {
             lease_sweep_interval: SimDuration::from_secs(10),
             client_cache: ClientCacheConfig::default(),
             batch: BatchConfig::default(),
+            write_behind: WriteBehindConfig::default(),
             read_priority: false,
         }
     }
@@ -187,6 +241,27 @@ impl CofsConfig {
             "read memoization requires batching; call with_batching first"
         );
         self.batch = self.batch.with_memoized_reads();
+        self
+    }
+
+    /// A copy of this config with write-behind journaling switched on
+    /// under the default durability window: mutation batches ack at
+    /// journal append, rows apply off the critical path with
+    /// same-parent siblings coalesced (see [`WriteBehindConfig`]).
+    /// Tune the window by assigning [`Self::write_behind`] fields
+    /// afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if batching is not enabled — the journal acks *batches*,
+    /// so without batches there is nothing to defer and a silent no-op
+    /// would mask a misconfigured sweep.
+    pub fn with_write_behind(mut self) -> Self {
+        assert!(
+            self.batch.enabled,
+            "write-behind journaling requires batching; call with_batching first"
+        );
+        self.write_behind = WriteBehindConfig::enabled();
         self
     }
 
@@ -329,6 +404,28 @@ mod tests {
     #[should_panic(expected = "requires batching")]
     fn read_memoization_without_batching_panics() {
         let _ = CofsConfig::default().with_read_memoization();
+    }
+
+    #[test]
+    fn write_behind_defaults_off_and_builder_enables() {
+        let c = CofsConfig::default();
+        assert!(!c.write_behind.enabled);
+        assert!(c.write_behind.max_unapplied_ops > 0);
+        assert!(!c.write_behind.max_unapplied_window.is_zero());
+        let w = CofsConfig::default()
+            .with_batching(16, SimDuration::from_millis(2), 4)
+            .with_write_behind();
+        assert!(w.write_behind.enabled);
+        assert_eq!(
+            w.write_behind.max_unapplied_ops,
+            WriteBehindConfig::default().max_unapplied_ops
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "requires batching")]
+    fn write_behind_without_batching_panics() {
+        let _ = CofsConfig::default().with_write_behind();
     }
 
     #[test]

@@ -11,7 +11,7 @@
 use crate::batch::{BatchPipeline, BatchStats, BatchedOp};
 use crate::client_cache::{CacheStats, ClientCache, EntryKind, LeaseKey};
 use crate::config::{CofsConfig, MdsNetwork};
-use crate::mds::{Cred, DbOps, Mds, ReadSet};
+use crate::mds::{Cred, DbOps, Mds, ReadSet, WriteSet};
 use crate::mds_cluster::{MdsCluster, ShardPolicy, ShardUsage};
 use crate::placement::{HashedPlacement, PlacementPolicy};
 use netsim::ids::NodeId;
@@ -189,6 +189,15 @@ impl<U: FileSystem> CofsFs<U> {
         &self.cfg
     }
 
+    /// When the last acked-but-unapplied write-behind batch finishes
+    /// applying, given the workload finished at `horizon` — the end of
+    /// the crash-consistency window
+    /// ([`crate::mds_cluster::MdsCluster::apply_horizon`]). Equals
+    /// `horizon` with write-behind off.
+    pub fn apply_horizon(&self, horizon: SimTime) -> SimTime {
+        self.mds.apply_horizon(horizon)
+    }
+
     /// The per-client metadata cache (lease state and knobs).
     pub fn client_cache(&self) -> &ClientCache {
         &self.cache
@@ -316,7 +325,14 @@ impl<U: FileSystem> CofsFs<U> {
             } else {
                 ReadSet::empty()
             };
-            self.rpc_write_at(node, sa, ops, read_set, t)
+            let write_set = if self.write_behind() {
+                let mut ws = WriteSet::parent_row(a);
+                ws.merge(&WriteSet::parent_row(b));
+                ws.truncated(ops.writes)
+            } else {
+                WriteSet::empty()
+            };
+            self.rpc_write_at(node, sa, ops, read_set, write_set, t)
         } else {
             self.counters.bump("mds_rpcs");
             self.counters.bump("mds_two_phase");
@@ -338,14 +354,23 @@ impl<U: FileSystem> CofsFs<U> {
         shard: crate::mds_cluster::ShardId,
         ops: DbOps,
         read_set: ReadSet,
+        write_set: WriteSet,
         t: simcore::time::SimTime,
     ) -> simcore::time::SimTime {
         if !self.batch.enabled() {
             return self.rpc_at(node, shard, ops, t);
         }
         self.counters.bump("mds_rpcs");
-        self.batch
-            .enqueue(node, shard, BatchedOp { db: ops, read_set }, t);
+        self.batch.enqueue(
+            node,
+            shard,
+            BatchedOp {
+                db: ops,
+                read_set,
+                write_set,
+            },
+            t,
+        );
         self.pump(node, t);
         self.batch.ack_time(node, t)
     }
@@ -370,7 +395,12 @@ impl<U: FileSystem> CofsFs<U> {
         } else {
             ReadSet::empty()
         };
-        self.rpc_write_at(node, shard, ops, read_set, t)
+        let write_set = if self.write_behind() {
+            WriteSet::parent_row(path).truncated(ops.writes)
+        } else {
+            WriteSet::empty()
+        };
+        self.rpc_write_at(node, shard, ops, read_set, write_set, t)
     }
 
     /// True when batched ops should carry their resolution chains:
@@ -378,6 +408,14 @@ impl<U: FileSystem> CofsFs<U> {
     /// unmemoized batched path stays allocation-free.
     fn memoizing(&self) -> bool {
         self.batch.enabled() && self.batch.config().memoize_reads
+    }
+
+    /// True when batched ops should carry their coalescable write rows:
+    /// with write-behind off the shard never consults them, so the
+    /// journal-off batched path stays allocation-free (and bit-for-bit
+    /// the calibrated path).
+    fn write_behind(&self) -> bool {
+        self.batch.enabled() && self.cfg.write_behind.enabled
     }
 
     /// Puts every closed batch of `node` due by `horizon` on the wire,

@@ -242,6 +242,116 @@ impl ReadSet {
     }
 }
 
+/// The row keys of an operation's *coalescable* writes: rows that
+/// sibling mutations in the same batch also write and that the
+/// write-behind journal can fold into one application per batch. Today
+/// that is exactly the parent directory's inode row — every create,
+/// unlink, or rename under a directory touches the parent's
+/// entry-count/mtime row, so a 16-create burst into one directory
+/// writes it 16 times where once suffices
+/// ([`crate::batch::coalesce_writes`]).
+///
+/// Like [`ReadSet`], keys identify rows for *pricing* only: semantics
+/// always come from the unified namespace, so coalescing can never
+/// change an outcome byte. Invariant: a `WriteSet` never names more
+/// rows than its operation's [`DbOps::writes`] (op-private rows — the
+/// child inode, the new dentry — carry no key and are always applied),
+/// and its keys are distinct.
+///
+/// # Examples
+///
+/// ```
+/// use cofs::mds::WriteSet;
+/// use vfs::path::vpath;
+///
+/// // Sibling creates share their parent row:
+/// let a = WriteSet::parent_row(&vpath("/shared/out"));
+/// let b = WriteSet::parent_row(&vpath("/shared/log"));
+/// assert_eq!(a, b);
+/// assert_eq!(a.len(), 1);
+/// // Different parents do not:
+/// assert_ne!(a, WriteSet::parent_row(&vpath("/other/out")));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WriteSet {
+    keys: Vec<RowKey>,
+}
+
+impl WriteSet {
+    /// A write set naming no coalescable rows (every write is applied).
+    pub fn empty() -> Self {
+        WriteSet::default()
+    }
+
+    /// A write set over explicit keys (harnesses and property tests);
+    /// duplicates are dropped, preserving first-occurrence order.
+    pub fn from_keys(keys: impl IntoIterator<Item = RowKey>) -> Self {
+        let mut out = WriteSet::default();
+        for k in keys {
+            out.push_unique(k);
+        }
+        out
+    }
+
+    /// Appends `key` unless already present (same rationale as
+    /// [`ReadSet::push_unique`]: sets are tiny, linear scan wins).
+    fn push_unique(&mut self, key: RowKey) {
+        if !self.keys.contains(&key) {
+            self.keys.push(key);
+        }
+    }
+
+    /// The parent directory's inode row of `path` — the row
+    /// `touch_parent` updates on every mutation beneath it, and the one
+    /// row sibling mutations share. Empty for the root itself (no
+    /// parent to touch). Distinct from [`ReadSet`]'s inode keys (tag 3
+    /// vs. 1): reading a directory's inode and rewriting its
+    /// entry-count are different kinds of row work and must never
+    /// memoize/coalesce across each other.
+    pub fn parent_row(path: &VPath) -> Self {
+        let mut out = WriteSet::default();
+        if let Some(parent) = path.parent() {
+            out.push_unique(stable_hash_combine(
+                3,
+                stable_hash(parent.as_str().as_bytes()),
+            ));
+        }
+        out
+    }
+
+    /// Merges another write set in, skipping keys already present
+    /// (rename touches two parent rows; a same-directory rename touches
+    /// one, which must appear once).
+    pub fn merge(&mut self, other: &WriteSet) {
+        for &k in &other.keys {
+            self.push_unique(k);
+        }
+    }
+
+    /// Keeps at most the first `max` keys, preserving the
+    /// `len() <= writes` invariant for operations that short-circuit
+    /// before touching their parent.
+    pub fn truncated(mut self, max: u64) -> Self {
+        self.keys.truncate(max as usize);
+        self
+    }
+
+    /// The row keys, in write order.
+    pub fn keys(&self) -> &[RowKey] {
+        &self.keys
+    }
+
+    /// Number of coalescable rows named.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True when no rows are named.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
+
 impl DbOps {
     fn read(&mut self, n: u64) {
         self.reads += n;
@@ -1324,6 +1434,51 @@ mod tests {
         assert_eq!(a.clone().truncated(0).len(), 0);
         assert!(ReadSet::empty().is_empty());
         assert!(ReadSet::resolution_chain(&VPath::root()).is_empty());
+    }
+
+    #[test]
+    fn write_set_names_one_parent_row_shared_by_siblings() {
+        let mut mds = Mds::new();
+        mds.mkdir(cred(), &vpath("/a"), Mode::dir_default(), t(1))
+            .unwrap();
+        // create /a/f writes the child inode, the dentry, and the
+        // parent row — exactly one of which is coalescable.
+        let (_, ops) = mds
+            .create(
+                cred(),
+                &vpath("/a/f"),
+                Mode::file_default(),
+                vpath("/.u/f"),
+                t(2),
+            )
+            .unwrap();
+        let ws = WriteSet::parent_row(&vpath("/a/f"));
+        assert_eq!(ws.len(), 1);
+        assert!((ws.len() as u64) < ops.writes, "{ops:?}");
+        // Siblings share the row; cousins do not; the root has none.
+        assert_eq!(ws, WriteSet::parent_row(&vpath("/a/g")));
+        assert_ne!(ws, WriteSet::parent_row(&vpath("/f")));
+        assert!(WriteSet::parent_row(&VPath::root()).is_empty());
+        // Write keys never collide with read keys for the same
+        // directory (distinct tag spaces).
+        let rs = ReadSet::resolution_chain(&vpath("/a/f"));
+        assert!(ws.keys().iter().all(|k| !rs.keys().contains(k)));
+    }
+
+    #[test]
+    fn write_set_merge_dedupes_and_truncate_clamps() {
+        // Cross-directory rename touches two parent rows...
+        let mut ws = WriteSet::parent_row(&vpath("/a/f"));
+        ws.merge(&WriteSet::parent_row(&vpath("/b/f")));
+        assert_eq!(ws.len(), 2);
+        // ...while a same-directory rename touches one, once.
+        let mut same = WriteSet::parent_row(&vpath("/a/f"));
+        same.merge(&WriteSet::parent_row(&vpath("/a/g")));
+        assert_eq!(same.len(), 1);
+        assert_eq!(ws.clone().truncated(1).len(), 1);
+        assert_eq!(ws.truncated(0).len(), 0);
+        assert!(WriteSet::empty().is_empty());
+        assert_eq!(WriteSet::from_keys([7, 7, 9]).len(), 2);
     }
 
     #[test]

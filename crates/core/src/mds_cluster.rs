@@ -20,9 +20,9 @@
 //! link, and commit — strictly more expensive than the single-shard
 //! path, but still atomic in outcome.
 
-use crate::batch::BatchedOp;
+use crate::batch::{coalesce_writes, BatchedOp};
 use crate::client_cache::{EntryKind, LeaseKey};
-use crate::config::{CofsConfig, MdsNetwork};
+use crate::config::{CofsConfig, MdsNetwork, WriteBehindConfig};
 use crate::mds::{DbOps, Mds, RowKey};
 use metadb::cost::DbCostTracker;
 use netsim::ids::NodeId;
@@ -235,6 +235,31 @@ pub struct ShardUsage {
     /// ([`simcore::resource::TwoLaneResource::priority_bypasses`]);
     /// zero with `read_priority` off.
     pub read_bypasses: u64,
+    /// Write-behind journal appends performed (one per acked mutation
+    /// batch, [`DbCostTracker::journal_appends`]); zero with
+    /// write-behind off.
+    pub journal_appends: u64,
+    /// Row applications absorbed by same-parent sibling coalescing
+    /// ([`crate::batch::coalesce_writes`]); zero with write-behind off.
+    pub rows_coalesced: u64,
+    /// Largest observed ack-to-apply lag — the worst-case
+    /// crash-consistency window this shard exposed. Zero with
+    /// write-behind off (apply is the ack).
+    pub apply_lag: SimDuration,
+}
+
+/// One acked-but-unapplied batch in a shard's write-behind journal:
+/// the durability-window bookkeeping [`MdsCluster::rpc_batch`] keeps
+/// per shard. Ordered by ack time by construction (acks come off one
+/// CPU queue).
+#[derive(Debug, Clone)]
+struct UnappliedEntry {
+    /// When the batch was acked (journal append completed).
+    acked: SimTime,
+    /// When its coalesced row application finishes on the shard CPU.
+    apply_done: SimTime,
+    /// Operations the batch carried (what the op-count limit bounds).
+    ops: u64,
 }
 
 #[derive(Debug)]
@@ -245,6 +270,9 @@ struct Shard {
     two_phase: u64,
     recalls: u64,
     batches: u64,
+    rows_coalesced: u64,
+    apply_lag: SimDuration,
+    unapplied: Vec<UnappliedEntry>,
 }
 
 impl Shard {
@@ -256,7 +284,56 @@ impl Shard {
             two_phase: 0,
             recalls: 0,
             batches: 0,
+            rows_coalesced: 0,
+            apply_lag: SimDuration::ZERO,
+            unapplied: Vec::new(),
         }
+    }
+
+    /// Holds a batch arriving at `t` back until admitting `incoming_ops`
+    /// more acked-but-unapplied operations would respect the durability
+    /// window — the write-behind analogue of `pipeline_depth` slot
+    /// backpressure. Entries whose application finished by the (possibly
+    /// delayed) arrival are pruned; while the op budget or the oldest
+    /// entry's age is still exceeded, arrival waits for the earliest
+    /// outstanding apply to finish.
+    fn durability_clamp(
+        &mut self,
+        wb: &WriteBehindConfig,
+        t: SimTime,
+        incoming_ops: u64,
+    ) -> SimTime {
+        let mut t = t;
+        loop {
+            self.unapplied.retain(|e| e.apply_done > t);
+            let outstanding: u64 = self.unapplied.iter().map(|e| e.ops).sum();
+            let over_ops = outstanding + incoming_ops > wb.max_unapplied_ops;
+            let over_age = self
+                .unapplied
+                .first()
+                .is_some_and(|e| e.acked + wb.max_unapplied_window < t);
+            if !over_ops && !over_age {
+                break;
+            }
+            let Some(earliest) = self.unapplied.iter().map(|e| e.apply_done).min() else {
+                // A single batch larger than the op budget: nothing
+                // outstanding to wait for, admit it (the window bounds
+                // *accumulation*, not one batch's size).
+                break;
+            };
+            t = t.max(earliest);
+        }
+        debug_assert!(
+            self.unapplied.is_empty()
+                || (self.unapplied.iter().map(|e| e.ops).sum::<u64>() + incoming_ops
+                    <= wb.max_unapplied_ops
+                    && self
+                        .unapplied
+                        .iter()
+                        .all(|e| e.acked + wb.max_unapplied_window >= t)),
+            "acked-but-unapplied work exceeds the durability window"
+        );
+        t
     }
 
     /// Service demand of one request on this shard, advancing the
@@ -453,6 +530,27 @@ impl MdsCluster {
     /// are distinct by construction), so the calibrated pricing is
     /// reproduced bit-for-bit in both pinned regimes.
     ///
+    /// With [`CofsConfig::write_behind`] enabled, a batch carrying
+    /// writes is *acked at journal append*: its ack-path service swaps
+    /// the group commit for one sequential journal append
+    /// ([`DbCostTracker::journal_append_cost`]), and the rows are
+    /// applied immediately after the ack as deferred shard-CPU work —
+    /// one group commit over the batch's *coalesced* write set
+    /// ([`crate::batch::coalesce_writes`]: same-parent sibling rows
+    /// fold into one application per batch). Deferred applies still
+    /// consume shard CPU (later batches queue behind them), but no
+    /// batch waits for its own rows. Admission is bounded by the
+    /// durability window — a batch that would push acked-but-unapplied
+    /// work past [`WriteBehindConfig::max_unapplied_ops`] or age the
+    /// oldest unapplied batch past
+    /// [`WriteBehindConfig::max_unapplied_window`] waits for older
+    /// applies, exactly like `pipeline_depth` slot backpressure.
+    /// Read-your-writes stays exact for free: outcomes always come from
+    /// the unified namespace, so a read hitting a not-yet-applied row
+    /// is served from the journal at unchanged cost. Off by default,
+    /// and the off path is textually the calibrated path — bit-for-bit
+    /// pinned.
+    ///
     /// # Panics
     ///
     /// Panics if `ops` is empty.
@@ -470,6 +568,13 @@ impl MdsCluster {
         let s = &mut self.shards[shard.0];
         s.rpcs += ops.len() as u64;
         s.batches += 1;
+        let total_writes: u64 = ops.iter().map(|o| o.db.writes).sum();
+        let write_behind = cfg.write_behind.enabled && total_writes > 0;
+        let arrive = if write_behind {
+            s.durability_clamp(&cfg.write_behind, arrive, ops.len() as u64)
+        } else {
+            arrive
+        };
         let memoize = cfg.batch.memoize_reads;
         let mut seen: HashSet<RowKey> = HashSet::new();
         let mut service = cfg.mds_service;
@@ -484,6 +589,28 @@ impl MdsCluster {
                 0
             };
             service += s.tracker.query_cost_dedup(&cfg.db, o.db.reads, memoized);
+        }
+        if write_behind {
+            // Ack once the ops are journaled; apply the coalesced rows
+            // right behind the ack on the same CPU.
+            service += s.tracker.journal_append_cost(&cfg.db, total_writes);
+            let acked = s.cpu.acquire(arrive, service).end;
+            let cw = coalesce_writes(ops);
+            s.rows_coalesced += cw.rows_coalesced;
+            let applied: Vec<u64> = cw.writes_per_op.into_iter().filter(|&w| w > 0).collect();
+            let apply_done = if applied.is_empty() {
+                acked
+            } else {
+                let apply_service = s.tracker.group_txn_cost(&cfg.db, &applied);
+                s.cpu.acquire(acked, apply_service).end
+            };
+            s.apply_lag = s.apply_lag.max(apply_done - acked);
+            s.unapplied.push(UnappliedEntry {
+                acked,
+                apply_done,
+                ops: ops.len() as u64,
+            });
+            return acked + rtt / 2;
         }
         let writes: Vec<u64> = ops.iter().map(|o| o.db.writes).filter(|&w| w > 0).collect();
         if !writes.is_empty() {
@@ -719,8 +846,37 @@ impl MdsCluster {
                 reads_charged: s.tracker.reads_charged(),
                 reads_memoized: s.tracker.reads_memoized(),
                 read_bypasses: s.cpu.priority_bypasses(),
+                journal_appends: s.tracker.journal_appends(),
+                rows_coalesced: s.rows_coalesced,
+                apply_lag: s.apply_lag,
             })
             .collect()
+    }
+
+    /// When the last acked-but-unapplied batch across all shards
+    /// finishes applying — the end of the cluster's crash-consistency
+    /// window. Equals `horizon` when nothing is outstanding (write
+    /// behind off, or every journal entry already applied): the ack is
+    /// the apply.
+    pub fn apply_horizon(&self, horizon: SimTime) -> SimTime {
+        self.shards
+            .iter()
+            .flat_map(|s| s.unapplied.iter().map(|e| e.apply_done))
+            .fold(horizon, SimTime::max)
+    }
+
+    /// Acked-but-unapplied operations outstanding across all shards at
+    /// virtual time `t` — the quantity
+    /// [`WriteBehindConfig::max_unapplied_ops`] bounds (journal entries
+    /// are pruned lazily, so this filters by apply completion rather
+    /// than trusting the raw lists). Zero with write-behind off.
+    pub fn unapplied_ops_at(&self, t: SimTime) -> u64 {
+        self.shards
+            .iter()
+            .flat_map(|s| &s.unapplied)
+            .filter(|e| e.apply_done > t)
+            .map(|e| e.ops)
+            .sum()
     }
 
     /// Rewinds every shard's queue and cost state to virtual time zero
@@ -736,6 +892,9 @@ impl MdsCluster {
             s.two_phase = 0;
             s.recalls = 0;
             s.batches = 0;
+            s.rows_coalesced = 0;
+            s.apply_lag = SimDuration::ZERO;
+            s.unapplied.clear();
         }
         self.last_sweep = SimTime::ZERO;
         self.lease_sweeps = 0;
@@ -1025,6 +1184,7 @@ mod tests {
                 writes: 2,
             },
             read_set: chain,
+            ..BatchedOp::default()
         };
         let batch = vec![op; 4];
         let mut plain = MdsCluster::new(Box::new(SingleShard));
@@ -1053,6 +1213,141 @@ mod tests {
         let b = one_plain.rpc_batch(&c, &n, NodeId(0), ShardId(0), &batch[..1], SimTime::ZERO);
         assert_eq!(a, b);
         assert_eq!(one_memo.usage()[0].reads_memoized, 0);
+    }
+
+    fn wb_cfg() -> CofsConfig {
+        let mut c = CofsConfig {
+            batch: crate::batch::BatchConfig::enabled(16, SimDuration::from_millis(5), 4),
+            ..cfg()
+        };
+        c.write_behind = WriteBehindConfig::enabled();
+        c
+    }
+
+    /// A create-like batched op: `reads` keyless reads, 3 writes of
+    /// which the shared `parent` row is coalescable.
+    fn create_op(parent: RowKey) -> BatchedOp {
+        BatchedOp {
+            db: DbOps {
+                reads: 2,
+                writes: 3,
+            },
+            write_set: crate::mds::WriteSet::from_keys([parent]),
+            ..BatchedOp::default()
+        }
+    }
+
+    #[test]
+    fn write_behind_acks_at_journal_append_and_applies_behind() {
+        let c = wb_cfg();
+        let n = net();
+        let batch: Vec<BatchedOp> = (0..4).map(|_| create_op(42)).collect();
+        let mut wb = MdsCluster::new(Box::new(SingleShard));
+        let ack = wb.rpc_batch(&c, &n, NodeId(0), ShardId(0), &batch, SimTime::ZERO);
+        // Hand arithmetic: session + half RTT, then service = per-batch
+        // overhead + 4 keyless 2-row reads + one journal append of the
+        // 12-record write set. The group commit is NOT in the ack.
+        let arrive = SimTime::ZERO + c.session_cost + SimDuration::from_micros(125);
+        let service =
+            c.mds_service + c.db.lookup * 2 * 4 + c.db.journal_append + c.db.journal_record * 12;
+        let expect_ack = arrive + service + SimDuration::from_micros(125);
+        assert_eq!(ack, expect_ack);
+        // The deferred apply group-commits the coalesced rows (3 + 2 +
+        // 2 + 2 = 9 of the raw 12) right behind the ack.
+        let apply = c.db.commit + c.db.write * 9;
+        let acked_at = ack - SimDuration::from_micros(125);
+        assert_eq!(wb.apply_horizon(acked_at), acked_at + apply);
+        let u = &wb.usage()[0];
+        assert_eq!(u.journal_appends, 1);
+        assert_eq!(u.rows_coalesced, 3);
+        assert_eq!(u.apply_lag, apply);
+        // The shard CPU still did the apply work (busy includes it).
+        assert_eq!(u.busy, service + apply);
+        // And the ack beats the synchronous group-commit pricing.
+        let mut sync = MdsCluster::new(Box::new(SingleShard));
+        let base = CofsConfig {
+            batch: c.batch.clone(),
+            ..cfg()
+        };
+        let done = sync.rpc_batch(&base, &n, NodeId(0), ShardId(0), &batch, SimTime::ZERO);
+        assert!(ack < done, "{ack:?} vs {done:?}");
+        assert_eq!(sync.usage()[0].journal_appends, 0);
+        assert_eq!(sync.usage()[0].rows_coalesced, 0);
+        assert_eq!(sync.usage()[0].apply_lag, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn write_behind_read_only_batch_takes_the_calibrated_path() {
+        let c = wb_cfg();
+        let base = CofsConfig {
+            batch: c.batch.clone(),
+            ..cfg()
+        };
+        let n = net();
+        let reads: Vec<BatchedOp> = vec![
+            BatchedOp::opaque(DbOps {
+                reads: 3,
+                writes: 0,
+            });
+            5
+        ];
+        let mut wb = MdsCluster::new(Box::new(SingleShard));
+        let mut plain = MdsCluster::new(Box::new(SingleShard));
+        let a = wb.rpc_batch(&c, &n, NodeId(0), ShardId(0), &reads, SimTime::ZERO);
+        let b = plain.rpc_batch(&base, &n, NodeId(0), ShardId(0), &reads, SimTime::ZERO);
+        assert_eq!(a, b, "nothing to journal, nothing to defer");
+        assert_eq!(wb.usage()[0].journal_appends, 0);
+        assert_eq!(wb.apply_horizon(a), a);
+    }
+
+    #[test]
+    fn durability_window_bounds_acked_but_unapplied_work() {
+        let mut c = wb_cfg();
+        c.write_behind.max_unapplied_ops = 4; // exactly one batch
+        let n = net();
+        let batch: Vec<BatchedOp> = (0..4).map(|_| create_op(7)).collect();
+        let mut cluster = MdsCluster::new(Box::new(SingleShard));
+        let mut t = SimTime::ZERO;
+        let mut acks = Vec::new();
+        for _ in 0..6 {
+            t = cluster.rpc_batch(&c, &n, NodeId(0), ShardId(0), &batch, t);
+            acks.push(t);
+            let acked_at = t - SimDuration::from_micros(125);
+            assert!(
+                cluster.unapplied_ops_at(acked_at) <= c.write_behind.max_unapplied_ops,
+                "outstanding work exceeds the durability window at {acked_at:?}"
+            );
+        }
+        // Acks advance strictly: each admission waited out the prior
+        // batch's apply (the window here is exactly one batch).
+        for pair in acks.windows(2) {
+            assert!(pair[1] > pair[0]);
+        }
+        // The tail apply is visible past the last ack.
+        let last_acked = *acks.last().unwrap() - SimDuration::from_micros(125);
+        assert!(cluster.apply_horizon(last_acked) > last_acked);
+        // reset_time clears the journal bookkeeping.
+        cluster.reset_time();
+        assert_eq!(cluster.unapplied_ops_at(SimTime::ZERO), 0);
+        assert_eq!(cluster.apply_horizon(SimTime::ZERO), SimTime::ZERO);
+        assert_eq!(cluster.usage()[0].journal_appends, 0);
+        assert_eq!(cluster.usage()[0].apply_lag, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn oversized_batch_is_admitted_not_deadlocked() {
+        // A single batch larger than the op budget must still be
+        // served: the window bounds accumulation, not one batch.
+        let mut c = wb_cfg();
+        c.write_behind.max_unapplied_ops = 2;
+        let n = net();
+        let batch: Vec<BatchedOp> = (0..8).map(|_| create_op(9)).collect();
+        let mut cluster = MdsCluster::new(Box::new(SingleShard));
+        let mut t = SimTime::ZERO;
+        for _ in 0..3 {
+            t = cluster.rpc_batch(&c, &n, NodeId(0), ShardId(0), &batch, t);
+        }
+        assert!(t > SimTime::ZERO);
     }
 
     #[test]

@@ -23,12 +23,22 @@ pub struct DbCostModel {
     pub sync_every: u64,
     /// Cost of that periodic fsync.
     pub sync_cost: SimDuration,
+    /// Fixed cost of one sequential append to the write-behind dentry
+    /// journal (write-behind mode acks a whole batch on one append).
+    pub journal_append: SimDuration,
+    /// Per-row cost of serializing a mutation record into that append.
+    /// Much cheaper than [`DbCostModel::write`]: the journal is a
+    /// sequential log, not an indexed table update.
+    pub journal_record: SimDuration,
 }
 
 impl Default for DbCostModel {
     /// Defaults calibrated to Mnesia ram/disc-copies on a 2004-era
     /// blade: single-digit-microsecond ETS lookups, log-append writes,
-    /// periodic fsync amortized over 64 commits.
+    /// periodic fsync amortized over 64 commits. The journal terms
+    /// price one sequential log append (batch-fixed base plus a cheap
+    /// per-record serialization step); they are only charged when
+    /// write-behind journaling is enabled upstream.
     fn default() -> Self {
         DbCostModel {
             lookup: SimDuration::from_micros(8),
@@ -36,6 +46,8 @@ impl Default for DbCostModel {
             commit: SimDuration::from_micros(10),
             sync_every: 64,
             sync_cost: SimDuration::from_micros(800),
+            journal_append: SimDuration::from_micros(12),
+            journal_record: SimDuration::from_micros(1),
         }
     }
 }
@@ -48,6 +60,8 @@ pub struct DbCostTracker {
     group_committed_ops: u64,
     reads_charged: u64,
     reads_memoized: u64,
+    journal_appends: u64,
+    journal_records: u64,
 }
 
 impl DbCostTracker {
@@ -111,6 +125,24 @@ impl DbCostTracker {
         self.txn_cost(model, total)
     }
 
+    /// Service demand of one sequential append to the write-behind
+    /// journal carrying `records` mutation records (a whole batch's
+    /// write set): the fixed append base plus one serialization step
+    /// per record. This is the ack-path replacement for
+    /// [`Self::group_txn_cost`] — the rows themselves are applied
+    /// later, off the critical path. Advances the journal counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `records` is zero — a batch with no writes has
+    /// nothing to journal.
+    pub fn journal_append_cost(&mut self, model: &DbCostModel, records: u64) -> SimDuration {
+        assert!(records > 0, "journal append of zero records");
+        self.journal_appends += 1;
+        self.journal_records += records;
+        model.journal_append + model.journal_record * records
+    }
+
     /// Transactions committed so far.
     pub fn commits(&self) -> u64 {
         self.commits
@@ -136,6 +168,17 @@ impl DbCostTracker {
         self.reads_memoized
     }
 
+    /// Write-behind journal appends performed so far (one per acked
+    /// mutation batch).
+    pub fn journal_appends(&self) -> u64 {
+        self.journal_appends
+    }
+
+    /// Mutation records written into the journal so far.
+    pub fn journal_records(&self) -> u64 {
+        self.journal_records
+    }
+
     /// Resets the commit counters (between benchmark phases).
     pub fn reset(&mut self) {
         self.commits = 0;
@@ -143,6 +186,8 @@ impl DbCostTracker {
         self.group_committed_ops = 0;
         self.reads_charged = 0;
         self.reads_memoized = 0;
+        self.journal_appends = 0;
+        self.journal_records = 0;
     }
 }
 
@@ -268,6 +313,62 @@ mod tests {
         assert_eq!(t.commits(), 0);
         assert_eq!(t.group_commits(), 0);
         assert_eq!(t.group_committed_ops(), 0);
+    }
+
+    #[test]
+    fn journal_append_scales_with_records() {
+        let m = DbCostModel::default();
+        let mut t = DbCostTracker::new();
+        assert_eq!(
+            t.journal_append_cost(&m, 1),
+            m.journal_append + m.journal_record
+        );
+        assert_eq!(
+            t.journal_append_cost(&m, 48),
+            m.journal_append + m.journal_record * 48
+        );
+        assert_eq!(t.journal_appends(), 2);
+        assert_eq!(t.journal_records(), 49);
+        t.reset();
+        assert_eq!(t.journal_appends(), 0);
+        assert_eq!(t.journal_records(), 0);
+    }
+
+    #[test]
+    fn journal_append_undercuts_group_commit() {
+        // The whole point of write-behind: acking a batch via one
+        // sequential journal append is cheaper than the group commit it
+        // defers, for any plausible batch.
+        let m = DbCostModel::default();
+        let mut t = DbCostTracker::new();
+        for ops in 1..=32u64 {
+            let writes: Vec<u64> = (0..ops).map(|_| 3).collect();
+            let append = t.journal_append_cost(&m, 3 * ops);
+            let group = t.group_txn_cost(&m, &writes);
+            assert!(append < group, "{ops}-op batch: {append:?} vs {group:?}");
+        }
+    }
+
+    #[test]
+    fn journal_append_leaves_commit_cadence_alone() {
+        // Journal appends are not commits: they must not advance the
+        // periodic-sync counter, or enabling write-behind would shift
+        // every later fsync (breaking the bit-for-bit OFF pin's logic).
+        let m = DbCostModel {
+            sync_every: 2,
+            ..DbCostModel::default()
+        };
+        let mut t = DbCostTracker::new();
+        t.journal_append_cost(&m, 5);
+        t.journal_append_cost(&m, 5);
+        assert_eq!(t.commits(), 0);
+        assert_eq!(t.txn_cost(&m, 1), m.commit + m.write);
+    }
+
+    #[test]
+    #[should_panic(expected = "journal append of zero records")]
+    fn empty_journal_append_panics() {
+        DbCostTracker::new().journal_append_cost(&DbCostModel::default(), 0);
     }
 
     #[test]

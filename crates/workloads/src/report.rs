@@ -172,6 +172,9 @@ pub fn pct(v: f64) -> String {
 ///     reads_charged: 30,
 ///     reads_memoized: 0,
 ///     read_bypasses: 0,
+///     journal_appends: 0,
+///     rows_coalesced: 0,
+///     apply_lag: SimDuration::ZERO,
 /// }];
 /// let t = shard_utilization_table(&usage, SimTime::from_millis(10));
 /// assert!(t.render().contains("50.0%"));
@@ -189,6 +192,9 @@ pub fn shard_utilization_table(usage: &[ShardUsage], makespan: SimTime) -> Table
         "reads",
         "memoized",
         "bypasses",
+        "journal",
+        "coalesced",
+        "apply lag (ms)",
     ]);
     let span = makespan.as_secs_f64();
     for u in usage {
@@ -209,6 +215,9 @@ pub fn shard_utilization_table(usage: &[ShardUsage], makespan: SimTime) -> Table
             u.reads_charged.to_string(),
             u.reads_memoized.to_string(),
             u.read_bypasses.to_string(),
+            u.journal_appends.to_string(),
+            u.rows_coalesced.to_string(),
+            ms(u.apply_lag.as_millis_f64()),
         ]);
     }
     t
@@ -395,6 +404,9 @@ mod tests {
                 reads_charged: 180,
                 reads_memoized: 45,
                 read_bypasses: 7,
+                journal_appends: 12,
+                rows_coalesced: 33,
+                apply_lag: SimDuration::from_micros(480),
             },
             ShardUsage {
                 shard: 1,
@@ -407,6 +419,9 @@ mod tests {
                 reads_charged: 20,
                 reads_memoized: 0,
                 read_bypasses: 0,
+                journal_appends: 0,
+                rows_coalesced: 0,
+                apply_lag: SimDuration::ZERO,
             },
         ];
         let t = shard_utilization_table(&usage, SimTime::from_millis(10));
@@ -417,6 +432,12 @@ mod tests {
         assert!(text.contains("memoized"), "{text}");
         assert!(text.contains("bypasses"), "{text}");
         assert!(text.contains("45"), "{text}");
+        // So are the write-behind journal counters.
+        assert!(text.contains("journal"), "{text}");
+        assert!(text.contains("coalesced"), "{text}");
+        assert!(text.contains("apply lag (ms)"), "{text}");
+        assert!(text.contains("33"), "{text}");
+        assert!(text.contains("0.48"), "{text}");
         assert_eq!(t.len(), 2);
         // A zero makespan must not divide by zero.
         let z = shard_utilization_table(&usage, SimTime::ZERO);

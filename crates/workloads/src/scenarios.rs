@@ -71,6 +71,13 @@ pub struct ScenarioResult {
     /// target has no batch pipeline or it is disabled). The makespan
     /// already folds in the end-of-phase drain of buffered batches.
     pub batch: Option<BatchStats>,
+    /// How far past the makespan the last acked-but-unapplied
+    /// write-behind batch finishes applying, in ms — the scenario's
+    /// crash-consistency window. Zero without write-behind journaling:
+    /// every ack is durable. The makespan deliberately does *not* fold
+    /// this in (acks are what clients observe); reports print it
+    /// alongside instead.
+    pub apply_tail_ms: f64,
 }
 
 impl ScenarioResult {
@@ -464,6 +471,7 @@ fn summarize<F: BenchTarget>(report: RunReport, files: usize, fs: &mut F) -> Sce
             s.quantile(0.99).as_millis_f64(),
         )
     });
+    let apply_tail_ms = (fs.apply_horizon(makespan) - makespan).as_millis_f64();
     ScenarioResult {
         makespan,
         mean_create_ms: report.mean_millis("create"),
@@ -473,6 +481,7 @@ fn summarize<F: BenchTarget>(report: RunReport, files: usize, fs: &mut F) -> Sce
         per_shard: fs.shard_usage(),
         cache: fs.cache_stats(),
         batch: fs.batch_stats(),
+        apply_tail_ms,
     }
 }
 

@@ -52,6 +52,15 @@ pub trait BenchTarget: FileSystem {
     fn batch_stats(&self) -> Option<BatchStats> {
         None
     }
+
+    /// When the last acked-but-unapplied write-behind batch finishes
+    /// applying, given the workload finished at `horizon` — the end of
+    /// the crash-consistency window scenario reports surface. Targets
+    /// without deferred application return `horizon`: the ack is the
+    /// apply.
+    fn apply_horizon(&self, horizon: SimTime) -> SimTime {
+        horizon
+    }
 }
 
 impl BenchTarget for MemFs {
@@ -102,6 +111,10 @@ impl<U: BenchTarget> BenchTarget for CofsFs<U> {
         } else {
             None
         }
+    }
+
+    fn apply_horizon(&self, horizon: SimTime) -> SimTime {
+        CofsFs::apply_horizon(self, horizon)
     }
 }
 

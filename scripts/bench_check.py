@@ -24,7 +24,14 @@ and fails when a structural performance claim regressed:
    memoizes nothing, so that row is equality), and at the largest batch
    size memoization must strictly beat both the unmemoized run and the
    batching-off baseline — the post-PR-4 per-op-row-work ceiling.
-5. **The read-priority lane decouples stat tails from batch size** —
+5. **Write-behind journaling never costs on the swept axis and pays at
+   scale** — in the "bursty storm vs write-behind journal" section
+   (memoization on throughout), the journaled makespan must not exceed
+   the journal-off one at *every* swept batch size, must strictly beat
+   it at the largest, and the coalescing must be real: every
+   journal-on row applies strictly fewer rows than it acked
+   (``coalesced`` > 0) while journal-off rows coalesce nothing.
+6. **The read-priority lane decouples stat tails from batch size** —
    in the "mixed stat+create storm vs read priority" section, the
    priority rows' stat p99 must not exceed the FIFO rows' at any batch
    size; the FIFO p99 at the largest batch must visibly exceed the
@@ -210,6 +217,57 @@ def check_memoization(report):
             )
 
 
+def check_write_behind(report):
+    print("bursty storm vs write-behind journal:")
+    sec = section(report, "bursty storm vs write-behind journal")
+    if sec is None:
+        return
+    batch_col = column(sec, "batching")
+    wb_col = column(sec, "write-behind")
+    make_col = column(sec, "makespan (ms)")
+    coal_col = column(sec, "coalesced")
+    if batch_col is None or wb_col is None or make_col is None or coal_col is None:
+        return
+    sizes = sorted({int(r[batch_col]) for r in sec["rows"]})
+    check(len(sizes) >= 3, f"batch-size sweep has >= 3 points ({sizes})")
+
+    def row(size, wb):
+        for r in sec["rows"]:
+            if int(r[batch_col]) == size and r[wb_col] == wb:
+                return r
+        return None
+
+    for size in sizes:
+        plain, behind = row(size, "off"), row(size, "on")
+        if plain is None or behind is None:
+            check(False, f"batch size {size} measured with write-behind off and on")
+            continue
+        ok = float(behind[make_col]) <= float(plain[make_col]) + ROUNDING_MS
+        check(
+            ok,
+            f"write-behind <= journal-off at {size}-op batches "
+            f"({behind[make_col]} vs {plain[make_col]} ms)",
+        )
+        check(
+            float(behind[coal_col]) > 0,
+            f"journal-on coalesces sibling rows at {size}-op batches "
+            f"({behind[coal_col]} rows)",
+        )
+        check(
+            float(plain[coal_col]) == 0,
+            f"journal-off coalesces nothing at {size}-op batches "
+            f"({plain[coal_col]} rows)",
+        )
+    largest = sizes[-1]
+    plain, behind = row(largest, "off"), row(largest, "on")
+    if plain is not None and behind is not None:
+        check(
+            float(behind[make_col]) < float(plain[make_col]),
+            f"write-behind strictly beats the memoized-only storm at "
+            f"{largest}-op batches ({behind[make_col]} vs {plain[make_col]} ms)",
+        )
+
+
 def check_read_priority(report):
     print("mixed stat+create storm vs read priority:")
     sec = section(report, "mixed stat+create storm vs read priority")
@@ -278,6 +336,7 @@ def main():
     check_batching_monotonicity(report)
     check_hot_stat_non_regression(report)
     check_memoization(report)
+    check_write_behind(report)
     check_read_priority(report)
     if failures:
         print(f"\n{len(failures)} check(s) failed")

@@ -147,10 +147,37 @@ pub fn cofs_over_memfs_memoized(shards: usize, max_batch_ops: usize) -> CofsFs<M
     )
 }
 
-/// The complete cost-model tower: sharded, batched, memoized, cached,
-/// and with the shard CPUs' read-priority lane on — every performance
-/// knob this repository has, stacked. The differential suite pins that
-/// outcomes are invariant to all of them at once.
+/// Batching with the write-behind dentry journal on — acks at journal
+/// append, sibling-coalesced deferred apply — at a deliberately tiny
+/// durability window so the backpressure clamp fires constantly. The
+/// differential suite pins that neither the deferred application nor
+/// the window is visible in user-visible outcomes (read-your-writes
+/// stays exact: reads consult the journaled namespace).
+pub fn cofs_over_memfs_write_behind(shards: usize, max_batch_ops: usize) -> CofsFs<MemFs> {
+    let cfg = if shards > 1 {
+        CofsConfig::default().with_shards(shards, ShardPolicyKind::HashByParent)
+    } else {
+        CofsConfig::default()
+    };
+    let mut cfg = cfg
+        .with_batching(max_batch_ops, simcore::time::SimDuration::from_millis(5), 4)
+        .with_read_memoization()
+        .with_write_behind();
+    cfg.write_behind.max_unapplied_ops = 2;
+    cfg.write_behind.max_unapplied_window = simcore::time::SimDuration::from_micros(50);
+    CofsFs::new(
+        MemFs::new(),
+        cfg,
+        MdsNetwork::uniform(simcore::time::SimDuration::from_micros(250)),
+        7,
+    )
+}
+
+/// The complete cost-model tower: sharded, batched, memoized,
+/// journaled, cached, and with the shard CPUs' read-priority lane on —
+/// every performance knob this repository has, stacked. The
+/// differential suite pins that outcomes are invariant to all of them
+/// at once.
 pub fn cofs_over_memfs_full_stack(shards: usize) -> CofsFs<MemFs> {
     let cfg = if shards > 1 {
         CofsConfig::default().with_shards(shards, ShardPolicyKind::HashByParent)
@@ -162,6 +189,7 @@ pub fn cofs_over_memfs_full_stack(shards: usize) -> CofsFs<MemFs> {
         cfg.with_batching(8, simcore::time::SimDuration::from_millis(1), 2)
             .with_read_memoization()
             .with_read_priority()
+            .with_write_behind()
             .with_client_cache(4096, simcore::time::SimDuration::from_secs(60)),
         MdsNetwork::uniform(simcore::time::SimDuration::from_micros(250)),
         7,

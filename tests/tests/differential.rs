@@ -3,8 +3,9 @@
 //! COFS-over-MemFs (at 1, 2, and 4 metadata shards, with the
 //! client-side metadata cache on at aggressive and degenerate
 //! configurations, with metadata-RPC batching on — alone and stacked
-//! under the cache — and with per-batch read memoization and the
-//! read-priority service lane, alone and stacked with everything
+//! under the cache — with per-batch read memoization and the
+//! read-priority service lane, and with write-behind journaling at a
+//! degenerate durability window, alone and stacked with everything
 //! else), on bare GPFS (`PfsFs`), and on COFS-over-GPFS (centralized
 //! and at 2 and 4 shards).
 //!
@@ -21,7 +22,7 @@ use cofs::config::ShardPolicyKind;
 use cofs_tests::{
     apply, cofs_over_gpfs, cofs_over_gpfs_sharded, cofs_over_memfs, cofs_over_memfs_batched,
     cofs_over_memfs_batched_cached, cofs_over_memfs_cached, cofs_over_memfs_full_stack,
-    cofs_over_memfs_memoized, cofs_over_memfs_sharded, gen_ops, gpfs,
+    cofs_over_memfs_memoized, cofs_over_memfs_sharded, cofs_over_memfs_write_behind, gen_ops, gpfs,
 };
 use netsim::ids::NodeId;
 use simcore::time::SimDuration;
@@ -50,6 +51,11 @@ fn run_differential(seed: u64, n_ops: usize) {
     // and the client cache — pricing and scheduling knobs must never
     // leak into outcomes.
     let mut cofs_mem_memoized = cofs_over_memfs_memoized(2, 16);
+    // Write-behind journaling at a deliberately tiny durability window
+    // (2 ops / 50µs, so the backpressure clamp fires constantly) —
+    // deferred row application must stay invisible: reads consult the
+    // journaled namespace, so read-your-writes is exact.
+    let mut cofs_mem_journal = cofs_over_memfs_write_behind(2, 16);
     let mut cofs_mem_full = cofs_over_memfs_full_stack(4);
     let mut bare_gpfs = gpfs(2);
     let mut cofs_gpfs = cofs_over_gpfs(2);
@@ -88,7 +94,11 @@ fn run_differential(seed: u64, n_ops: usize) {
                 apply(&mut cofs_mem_memoized, node, op),
             ),
             (
-                "cofs/memfs memo+prio+cached 4 shards",
+                "cofs/memfs write-behind tiny window",
+                apply(&mut cofs_mem_journal, node, op),
+            ),
+            (
+                "cofs/memfs memo+prio+journal+cached 4 shards",
                 apply(&mut cofs_mem_full, node, op),
             ),
             ("gpfs", apply(&mut bare_gpfs, node, op)),

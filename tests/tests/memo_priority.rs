@@ -254,6 +254,7 @@ mod pricing_props {
                 BatchedOp {
                     db: DbOps { reads, writes },
                     read_set: ReadSet::from_keys(keys),
+                    ..BatchedOp::default()
                 }
             })
             .collect()
