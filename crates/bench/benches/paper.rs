@@ -225,6 +225,38 @@ fn bench_read_priority(c: &mut Criterion) {
     c.bench_function("prio_mixed_storm_lane", |b| b.iter(|| prio_storm(true)));
 }
 
+/// The skewed-tenant storm under the static hash policy vs the elastic
+/// policy — measures the simulator's wall-clock cost of the elastic
+/// bookkeeping (per-directory observation windows, bucket tables, and
+/// migration costing; the *virtual*-time win is asserted by the
+/// integration tests and gated by `scripts/bench_check.py`).
+fn elastic_storm(elastic: bool) {
+    use cofs::config::ShardPolicyKind;
+    use workloads::scenarios::SkewedTenantStorm;
+
+    let storm = SkewedTenantStorm {
+        nodes: 4,
+        tenants: 4,
+        files_per_node: 16,
+        ..SkewedTenantStorm::default()
+    };
+    let mut fs = if elastic {
+        cofs_bench::cofs_mds_limit_elastic(2)
+    } else {
+        cofs_bench::cofs_mds_limit(2, ShardPolicyKind::HashByParent)
+    };
+    storm.run(&mut fs);
+}
+
+fn bench_elastic(c: &mut Criterion) {
+    c.bench_function("elastic_skewed_storm_static", |b| {
+        b.iter(|| elastic_storm(false))
+    });
+    c.bench_function("elastic_skewed_storm_adaptive", |b| {
+        b.iter(|| elastic_storm(true))
+    });
+}
+
 fn bench_fig1(c: &mut Criterion) {
     c.bench_function("fig1_single_node_stat_1536", |b| {
         b.iter(|| {
@@ -299,6 +331,6 @@ fn bench_table1(c: &mut Criterion) {
 criterion_group! {
     name = paper;
     config = Criterion::default().sample_size(10);
-    targets = bench_fig1, bench_fig2, bench_fig4, bench_fig5, bench_fig6, bench_table1, bench_mds, bench_client_cache, bench_batching, bench_memoization, bench_write_behind, bench_read_priority
+    targets = bench_fig1, bench_fig2, bench_fig4, bench_fig5, bench_fig6, bench_table1, bench_mds, bench_client_cache, bench_batching, bench_memoization, bench_write_behind, bench_read_priority, bench_elastic
 }
 criterion_main!(paper);

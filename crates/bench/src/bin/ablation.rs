@@ -18,6 +18,10 @@
 //!    both together on the mixed stat+create storm.
 //! 8. *Write-behind journal*: journal × memoization × batch size on
 //!    the bursty storm, including the singleton-batch non-win.
+//! 9. *Elastic adaptation*: a shifting hotspot under the elastic shard
+//!    policy vs. its static starting point — splits while a directory
+//!    is hot, lazy merges back to home affinity after the hotspot
+//!    moves on.
 //!
 //! Alongside the text tables the binary writes `BENCH_ablation.json`
 //! (see [`cofs_bench::write_bench_json`]) for machine consumption.
@@ -118,6 +122,10 @@ fn main() {
         // partitioning degenerates to one hot shard — the policy
         // choice, not the shard count, decides whether sharding helps.
         (4, ShardPolicyKind::Subtree, "4 shards, subtree (hotspot)"),
+        // Elastic starts from hash-by-parent homes and splits whatever
+        // the observed load says is hot — it must never lose to its
+        // own static starting point.
+        (4, ShardPolicyKind::Elastic, "4 shards, elastic"),
     ] {
         let mut fs = cofs_mds_limit(shards, policy);
         let r = storm.run(&mut fs);
@@ -128,6 +136,51 @@ fn main() {
         ]);
     }
     println!("{}", shard_table.render());
+
+    // ---- elastic adaptation ablation: a hotspot that moves ----
+    // The shifting-hotspot storm hammers one directory per phase and
+    // rotates; sparse lookback polling keeps the cooled directory
+    // observed. The elastic rows must show both halves of the
+    // adaptation loop: splits while a directory is hot, merges after
+    // the hotspot moves on (lazy migration back to home affinity),
+    // with every migration step costed on the shard CPUs.
+    let shifting = workloads::scenarios::ShiftingHotspotStorm {
+        nodes: smoke_nodes(8),
+        phases: if smoke_mode() { 4 } else { 8 },
+        files_per_phase: smoke_files(32),
+        ..workloads::scenarios::ShiftingHotspotStorm::default()
+    };
+    println!(
+        "\n== Elastic adaptation ablation (shifting hotspot: {} nodes, \
+         {} dirs, {} phases x {} files/node, 4 shards) ==\n",
+        shifting.nodes, shifting.dirs, shifting.phases, shifting.files_per_phase
+    );
+    let mut elastic_table = Table::new(vec![
+        "policy",
+        "create (ms)",
+        "makespan (ms)",
+        "skew",
+        "splits",
+        "merges",
+        "migr",
+    ]);
+    for policy in [ShardPolicyKind::HashByParent, ShardPolicyKind::Elastic] {
+        let mut fs = cofs_mds_limit(4, policy);
+        let r = shifting.run(&mut fs);
+        let splits: u64 = r.per_shard.iter().map(|u| u.splits).sum();
+        let merges: u64 = r.per_shard.iter().map(|u| u.merges).sum();
+        let migrations: u64 = r.per_shard.iter().map(|u| u.migrations).sum();
+        elastic_table.row(vec![
+            fs.mds_cluster().policy().label().into(),
+            ms(r.mean_create_ms),
+            ms(r.makespan.as_millis_f64()),
+            format!("{:.2}", workloads::report::shard_skew(&r.per_shard)),
+            splits.to_string(),
+            merges.to_string(),
+            migrations.to_string(),
+        ]);
+    }
+    println!("{}", elastic_table.render());
 
     // ---- client-cache ablation: lease TTL, read-only vs write-shared --
     // The same cache, two workloads: the hot-stat storm never mutates
@@ -340,6 +393,7 @@ fn main() {
         &[
             ("placement ablations", &table),
             ("mds sharding ablation", &shard_table),
+            ("elastic adaptation ablation", &elastic_table),
             ("client-cache ablation", &cache_table),
             ("rpc batching ablation", &batch_table),
             ("memoization x priority ablation", &mp_table),

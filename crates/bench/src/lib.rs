@@ -150,6 +150,23 @@ pub fn cofs_mds_limit_write_behind(
     )
 }
 
+/// [`cofs_mds_limit`] with the elastic shard policy: per-directory
+/// load tracking in virtual time, radix splitting of hot directories
+/// across shards, and lazy migration back to single-shard affinity
+/// when load subsides — the stack the elastic axis of the
+/// `scaling`/`ablation` binaries sweeps against the static policies.
+/// Split/merge thresholds come from [`cofs::elastic::ElasticConfig`]'s
+/// defaults.
+pub fn cofs_mds_limit_elastic(shards: usize) -> CofsFs<vfs::memfs::MemFs> {
+    let cfg = CofsConfig::default().with_elastic(shards);
+    CofsFs::new(
+        vfs::memfs::MemFs::new(),
+        cfg,
+        MdsNetwork::uniform(simcore::time::SimDuration::from_micros(250)),
+        0xC0F5,
+    )
+}
+
 /// The full service-discipline selector every `cofs_mds_limit_*`
 /// batching factory funnels through: optional batching at
 /// `max_batch_ops` (delay window 5 ms, pipeline depth 4), per-batch
@@ -392,6 +409,21 @@ mod tests {
         assert!(fs.config().write_behind.enabled);
         let plain = cofs_mds_limit_tuned(2, ShardPolicyKind::HashByParent, Some(16), true, false);
         assert!(!plain.config().write_behind.enabled);
+    }
+
+    #[test]
+    fn elastic_factory_routes_and_reports_elastic() {
+        let mut fs = cofs_mds_limit_elastic(4);
+        assert_eq!(fs.mds_cluster().shard_count(), 4);
+        assert_eq!(fs.mds_cluster().policy().label(), "elastic");
+        let ctx = OpCtx::test(netsim::ids::NodeId(0));
+        fs.mkdir(&ctx, &vpath("/d"), Mode::dir_default()).unwrap();
+        let fh = fs
+            .create(&ctx, &vpath("/d/f"), Mode::file_default())
+            .unwrap()
+            .value;
+        fs.close(&ctx, fh).unwrap();
+        assert_eq!(fs.readdir(&ctx, &vpath("/d")).unwrap().value.len(), 1);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 
 use crate::batch::BatchConfig;
 use crate::client_cache::ClientCacheConfig;
+use crate::elastic::{ElasticConfig, ElasticPolicy};
 use crate::mds_cluster::{HashByParent, ShardId, ShardPolicy, SingleShard, SubtreePartition};
 use metadb::cost::DbCostModel;
 use netsim::cluster::Cluster;
@@ -24,6 +25,13 @@ pub enum ShardPolicyKind {
     HashByParent,
     /// The first path component assigns its whole subtree to a shard.
     Subtree,
+    /// Load-adaptive: starts as [`HashByParent`] and splits hot
+    /// directories across shards / merges them back as measured load
+    /// moves (see [`crate::elastic`]); shaped by
+    /// [`CofsConfig::elastic`].
+    ///
+    /// [`HashByParent`]: crate::mds_cluster::HashByParent
+    Elastic,
 }
 
 /// Write-behind journaling knobs on [`CofsConfig`].
@@ -141,6 +149,14 @@ pub struct CofsConfig {
     /// bit-for-bit.
     pub write_behind: WriteBehindConfig,
 
+    // ---- elastic namespace ----
+    /// Split/merge thresholds and observation window of the
+    /// load-adaptive shard policy. Only consulted when
+    /// [`Self::shard_policy`] is [`ShardPolicyKind::Elastic`]; every
+    /// other policy ignores it entirely, so the defaults change
+    /// nothing.
+    pub elastic: ElasticConfig,
+
     // ---- shard service discipline ----
     /// Serve read RPCs from a priority lane on each shard CPU: reads
     /// bypass *queued* (never in-service) batch lumps, decoupling
@@ -169,6 +185,7 @@ impl Default for CofsConfig {
             client_cache: ClientCacheConfig::default(),
             batch: BatchConfig::default(),
             write_behind: WriteBehindConfig::default(),
+            elastic: ElasticConfig::default(),
             read_priority: false,
         }
     }
@@ -272,15 +289,29 @@ impl CofsConfig {
         self
     }
 
+    /// A copy of this config running `shards` shards under the
+    /// load-adaptive elastic policy with the default thresholds (tune
+    /// by assigning [`Self::elastic`] fields afterwards).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn with_elastic(self, shards: usize) -> Self {
+        self.with_shards(shards, ShardPolicyKind::Elastic)
+    }
+
     /// Builds the shard policy this config describes.
     pub fn build_shard_policy(&self) -> Box<dyn ShardPolicy> {
-        if self.mds_shards <= 1 {
+        if self.mds_shards <= 1 && self.shard_policy != ShardPolicyKind::Elastic {
             return Box::new(SingleShard);
         }
         match self.shard_policy {
             ShardPolicyKind::Single => Box::new(SingleShard),
             ShardPolicyKind::HashByParent => Box::new(HashByParent::new(self.mds_shards)),
             ShardPolicyKind::Subtree => Box::new(SubtreePartition::new(self.mds_shards)),
+            ShardPolicyKind::Elastic => {
+                Box::new(ElasticPolicy::new(self.mds_shards, self.elastic.clone()))
+            }
         }
     }
 }
@@ -455,6 +486,31 @@ mod tests {
             .with_shards(2, ShardPolicyKind::Subtree)
             .build_shard_policy();
         assert_eq!(subtree.label(), "subtree");
+    }
+
+    #[test]
+    fn elastic_defaults_off_and_builder_enables() {
+        let c = CofsConfig::default();
+        assert_eq!(c.shard_policy, ShardPolicyKind::Single);
+        assert!(c.elastic.split_threshold > 0);
+        assert!(!c.elastic.window.is_zero());
+        let e = CofsConfig::default().with_elastic(8);
+        assert_eq!(e.mds_shards, 8);
+        assert_eq!(e.shard_policy, ShardPolicyKind::Elastic);
+        let p = e.build_shard_policy();
+        assert_eq!(p.label(), "elastic");
+        assert_eq!(p.shard_count(), 8);
+        assert!(p.as_elastic().is_some());
+        // One elastic shard keeps its label (sweeps start at 1), while
+        // the static kinds still degenerate to SingleShard.
+        let one = CofsConfig::default().with_elastic(1).build_shard_policy();
+        assert_eq!(one.label(), "elastic");
+        assert_eq!(one.shard_count(), 1);
+        // Static policies report no elastic downcast.
+        let h = CofsConfig::default()
+            .with_shards(4, ShardPolicyKind::HashByParent)
+            .build_shard_policy();
+        assert!(h.as_elastic().is_none());
     }
 
     #[test]

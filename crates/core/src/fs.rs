@@ -287,6 +287,30 @@ impl<U: FileSystem> CofsFs<U> {
         self.mds.rpc(&self.cfg, &self.net, node, shard, ops, t)
     }
 
+    /// Feeds one operation on `path` into the elastic policy's
+    /// per-directory load window (the *parent* is the observed
+    /// directory). A guarded no-op under static policies so their
+    /// paths stay allocation-free and bit-for-bit untouched;
+    /// observation itself never charges time (see
+    /// [`crate::mds_cluster::MdsCluster::observe_elastic`]).
+    fn observe_parent(&mut self, path: &VPath, t: simcore::time::SimTime) {
+        if !self.mds.is_elastic() {
+            return;
+        }
+        let dir = path.parent().unwrap_or_else(VPath::root);
+        self.mds.observe_elastic(&self.cfg, &dir, t);
+    }
+
+    /// [`Self::observe_parent`] for operations addressed to a
+    /// directory itself (`readdir`): the listed directory is the
+    /// observed one.
+    fn observe_dir(&mut self, dir: &VPath, t: simcore::time::SimTime) {
+        if !self.mds.is_elastic() {
+            return;
+        }
+        self.mds.observe_elastic(&self.cfg, dir, t);
+    }
+
     /// Charges one metadata-service RPC against the shard owning
     /// `path`.
     fn rpc(
@@ -296,6 +320,7 @@ impl<U: FileSystem> CofsFs<U> {
         ops: DbOps,
         t: simcore::time::SimTime,
     ) -> simcore::time::SimTime {
+        self.observe_parent(path, t);
         let shard = self.mds.route(path);
         self.rpc_at(node, shard, ops, t)
     }
@@ -315,6 +340,8 @@ impl<U: FileSystem> CofsFs<U> {
         ops: DbOps,
         t: simcore::time::SimTime,
     ) -> simcore::time::SimTime {
+        self.observe_parent(a, t);
+        self.observe_parent(b, t);
         let sa = self.mds.route(a);
         let sb = self.mds.route(b);
         if sa == sb {
@@ -389,6 +416,7 @@ impl<U: FileSystem> CofsFs<U> {
         ops: DbOps,
         t: simcore::time::SimTime,
     ) -> simcore::time::SimTime {
+        self.observe_parent(path, t);
         let shard = self.mds.route(path);
         let read_set = if self.memoizing() {
             ReadSet::resolution_chain(path).truncated(ops.reads)
@@ -463,8 +491,14 @@ impl<U: FileSystem> CofsFs<U> {
             crate::client_cache::Lookup::Miss => {}
         }
         let shard = match kind {
-            EntryKind::Attr | EntryKind::Negative => self.mds.route(path),
-            EntryKind::Dentry => self.mds.route_entries(path),
+            EntryKind::Attr | EntryKind::Negative => {
+                self.observe_parent(path, t);
+                self.mds.route(path)
+            }
+            EntryKind::Dentry => {
+                self.observe_dir(path, t);
+                self.mds.route_entries(path)
+            }
         };
         let done = self.rpc_at(ctx.node, shard, ops, t);
         if self.cache.enabled() {

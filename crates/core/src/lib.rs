@@ -57,6 +57,7 @@
 pub mod batch;
 pub mod client_cache;
 pub mod config;
+pub mod elastic;
 pub mod fs;
 pub mod mds;
 pub mod mds_cluster;
@@ -67,6 +68,7 @@ pub mod prelude {
     pub use crate::batch::{BatchConfig, BatchPipeline, BatchStats};
     pub use crate::client_cache::{CacheStats, ClientCache, ClientCacheConfig, EntryKind};
     pub use crate::config::{CofsConfig, MdsNetwork, ShardPolicyKind};
+    pub use crate::elastic::{ElasticConfig, ElasticPolicy};
     pub use crate::fs::CofsFs;
     pub use crate::mds::Mds;
     pub use crate::mds_cluster::{

@@ -424,6 +424,25 @@ impl Mds {
         self.dentries.len() as u64
     }
 
+    /// Uncharged child count of the directory at `path` — statistics
+    /// plumbing for the elastic shard policy, not a metadata operation:
+    /// no permission checks, no symlink traversal, no [`DbOps`] (the
+    /// operations that populated the policy's window already paid).
+    /// Missing paths and non-directories count zero.
+    pub fn entry_count(&self, path: &VPath) -> u64 {
+        let mut cur = ROOT_INO;
+        for comp in path.components() {
+            match self.dentries.get(&(cur, comp.to_string())) {
+                Some(d) => cur = d.ino,
+                None => return 0,
+            }
+        }
+        match self.inodes.get(&cur) {
+            Some(rec) if rec.ftype == FileType::Directory => rec.entries,
+            _ => 0,
+        }
+    }
+
     fn get(&self, ino: u64) -> &InodeRec {
         self.inodes.get(&ino).expect("dangling virtual inode")
     }

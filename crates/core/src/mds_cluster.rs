@@ -42,9 +42,13 @@ impl std::fmt::Display for ShardId {
 
 /// Partitions the virtual namespace across metadata shards.
 ///
-/// Implementations must be pure functions of the path: the same path
-/// always routes to the same shard, so experiment runs are exactly
-/// reproducible and a dentry has a single home.
+/// Implementations must be pure functions of the path *given the
+/// policy's current routing state*: the same path always routes to the
+/// same shard until the policy itself is reconfigured, and the static
+/// policies never reconfigure at all. [`crate::elastic::ElasticPolicy`]
+/// reconfigures only at deterministic virtual-time window boundaries
+/// (via [`MdsCluster::observe_elastic`]), so experiment runs stay
+/// exactly reproducible and a dentry has a single home at any instant.
 pub trait ShardPolicy: std::fmt::Debug {
     /// Number of shards this policy routes across.
     fn shard_count(&self) -> usize;
@@ -62,6 +66,19 @@ pub trait ShardPolicy: std::fmt::Debug {
 
     /// A short label for reports and ablation tables.
     fn label(&self) -> &'static str;
+
+    /// Downcast to the load-adaptive policy, if that is what this is.
+    /// The default (`None`) lets the cluster's observation hooks bail
+    /// in one branch for every static policy, keeping their paths
+    /// bit-for-bit untouched.
+    fn as_elastic(&self) -> Option<&crate::elastic::ElasticPolicy> {
+        None
+    }
+
+    /// Mutable counterpart of [`Self::as_elastic`].
+    fn as_elastic_mut(&mut self) -> Option<&mut crate::elastic::ElasticPolicy> {
+        None
+    }
 }
 
 /// Routes everything to shard 0 — bit-for-bit the single-MDS
@@ -246,6 +263,15 @@ pub struct ShardUsage {
     /// crash-consistency window this shard exposed. Zero with
     /// write-behind off (apply is the ack).
     pub apply_lag: SimDuration,
+    /// Elastic directory splits homed on this shard
+    /// ([`MdsCluster::observe_elastic`]); zero under static policies.
+    pub splits: u64,
+    /// Elastic merges (affinity-restoring migrations) homed on this
+    /// shard; zero under static policies.
+    pub merges: u64,
+    /// Elastic migration transfers this shard participated in (as
+    /// source or destination); zero under static policies.
+    pub migrations: u64,
 }
 
 /// One acked-but-unapplied batch in a shard's write-behind journal:
@@ -273,6 +299,9 @@ struct Shard {
     rows_coalesced: u64,
     apply_lag: SimDuration,
     unapplied: Vec<UnappliedEntry>,
+    splits: u64,
+    merges: u64,
+    migrations: u64,
 }
 
 impl Shard {
@@ -287,6 +316,9 @@ impl Shard {
             rows_coalesced: 0,
             apply_lag: SimDuration::ZERO,
             unapplied: Vec::new(),
+            splits: 0,
+            merges: 0,
+            migrations: 0,
         }
     }
 
@@ -691,6 +723,82 @@ impl MdsCluster {
         commit_a.max(commit_b + cross / 2) + rtt / 2
     }
 
+    // ---- elastic load observation ------------------------------------
+
+    /// True when the routing policy is the load-adaptive one — lets
+    /// callers skip building observation arguments (parent paths) on
+    /// the static-policy fast path.
+    pub fn is_elastic(&self) -> bool {
+        self.policy.as_elastic().is_some()
+    }
+
+    /// Feeds one observed operation under directory `dir` at virtual
+    /// time `t` into the elastic policy, and prices any split or merge
+    /// it decides. A no-op (and allocation-free) under static policies,
+    /// so every pinned path is bit-for-bit untouched.
+    ///
+    /// Observation itself charges no time: the policy piggybacks on
+    /// requests the client already paid for. Reconfiguration is the
+    /// opposite of free — each [`crate::elastic::ShardTransfer`] scans
+    /// the moving dentry rows on the source shard's CPU, crosses the
+    /// inter-shard link, and is journaled plus group-committed on the
+    /// destination's CPU (the write-behind pricing). The triggering
+    /// request does not await the migration, but later requests queue
+    /// behind it on both CPUs — exactly like deferred journal applies.
+    pub fn observe_elastic(&mut self, cfg: &CofsConfig, dir: &VPath, t: SimTime) {
+        let due = match self.policy.as_elastic_mut() {
+            Some(p) => p.record(dir, t),
+            None => return,
+        };
+        if !due {
+            return;
+        }
+        let loads: Vec<SimDuration> = self.shards.iter().map(|s| s.cpu.busy_time()).collect();
+        // The policy's attribution gate needs the *measured* mean
+        // per-op service time — database work rides on top of the base
+        // RPC service charge, so `mds_service` alone would
+        // underestimate a directory's busy contribution several-fold.
+        let rpcs: u64 = self.shards.iter().map(|s| s.rpcs).sum();
+        let service = if rpcs > 0 {
+            let busy = loads.iter().fold(SimDuration::ZERO, |acc, &b| acc + b);
+            (busy / rpcs).max(cfg.mds_service)
+        } else {
+            cfg.mds_service
+        };
+        let entries = self.namespace.entry_count(dir);
+        let event = self
+            .policy
+            .as_elastic_mut()
+            .expect("due observation implies an elastic policy")
+            .rebalance(dir, t, &loads, service, entries);
+        if let Some(ev) = event {
+            match ev.kind {
+                crate::elastic::ElasticEventKind::Split => self.shards[ev.home.0].splits += 1,
+                crate::elastic::ElasticEventKind::Merge => self.shards[ev.home.0].merges += 1,
+            }
+            for tr in &ev.transfers {
+                // Source side: scan the moving dentry rows.
+                let read_done = {
+                    let s = &mut self.shards[tr.from.0];
+                    s.migrations += 1;
+                    let service = cfg.mds_service + s.tracker.query_cost_dedup(&cfg.db, tr.rows, 0);
+                    s.cpu.acquire(t, service).end
+                };
+                // Destination side: the rows cross the inter-shard link,
+                // are journaled for the ack, and group-committed into
+                // the tables — the same pricing a write-behind batch of
+                // `rows` writes pays.
+                let arrive = read_done + cfg.cross_shard_rtt / 2;
+                let s = &mut self.shards[tr.to.0];
+                s.migrations += 1;
+                let service = cfg.mds_service
+                    + s.tracker.journal_append_cost(&cfg.db, tr.rows)
+                    + s.tracker.group_txn_cost(&cfg.db, &[tr.rows]);
+                let _ = s.cpu.acquire(arrive, service);
+            }
+        }
+    }
+
     // ---- client-cache lease tracking ---------------------------------
 
     /// Records that `node` holds a lease on `key` until `expires`
@@ -849,6 +957,9 @@ impl MdsCluster {
                 journal_appends: s.tracker.journal_appends(),
                 rows_coalesced: s.rows_coalesced,
                 apply_lag: s.apply_lag,
+                splits: s.splits,
+                merges: s.merges,
+                migrations: s.migrations,
             })
             .collect()
     }
@@ -895,10 +1006,19 @@ impl MdsCluster {
             s.rows_coalesced = 0;
             s.apply_lag = SimDuration::ZERO;
             s.unapplied.clear();
+            s.splits = 0;
+            s.merges = 0;
+            s.migrations = 0;
         }
         self.last_sweep = SimTime::ZERO;
         self.lease_sweeps = 0;
         self.leases_swept = 0;
+        // The elastic policy's observation windows are anchored in
+        // virtual time and must rewind with it; its bucket tables
+        // survive, like sessions and leases.
+        if let Some(p) = self.policy.as_elastic_mut() {
+            p.reset_time();
+        }
     }
 }
 
@@ -972,6 +1092,10 @@ mod tests {
                 Box::new(SingleShard),
                 Box::new(HashByParent::new(shards)),
                 Box::new(SubtreePartition::new(shards)),
+                Box::new(crate::elastic::ElasticPolicy::new(
+                    shards,
+                    crate::elastic::ElasticConfig::default(),
+                )),
             ];
             for p in &policies {
                 for path in &paths {
@@ -1485,6 +1609,60 @@ mod tests {
         let a = cluster.rpc(&c, &n, NodeId(0), ShardId(0), ops, SimTime::from_secs(12));
         let b = quiet.rpc(&c, &n, NodeId(0), ShardId(0), ops, SimTime::from_secs(12));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn observe_elastic_is_a_no_op_under_static_policies() {
+        let c = cfg();
+        let mut cluster = MdsCluster::new(Box::new(HashByParent::new(4)));
+        assert!(!cluster.is_elastic());
+        for i in 0..1000u64 {
+            cluster.observe_elastic(&c, &vpath("/hot"), SimTime::from_micros(i));
+        }
+        let u = cluster.usage();
+        assert!(u.iter().all(|s| s.splits == 0 && s.migrations == 0));
+        assert!(u.iter().all(|s| s.busy == SimDuration::ZERO));
+    }
+
+    #[test]
+    fn observed_hot_directory_splits_and_migration_is_costed() {
+        use crate::elastic::{ElasticConfig, ElasticPolicy};
+
+        let c = cfg();
+        let mut cluster = MdsCluster::new(Box::new(ElasticPolicy::new(
+            4,
+            ElasticConfig {
+                split_threshold: 8,
+                window: SimDuration::from_micros(100),
+                ..ElasticConfig::default()
+            },
+        )));
+        assert!(cluster.is_elastic());
+        let dir = vpath("/hot");
+        let before = cluster.route(&vpath("/hot/f0"));
+        for i in 0..200u64 {
+            cluster.observe_elastic(&c, &dir, SimTime::from_micros(i));
+        }
+        let p = cluster.policy().as_elastic().unwrap();
+        assert!(p.depth_of(&dir) > 0, "hot window must have split");
+        let u = cluster.usage();
+        assert_eq!(u.iter().map(|s| s.splits).sum::<u64>(), p.split_events());
+        let movers: u64 = u.iter().map(|s| s.migrations).sum();
+        assert!(movers > 0, "a split across shards must migrate rows");
+        // Migration work landed on real shard CPUs — never free.
+        assert!(u.iter().map(|s| s.busy).any(|b| b > SimDuration::ZERO));
+        // Routing still lands in range and siblings can now differ.
+        let mut seen = HashSet::new();
+        for i in 0..32 {
+            let s = cluster.route(&vpath(&format!("/hot/f{i}")));
+            assert!(s.0 < 4);
+            seen.insert(s);
+        }
+        assert!(seen.len() > 1, "split dir must spread: all on {before}");
+        // reset_time clears the counters but keeps the bucket table.
+        cluster.reset_time();
+        assert!(cluster.usage().iter().all(|s| s.splits == 0));
+        assert!(cluster.policy().as_elastic().unwrap().depth_of(&dir) > 0);
     }
 
     #[test]

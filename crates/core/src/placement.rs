@@ -210,17 +210,17 @@ mod tests {
     #[test]
     fn dir_limit_is_never_exceeded() {
         let mut p = HashedPlacement::new(vpath("/.cofs"), 64, 4, 3);
-        let mut dirs: HashMap<VPath, u32> = HashMap::new();
+        let mut counts: HashMap<VPath, u32> = HashMap::new();
         for i in 0..2000 {
             let d = p.place(NodeId(0), Pid(1), &vpath("/v"), &format!("f{i}"));
-            *dirs.entry(d).or_insert(0) += 1;
+            *counts.entry(d).or_insert(0) += 1;
         }
-        for (d, n) in &dirs {
+        for (d, n) in &counts {
             assert!(*n <= 64, "{d} holds {n} > limit");
             assert_eq!(p.entries_in(d), *n);
         }
         // The spread keeps several directories active.
-        assert!(dirs.len() >= 2000 / 64);
+        assert!(counts.len() >= 2000 / 64);
     }
 
     #[test]

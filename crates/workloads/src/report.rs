@@ -175,6 +175,9 @@ pub fn pct(v: f64) -> String {
 ///     journal_appends: 0,
 ///     rows_coalesced: 0,
 ///     apply_lag: SimDuration::ZERO,
+///     splits: 0,
+///     merges: 0,
+///     migrations: 0,
 /// }];
 /// let t = shard_utilization_table(&usage, SimTime::from_millis(10));
 /// assert!(t.render().contains("50.0%"));
@@ -186,6 +189,7 @@ pub fn shard_utilization_table(usage: &[ShardUsage], makespan: SimTime) -> Table
         "batches",
         "busy (ms)",
         "util",
+        "skew",
         "mean wait (ms)",
         "2pc",
         "recalls",
@@ -195,11 +199,24 @@ pub fn shard_utilization_table(usage: &[ShardUsage], makespan: SimTime) -> Table
         "journal",
         "coalesced",
         "apply lag (ms)",
+        "splits",
+        "merges",
+        "migr",
     ]);
     let span = makespan.as_secs_f64();
+    let mean_busy = if usage.is_empty() {
+        0.0
+    } else {
+        usage.iter().map(|u| u.busy.as_secs_f64()).sum::<f64>() / usage.len() as f64
+    };
     for u in usage {
         let util = if span > 0.0 {
             u.busy.as_secs_f64() / span
+        } else {
+            0.0
+        };
+        let skew = if mean_busy > 0.0 {
+            u.busy.as_secs_f64() / mean_busy
         } else {
             0.0
         };
@@ -209,6 +226,7 @@ pub fn shard_utilization_table(usage: &[ShardUsage], makespan: SimTime) -> Table
             u.batches.to_string(),
             ms(u.busy.as_millis_f64()),
             pct(util),
+            format!("{skew:.2}"),
             ms(u.mean_wait.as_millis_f64()),
             u.two_phase.to_string(),
             u.recalls.to_string(),
@@ -218,9 +236,63 @@ pub fn shard_utilization_table(usage: &[ShardUsage], makespan: SimTime) -> Table
             u.journal_appends.to_string(),
             u.rows_coalesced.to_string(),
             ms(u.apply_lag.as_millis_f64()),
+            u.splits.to_string(),
+            u.merges.to_string(),
+            u.migrations.to_string(),
         ]);
     }
     t
+}
+
+/// The skew of a per-shard load sample: max over mean CPU busy time
+/// (1.0 = perfectly balanced, `shards` = everything on one shard,
+/// 0.0 = no load at all). The scenario-level number the elastic
+/// policy's rebalancing is judged by — the per-shard tables carry the
+/// same ratio per row.
+///
+/// # Examples
+///
+/// ```
+/// use cofs::mds_cluster::ShardUsage;
+/// use simcore::time::SimDuration;
+/// use workloads::report::shard_skew;
+///
+/// let mk = |shard, millis| ShardUsage {
+///     shard,
+///     rpcs: 0,
+///     busy: SimDuration::from_millis(millis),
+///     mean_wait: SimDuration::ZERO,
+///     two_phase: 0,
+///     recalls: 0,
+///     batches: 0,
+///     reads_charged: 0,
+///     reads_memoized: 0,
+///     read_bypasses: 0,
+///     journal_appends: 0,
+///     rows_coalesced: 0,
+///     apply_lag: SimDuration::ZERO,
+///     splits: 0,
+///     merges: 0,
+///     migrations: 0,
+/// };
+/// // All load on one of two shards: skew = max/mean = 2.0.
+/// assert_eq!(shard_skew(&[mk(0, 8), mk(1, 0)]), 2.0);
+/// assert_eq!(shard_skew(&[mk(0, 4), mk(1, 4)]), 1.0);
+/// assert_eq!(shard_skew(&[]), 0.0);
+/// ```
+pub fn shard_skew(usage: &[ShardUsage]) -> f64 {
+    if usage.is_empty() {
+        return 0.0;
+    }
+    let mean = usage.iter().map(|u| u.busy.as_secs_f64()).sum::<f64>() / usage.len() as f64;
+    if mean <= 0.0 {
+        return 0.0;
+    }
+    let max = usage
+        .iter()
+        .map(|u| u.busy.as_secs_f64())
+        .fold(0.0, f64::max);
+    max / mean
 }
 
 /// The read-latency columns scenario tables append when a run measures
@@ -407,6 +479,9 @@ mod tests {
                 journal_appends: 12,
                 rows_coalesced: 33,
                 apply_lag: SimDuration::from_micros(480),
+                splits: 2,
+                merges: 1,
+                migrations: 5,
             },
             ShardUsage {
                 shard: 1,
@@ -422,12 +497,22 @@ mod tests {
                 journal_appends: 0,
                 rows_coalesced: 0,
                 apply_lag: SimDuration::ZERO,
+                splits: 0,
+                merges: 0,
+                migrations: 0,
             },
         ];
         let t = shard_utilization_table(&usage, SimTime::from_millis(10));
         let text = t.render();
         assert!(text.contains("90.0%"), "{text}");
         assert!(text.contains("10.0%"), "{text}");
+        // Per-row skew: busy 9 ms and 1 ms against a 5 ms mean.
+        assert!(text.contains("1.80"), "{text}");
+        assert!(text.contains("0.20"), "{text}");
+        assert!((shard_skew(&usage) - 1.8).abs() < 1e-9);
+        // The elastic split/merge/migration counters are visible.
+        assert!(text.contains("splits"), "{text}");
+        assert!(text.contains("migr"), "{text}");
         // The memoization and priority-lane counters are visible.
         assert!(text.contains("memoized"), "{text}");
         assert!(text.contains("bypasses"), "{text}");

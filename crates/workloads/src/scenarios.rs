@@ -458,6 +458,233 @@ impl HotStatStorm {
     }
 }
 
+/// A multi-tenant metadata storm with one pathologically hot tenant:
+/// every node creates files across the tenant directories, but a
+/// configurable majority of them land in `/tenant0`. This is the
+/// workload where both static shard policies lose — `SubtreePartition`
+/// pins each whole tenant to one shard (so the hot tenant saturates
+/// it), and `HashByParent` pins the hot *directory* to one shard just
+/// the same — while an elastic policy can split the hot directory's
+/// dentries across shards once its measured rate crosses the split
+/// threshold.
+#[derive(Debug, Clone)]
+pub struct SkewedTenantStorm {
+    /// Nodes issuing creates.
+    pub nodes: usize,
+    /// Tenant directories (`/tenant0` … `/tenant{tenants-1}`), placed
+    /// at the root so subtree partitioning assigns each its own shard.
+    pub tenants: usize,
+    /// Files each node creates.
+    pub files_per_node: usize,
+    /// `stat` calls issued after each create (polling pressure).
+    pub stats_per_create: usize,
+    /// Skew control: every `hot_stride`-th file goes to a rotating cold
+    /// tenant, the rest to `/tenant0`. The default of 4 sends ~75 % of
+    /// all creates to the hot tenant.
+    pub hot_stride: usize,
+}
+
+impl Default for SkewedTenantStorm {
+    fn default() -> Self {
+        SkewedTenantStorm {
+            nodes: 16,
+            tenants: 8,
+            files_per_node: 32,
+            stats_per_create: 2,
+            hot_stride: 4,
+        }
+    }
+}
+
+impl SkewedTenantStorm {
+    /// Runs the skewed storm and reports completion time plus per-shard
+    /// load (whose skew column is the point of this scenario).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any scripted operation fails, or if the configuration
+    /// has fewer than two tenants or a zero `hot_stride`.
+    pub fn run<F: BenchTarget>(&self, fs: &mut F) -> ScenarioResult {
+        assert!(self.tenants >= 2, "skew needs a hot and a cold tenant");
+        assert!(self.hot_stride >= 1, "hot_stride must be at least 1");
+        let setup = OpCtx::test(NodeId(0));
+        for t in 0..self.tenants {
+            fs.mkdir(&setup, &vpath(&format!("/tenant{t}")), Mode::dir_default())
+                .expect("setup mkdir");
+        }
+        fs.phase_reset();
+        let mut scripts = Vec::new();
+        for n in 0..self.nodes {
+            let mut s = ClientScript::new(NodeId(n as u32), Pid(1));
+            s.push(Action::Barrier);
+            for i in 0..self.files_per_node {
+                // Every hot_stride-th file cools off on a rotating
+                // non-hot tenant; everything else hammers tenant 0.
+                let t = if i % self.hot_stride == self.hot_stride - 1 {
+                    (n + i) % (self.tenants - 1) + 1
+                } else {
+                    0
+                };
+                let path = vpath(&format!("/tenant{t}/f.{n}.{i}"));
+                s.push_measured(
+                    "create",
+                    Action::Create {
+                        path: path.clone(),
+                        mode: Mode::file_default(),
+                        slot: 0,
+                    },
+                );
+                s.push(Action::Close { slot: 0 });
+                for _ in 0..self.stats_per_create {
+                    s.push_measured("stat", Action::Stat(path.clone()));
+                }
+            }
+            scripts.push(s);
+        }
+        let report = run(fs, scripts);
+        report.expect_clean();
+        summarize(report, self.nodes * self.files_per_node, fs)
+    }
+}
+
+/// A hotspot that moves: the storm runs in phases, each hammering one
+/// directory out of a small pool, rotating to the next directory at
+/// every phase boundary. While a phase runs, each node also re-stats a
+/// few of its files from the *previous* phase — sparse polling that
+/// keeps the cooled directory observed, which is exactly what lets a
+/// lazy elastic policy notice the load has subsided and migrate the
+/// split directory back toward single-shard affinity.
+#[derive(Debug, Clone)]
+pub struct ShiftingHotspotStorm {
+    /// Nodes issuing creates.
+    pub nodes: usize,
+    /// Directories in the rotation (`<root>/h0` … `<root>/h{dirs-1}`).
+    pub dirs: usize,
+    /// Phases; phase `p` hammers `<root>/h{p % dirs}`.
+    pub phases: usize,
+    /// Files each node creates per phase, all in the phase's hot dir.
+    pub files_per_phase: usize,
+    /// `stat` calls issued after each create.
+    pub stats_per_create: usize,
+    /// Files from the previous phase each node re-stats during the
+    /// current one (cooldown polling; 0 disables the lookback).
+    pub lookback_stats: usize,
+    /// Parent of the rotating directories.
+    pub root: VPath,
+}
+
+impl Default for ShiftingHotspotStorm {
+    fn default() -> Self {
+        ShiftingHotspotStorm {
+            nodes: 8,
+            dirs: 4,
+            phases: 8,
+            files_per_phase: 16,
+            stats_per_create: 2,
+            // Sparse enough that the cooled directory's observation
+            // windows close at or under the default merge threshold
+            // (all nodes' lookbacks land in the same windows, so the
+            // per-window count scales with nodes × lookbacks ÷ phase
+            // length) — this is what lets lazy migration actually fire
+            // mid-storm instead of the hotspot dirs staying split
+            // forever.
+            lookback_stats: 2,
+            root: vpath("/shift"),
+        }
+    }
+}
+
+impl ShiftingHotspotStorm {
+    /// Total files the storm creates.
+    pub fn files(&self) -> usize {
+        self.nodes * self.phases * self.files_per_phase
+    }
+
+    /// Runs the shifting-hotspot storm. Barriers separate the phases,
+    /// so every node agrees on which directory is hot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any scripted operation fails or `dirs` is zero.
+    pub fn run<F: BenchTarget>(&self, fs: &mut F) -> ScenarioResult {
+        assert!(self.dirs >= 1, "need at least one directory");
+        let setup = OpCtx::test(NodeId(0));
+        fs.mkdir(&setup, &self.root, Mode::dir_default())
+            .expect("setup mkdir");
+        for d in 0..self.dirs {
+            fs.mkdir(
+                &setup,
+                &self.root.join(&format!("h{d}")),
+                Mode::dir_default(),
+            )
+            .expect("setup mkdir");
+        }
+        fs.phase_reset();
+        let mut scripts = Vec::new();
+        for n in 0..self.nodes {
+            let mut s = ClientScript::new(NodeId(n as u32), Pid(1));
+            for p in 0..self.phases {
+                s.push(Action::Barrier);
+                let hot = self.root.join(&format!("h{}", p % self.dirs));
+                // Sparse cooldown polling on last phase's directory,
+                // spread *through* the phase (a background poller, not
+                // a tail burst): each lookback stat is the only
+                // traffic the cooled directory sees for a while, so an
+                // elastic policy observes genuinely cold windows there
+                // — that's what lets lazy migration give split levels
+                // back while the new hotspot rages elsewhere.
+                let lookbacks = if p > 0 {
+                    self.lookback_stats.min(self.files_per_phase)
+                } else {
+                    0
+                };
+                let step = if lookbacks > 0 {
+                    self.files_per_phase.div_ceil(lookbacks)
+                } else {
+                    usize::MAX
+                };
+                let cooled = self
+                    .root
+                    .join(&format!("h{}", (p + self.dirs - 1) % self.dirs));
+                for i in 0..self.files_per_phase {
+                    let path = hot.join(&format!("f.{n}.{p}.{i}"));
+                    s.push_measured(
+                        "create",
+                        Action::Create {
+                            path: path.clone(),
+                            mode: Mode::file_default(),
+                            slot: 0,
+                        },
+                    );
+                    s.push(Action::Close { slot: 0 });
+                    for _ in 0..self.stats_per_create {
+                        s.push_measured("stat", Action::Stat(path.clone()));
+                    }
+                    // Stagger each node's polling positions: phases
+                    // are barrier-synced, so un-staggered lookbacks
+                    // from every node would land in the *same*
+                    // observation windows and read as load, not cold.
+                    if lookbacks > 0 {
+                        let off = (n * step) / self.nodes.max(1);
+                        if i >= off
+                            && (i - off).is_multiple_of(step)
+                            && (i - off) / step < lookbacks
+                        {
+                            let j = (i - off) / step;
+                            let old = cooled.join(&format!("f.{n}.{}.{j}", p - 1));
+                            s.push_measured("stat", Action::Stat(old));
+                        }
+                    }
+                }
+            }
+            scripts.push(s);
+        }
+        let report = run(fs, scripts);
+        report.expect_clean();
+        summarize(report, self.files(), fs)
+    }
+}
+
 fn summarize<F: BenchTarget>(report: RunReport, files: usize, fs: &mut F) -> ScenarioResult {
     // Pipelined batching acknowledges mutations before their wire
     // completion; the phase is not over until the tail drains.
@@ -672,6 +899,82 @@ mod tests {
         let batches: u64 = r_batched.per_shard.iter().map(|u| u.batches).sum();
         assert_eq!(batches, stats.batches_issued);
         assert!(r_plain.per_shard.iter().all(|u| u.batches == 0));
+    }
+
+    #[test]
+    fn skewed_tenant_storm_is_skewed() {
+        let storm = SkewedTenantStorm {
+            nodes: 4,
+            tenants: 4,
+            files_per_node: 8,
+            ..SkewedTenantStorm::default()
+        };
+        let mut fs = MemFs::new();
+        let r = storm.run(&mut fs);
+        assert_eq!(r.files, 32);
+        let ctx = OpCtx::test(NodeId(0));
+        let hot = fs.readdir(&ctx, &vpath("/tenant0")).unwrap().value.len();
+        // stride 4: i = 3 and 7 cool off, the other 6 of 8 stay hot.
+        assert_eq!(hot, 4 * 6, "~75 % of creates must hit the hot tenant");
+        let cold: usize = (1..4)
+            .map(|t| {
+                fs.readdir(&ctx, &vpath(&format!("/tenant{t}")))
+                    .unwrap()
+                    .value
+                    .len()
+            })
+            .sum();
+        assert_eq!(hot + cold, 32);
+    }
+
+    #[test]
+    fn skewed_tenant_storm_skews_shard_load_under_static_policies() {
+        use crate::report::shard_skew;
+        use cofs::config::{CofsConfig, MdsNetwork, ShardPolicyKind};
+        use cofs::fs::CofsFs;
+        use simcore::time::SimDuration;
+
+        let storm = SkewedTenantStorm {
+            nodes: 4,
+            tenants: 4,
+            files_per_node: 16,
+            ..SkewedTenantStorm::default()
+        };
+        let net = || MdsNetwork::uniform(SimDuration::from_micros(250));
+        for kind in [ShardPolicyKind::HashByParent, ShardPolicyKind::Subtree] {
+            let cfg = CofsConfig::default().with_shards(4, kind);
+            let mut fs = CofsFs::new(MemFs::new(), cfg, net(), 7);
+            let r = storm.run(&mut fs);
+            let skew = shard_skew(&r.per_shard);
+            assert!(
+                skew > 1.5,
+                "{kind:?} must concentrate the hot tenant on one shard: skew {skew}"
+            );
+        }
+    }
+
+    #[test]
+    fn shifting_hotspot_storm_creates_all_files() {
+        let storm = ShiftingHotspotStorm {
+            nodes: 2,
+            dirs: 2,
+            phases: 4,
+            files_per_phase: 4,
+            ..ShiftingHotspotStorm::default()
+        };
+        let mut fs = MemFs::new();
+        let r = storm.run(&mut fs);
+        assert_eq!(r.files, 32);
+        let ctx = OpCtx::test(NodeId(0));
+        // 4 phases over 2 dirs: each dir hosts 2 phases × 2 nodes × 4.
+        for d in 0..2 {
+            let list = fs
+                .readdir(&ctx, &storm.root.join(&format!("h{d}")))
+                .unwrap()
+                .value;
+            assert_eq!(list.len(), 16, "h{d}");
+        }
+        assert!(r.mean_stat_ms >= 0.0);
     }
 
     #[test]

@@ -40,6 +40,14 @@ and fails when a structural performance claim regressed:
    TAIL_GROWTH_CAP of the priority batching-off p99 (bounded by the
    in-service lump, not the queue, so it no longer grows with
    ``max_batch_ops``).
+7. **The elastic policy adapts instead of saturating** — in the
+   "shared-directory storm vs shard count" section, the elastic rows'
+   ``creates/s`` must be *strictly* monotone across every swept shard
+   count (the static claim stops at MAX_CLAIMED_SHARDS; load-adaptive
+   splitting is what carries scaling past the directory count), and in
+   the "skewed multi-tenant storm vs shard policy" section the elastic
+   makespan must be at or below the best static policy's at every
+   swept shard count.
 
 Cells are printed at two decimals, so comparisons allow one unit of
 rounding slack (0.011 ms / 1 create/s). Stdlib only; exit status 0 on
@@ -96,7 +104,13 @@ def check_shard_monotonicity(report):
     rate_col = column(sec, "creates/s")
     if shards_col is None or rate_col is None:
         return
-    rows = sorted(sec["rows"], key=lambda r: float(r[shards_col]))
+    policy_col = column(sec, "policy")
+    static_rows = [
+        r
+        for r in sec["rows"]
+        if policy_col is None or r[policy_col] != "elastic"
+    ]
+    rows = sorted(static_rows, key=lambda r: float(r[shards_col]))
     check(len(rows) >= 2, f"at least two shard counts swept ({len(rows)} rows)")
     for prev, cur in zip(rows, rows[1:]):
         if float(cur[shards_col]) > MAX_CLAIMED_SHARDS:
@@ -323,6 +337,63 @@ def check_read_priority(report):
     )
 
 
+def check_elastic(report):
+    print("elastic policy (storm scaling + skewed tenants):")
+    sec = section(report, "shared-directory storm vs shard count")
+    if sec is not None:
+        shards_col = column(sec, "shards")
+        policy_col = column(sec, "policy")
+        rate_col = column(sec, "creates/s")
+        if shards_col is not None and policy_col is not None and rate_col is not None:
+            rows = sorted(
+                (r for r in sec["rows"] if r[policy_col] == "elastic"),
+                key=lambda r: float(r[shards_col]),
+            )
+            check(
+                len(rows) >= 2,
+                f"elastic swept at >= 2 shard counts ({len(rows)} rows)",
+            )
+            for prev, cur in zip(rows, rows[1:]):
+                # Strict: load-adaptive splitting must keep *gaining*
+                # through every swept count, where the static rows are
+                # allowed to saturate past MAX_CLAIMED_SHARDS.
+                check(
+                    float(cur[rate_col]) > float(prev[rate_col]),
+                    f"elastic creates/s strictly grows {prev[shards_col]} -> "
+                    f"{cur[shards_col]} shards ({prev[rate_col]} -> {cur[rate_col]})",
+                )
+    sec = section(report, "skewed multi-tenant storm vs shard policy")
+    if sec is None:
+        return
+    shards_col = column(sec, "shards")
+    policy_col = column(sec, "policy")
+    make_col = column(sec, "makespan (ms)")
+    if shards_col is None or policy_col is None or make_col is None:
+        return
+    counts = []
+    for r in sec["rows"]:
+        if r[shards_col] not in counts:
+            counts.append(r[shards_col])
+    check(bool(counts), f"skewed storm swept >= 1 shard count ({counts})")
+    for n in counts:
+        rows = [r for r in sec["rows"] if r[shards_col] == n]
+        statics = [r for r in rows if r[policy_col] != "elastic"]
+        elastic = [r for r in rows if r[policy_col] == "elastic"]
+        if not statics or len(elastic) != 1:
+            check(
+                False,
+                f"{n} shards measured with static policies and one elastic row",
+            )
+            continue
+        best = min(float(r[make_col]) for r in statics)
+        got = float(elastic[0][make_col])
+        check(
+            got <= best + ROUNDING_MS,
+            f"elastic makespan beats best static at {n} shards "
+            f"({got} vs {best} ms)",
+        )
+
+
 def main():
     path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_scaling.json"
     try:
@@ -338,6 +409,7 @@ def main():
     check_memoization(report)
     check_write_behind(report)
     check_read_priority(report)
+    check_elastic(report)
     if failures:
         print(f"\n{len(failures)} check(s) failed")
         return 1

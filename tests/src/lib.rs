@@ -173,6 +173,28 @@ pub fn cofs_over_memfs_write_behind(shards: usize, max_batch_ops: usize) -> Cofs
     )
 }
 
+/// COFS over the reference filesystem with the load-adaptive elastic
+/// shard policy at a deliberately hair-trigger configuration — splits
+/// after a handful of ops in a tiny window, skew gate wide open,
+/// merges on any cold window — so the differential suite exercises
+/// live splits, migrations, and merges mid-sequence and pins that
+/// none of that routing churn is visible in user-visible outcomes.
+pub fn cofs_over_memfs_elastic(shards: usize) -> CofsFs<MemFs> {
+    let mut cfg = CofsConfig::default().with_elastic(shards);
+    cfg.elastic.split_threshold = 4;
+    cfg.elastic.merge_threshold = 1;
+    cfg.elastic.window = simcore::time::SimDuration::from_millis(2);
+    cfg.elastic.split_skew_pct = 0;
+    cfg.elastic.split_contrib_pct = 0;
+    cfg.elastic.headroom_pct = u64::MAX;
+    CofsFs::new(
+        MemFs::new(),
+        cfg,
+        MdsNetwork::uniform(simcore::time::SimDuration::from_micros(250)),
+        7,
+    )
+}
+
 /// The complete cost-model tower: sharded, batched, memoized,
 /// journaled, cached, and with the shard CPUs' read-priority lane on —
 /// every performance knob this repository has, stacked. The
@@ -293,7 +315,20 @@ pub enum Outcome {
 /// Applies one generated op to a filesystem and returns the
 /// normalized outcome.
 pub fn apply<F: FileSystem>(fs: &mut F, node: NodeId, op: &GenOp) -> Outcome {
-    let ctx = OpCtx::test(node).with_pid(Pid(1));
+    apply_at(fs, node, simcore::time::SimTime::ZERO, op)
+}
+
+/// [`apply`] with the issuer's virtual clock at `now`. Advancing `now`
+/// across a sequence is what lets time-windowed machinery (client-cache
+/// TTLs, journal durability windows, elastic observation windows) fire
+/// mid-sequence; outcomes must be invariant to it regardless.
+pub fn apply_at<F: FileSystem>(
+    fs: &mut F,
+    node: NodeId,
+    now: simcore::time::SimTime,
+    op: &GenOp,
+) -> Outcome {
+    let ctx = OpCtx::test(node).with_pid(Pid(1)).at(now);
     let norm_attr = |a: vfs::types::FileAttr| {
         format!(
             "{:?} mode={} nlink={} size={}",

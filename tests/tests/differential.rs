@@ -4,10 +4,12 @@
 //! client-side metadata cache on at aggressive and degenerate
 //! configurations, with metadata-RPC batching on — alone and stacked
 //! under the cache — with per-batch read memoization and the
-//! read-priority service lane, and with write-behind journaling at a
-//! degenerate durability window, alone and stacked with everything
-//! else), on bare GPFS (`PfsFs`), and on COFS-over-GPFS (centralized
-//! and at 2 and 4 shards).
+//! read-priority service lane, with write-behind journaling at a
+//! degenerate durability window, and with the elastic shard policy at
+//! a hair-trigger configuration — directories split, migrate, and
+//! merge live mid-sequence — alone and stacked with everything else),
+//! on bare GPFS (`PfsFs`), and on COFS-over-GPFS (centralized and at
+//! 2 and 4 shards).
 //!
 //! This is the strongest POSIX-compliance evidence in the repository:
 //! the virtualization layer reorganizes the physical layout — the
@@ -20,9 +22,10 @@
 
 use cofs::config::ShardPolicyKind;
 use cofs_tests::{
-    apply, cofs_over_gpfs, cofs_over_gpfs_sharded, cofs_over_memfs, cofs_over_memfs_batched,
-    cofs_over_memfs_batched_cached, cofs_over_memfs_cached, cofs_over_memfs_full_stack,
-    cofs_over_memfs_memoized, cofs_over_memfs_sharded, cofs_over_memfs_write_behind, gen_ops, gpfs,
+    apply_at, cofs_over_gpfs, cofs_over_gpfs_sharded, cofs_over_memfs, cofs_over_memfs_batched,
+    cofs_over_memfs_batched_cached, cofs_over_memfs_cached, cofs_over_memfs_elastic,
+    cofs_over_memfs_full_stack, cofs_over_memfs_memoized, cofs_over_memfs_sharded,
+    cofs_over_memfs_write_behind, gen_ops, gpfs,
 };
 use netsim::ids::NodeId;
 use simcore::time::SimDuration;
@@ -56,6 +59,10 @@ fn run_differential(seed: u64, n_ops: usize) {
     // deferred row application must stay invisible: reads consult the
     // journaled namespace, so read-your-writes is exact.
     let mut cofs_mem_journal = cofs_over_memfs_write_behind(2, 16);
+    // Elastic sharding at a hair-trigger configuration: directories
+    // split, migrate, and merge live mid-sequence, yet the routing
+    // churn must never be observable in outcomes.
+    let mut cofs_mem_elastic = cofs_over_memfs_elastic(4);
     let mut cofs_mem_full = cofs_over_memfs_full_stack(4);
     let mut bare_gpfs = gpfs(2);
     let mut cofs_gpfs = cofs_over_gpfs(2);
@@ -63,48 +70,72 @@ fn run_differential(seed: u64, n_ops: usize) {
     let mut cofs_gpfs_4s = cofs_over_gpfs_sharded(2, 4, ShardPolicyKind::HashByParent);
     for (i, op) in ops.iter().enumerate() {
         let node = NodeId((i % 2) as u32);
-        let expect = apply(&mut reference, node, op);
+        // The issuers' clocks advance 100 µs per op, so time-windowed
+        // machinery (cache TTLs, journal windows, elastic observation
+        // windows) genuinely fires mid-sequence; outcomes must be
+        // invariant to all of it.
+        let now = simcore::time::SimTime::ZERO + SimDuration::from_micros(100) * i as u64;
+        let expect = apply_at(&mut reference, node, now, op);
         for (label, got) in [
-            ("cofs/memfs", apply(&mut cofs_mem, node, op)),
-            ("cofs/memfs 2 shards", apply(&mut cofs_mem_2s, node, op)),
-            ("cofs/memfs 4 shards", apply(&mut cofs_mem_4s, node, op)),
-            ("cofs/memfs cached", apply(&mut cofs_mem_cached, node, op)),
+            ("cofs/memfs", apply_at(&mut cofs_mem, node, now, op)),
+            (
+                "cofs/memfs 2 shards",
+                apply_at(&mut cofs_mem_2s, node, now, op),
+            ),
+            (
+                "cofs/memfs 4 shards",
+                apply_at(&mut cofs_mem_4s, node, now, op),
+            ),
+            (
+                "cofs/memfs cached",
+                apply_at(&mut cofs_mem_cached, node, now, op),
+            ),
             (
                 "cofs/memfs cached 4 shards cap 1",
-                apply(&mut cofs_mem_cached_4s, node, op),
+                apply_at(&mut cofs_mem_cached_4s, node, now, op),
             ),
             (
                 "cofs/memfs cached ttl 1us",
-                apply(&mut cofs_mem_cached_ttl, node, op),
+                apply_at(&mut cofs_mem_cached_ttl, node, now, op),
             ),
             (
                 "cofs/memfs batched 16x4",
-                apply(&mut cofs_mem_batched, node, op),
+                apply_at(&mut cofs_mem_batched, node, now, op),
             ),
             (
                 "cofs/memfs batched degenerate 4 shards",
-                apply(&mut cofs_mem_batched_4s, node, op),
+                apply_at(&mut cofs_mem_batched_4s, node, now, op),
             ),
             (
                 "cofs/memfs batched+cached 2 shards",
-                apply(&mut cofs_mem_batched_cached, node, op),
+                apply_at(&mut cofs_mem_batched_cached, node, now, op),
             ),
             (
                 "cofs/memfs memoized 2 shards",
-                apply(&mut cofs_mem_memoized, node, op),
+                apply_at(&mut cofs_mem_memoized, node, now, op),
             ),
             (
                 "cofs/memfs write-behind tiny window",
-                apply(&mut cofs_mem_journal, node, op),
+                apply_at(&mut cofs_mem_journal, node, now, op),
+            ),
+            (
+                "cofs/memfs elastic hair-trigger 4 shards",
+                apply_at(&mut cofs_mem_elastic, node, now, op),
             ),
             (
                 "cofs/memfs memo+prio+journal+cached 4 shards",
-                apply(&mut cofs_mem_full, node, op),
+                apply_at(&mut cofs_mem_full, node, now, op),
             ),
-            ("gpfs", apply(&mut bare_gpfs, node, op)),
-            ("cofs/gpfs", apply(&mut cofs_gpfs, node, op)),
-            ("cofs/gpfs 2 shards", apply(&mut cofs_gpfs_2s, node, op)),
-            ("cofs/gpfs 4 shards", apply(&mut cofs_gpfs_4s, node, op)),
+            ("gpfs", apply_at(&mut bare_gpfs, node, now, op)),
+            ("cofs/gpfs", apply_at(&mut cofs_gpfs, node, now, op)),
+            (
+                "cofs/gpfs 2 shards",
+                apply_at(&mut cofs_gpfs_2s, node, now, op),
+            ),
+            (
+                "cofs/gpfs 4 shards",
+                apply_at(&mut cofs_gpfs_4s, node, now, op),
+            ),
         ] {
             assert_eq!(
                 got, expect,
@@ -112,6 +143,22 @@ fn run_differential(seed: u64, n_ops: usize) {
                  expected {expect:?}, got {got:?}"
             );
         }
+    }
+    // The elastic row must not pass vacuously: on the long runs the
+    // hair-trigger config has to have actually reorganized directories
+    // mid-sequence (the advancing clocks above are what close its
+    // observation windows).
+    if n_ops >= 300 {
+        let policy = cofs_mem_elastic
+            .mds_cluster()
+            .policy()
+            .as_elastic()
+            .expect("elastic row runs the elastic policy");
+        assert!(
+            policy.split_events() > 0,
+            "seed {seed}: hair-trigger elastic policy never split — \
+             the differential row exercises nothing"
+        );
     }
 }
 
