@@ -257,6 +257,47 @@ fn bench_elastic(c: &mut Criterion) {
     });
 }
 
+/// The failover storm with and without one scripted mid-storm shard
+/// crash — measures the simulator's wall-clock cost of the fault
+/// machinery (script scanning at request entry, availability preflight,
+/// fencing and retry bookkeeping; the *virtual*-time behaviour is
+/// asserted by the integration tests and gated by
+/// `scripts/bench_check.py`). The fault-free run exercises the armed
+/// branch-out, so a regression in the default-off path shows here too.
+fn failover_storm(crash: bool) {
+    use cofs::fault::FaultPlan;
+    use cofs::mds_cluster::ShardId;
+    use simcore::time::{SimDuration, SimTime};
+    use workloads::scenarios::FailoverStorm;
+
+    let storm = FailoverStorm {
+        nodes: 4,
+        dirs: 8,
+        files_per_node: 8,
+        ..FailoverStorm::default()
+    };
+    let plan = if crash {
+        FaultPlan::default().crash(
+            ShardId(1),
+            SimTime::from_millis(5),
+            SimDuration::from_millis(10),
+        )
+    } else {
+        FaultPlan::default()
+    };
+    let mut fs = cofs_bench::cofs_failover(4, plan, false);
+    storm.run(&mut fs);
+}
+
+fn bench_fault(c: &mut Criterion) {
+    c.bench_function("fault_failover_storm_off", |b| {
+        b.iter(|| failover_storm(false))
+    });
+    c.bench_function("fault_failover_storm_crash", |b| {
+        b.iter(|| failover_storm(true))
+    });
+}
+
 fn bench_fig1(c: &mut Criterion) {
     c.bench_function("fig1_single_node_stat_1536", |b| {
         b.iter(|| {
@@ -331,6 +372,6 @@ fn bench_table1(c: &mut Criterion) {
 criterion_group! {
     name = paper;
     config = Criterion::default().sample_size(10);
-    targets = bench_fig1, bench_fig2, bench_fig4, bench_fig5, bench_fig6, bench_table1, bench_mds, bench_client_cache, bench_batching, bench_memoization, bench_write_behind, bench_read_priority, bench_elastic
+    targets = bench_fig1, bench_fig2, bench_fig4, bench_fig5, bench_fig6, bench_table1, bench_mds, bench_client_cache, bench_batching, bench_memoization, bench_write_behind, bench_read_priority, bench_elastic, bench_fault
 }
 criterion_main!(paper);

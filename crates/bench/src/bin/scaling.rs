@@ -25,25 +25,34 @@
 //!    where the static policies run out of directories), and a skewed
 //!    multi-tenant storm where one tenant takes ~75 % of the load —
 //!    the shape both static policies lose to a single hot shard.
+//! 7. Failover axis: the same create/stat storm with one scripted
+//!    shard crash, swept over crash timing × recovery cost (plain vs
+//!    write-behind journal, whose acked-but-unapplied rows recovery
+//!    must replay) × shard count. Reports the availability gap,
+//!    recovery CPU, retry/NACK counts, lost-acked ops (gated at zero),
+//!    and the stat tail through the fault window — next to a
+//!    fault-free baseline row from the *same* factory, which must
+//!    match the plain storm bit-for-bit.
 //!
 //! Alongside the text tables the binary writes `BENCH_scaling.json`
 //! (see [`cofs_bench::write_bench_json`]) for machine consumption;
 //! `scripts/bench_check.py` gates CI on its monotonicity claims.
 
 use cofs::config::ShardPolicyKind;
+use cofs::fault::FaultPlan;
 use cofs_bench::{
     cofs_mds_limit, cofs_mds_limit_cached, cofs_mds_limit_elastic, cofs_mds_limit_maybe_batched,
     cofs_mds_limit_tuned, cofs_mds_limit_write_behind, cofs_over_gpfs_on, gpfs_on, smoke_files,
     smoke_or, write_bench_json,
 };
 use netsim::topology::Topology;
-use simcore::time::SimDuration;
+use simcore::time::{SimDuration, SimTime};
 use workloads::metarates::{run_phase, MetaOp, MetaratesConfig};
 use workloads::report::{
-    batch_cells, cache_cells, ms, read_latency_cells, shard_skew, shard_utilization_table, Table,
-    BATCH_COLUMNS, CACHE_COLUMNS, READ_LAT_COLUMNS,
+    batch_cells, cache_cells, fault_cells, ms, read_latency_cells, shard_skew,
+    shard_utilization_table, Table, BATCH_COLUMNS, CACHE_COLUMNS, FAULT_COLUMNS, READ_LAT_COLUMNS,
 };
-use workloads::scenarios::{HotStatStorm, SharedDirStorm, SkewedTenantStorm};
+use workloads::scenarios::{FailoverStorm, HotStatStorm, SharedDirStorm, SkewedTenantStorm};
 
 fn main() {
     let fpn = smoke_files(256);
@@ -479,6 +488,92 @@ fn main() {
     }
     println!("{}", nonwin_table.render());
 
+    // ---- failover axis: crash timing × recovery cost × shard count --
+    // One scripted crash of shard 0 mid-storm. The client rides it out
+    // on bounded retries (nothing wedges, `errors` counts the rare
+    // retry-exhausted steps), crashes fence every lease the shard
+    // granted, and with the write-behind journal on, recovery must
+    // replay the acked-but-unapplied rows before serving — priced as
+    // the "recovery (ms)" column on top of the scripted "down" window.
+    // `scripts/bench_check.py` gates lost-acked at zero on every row,
+    // nacks > 0 on every crash row, and the crashed makespan against
+    // baseline + gap + recovery slack. The apply-lag/tail columns make
+    // the post-crash durability window machine-checkable alongside the
+    // write-behind axis above.
+    let fstorm = FailoverStorm {
+        nodes: cofs_bench::smoke_nodes(8),
+        files_per_node: smoke_files(16),
+        ..FailoverStorm::default()
+    };
+    println!(
+        "== Scaling: failover storm vs crash timing, recovery cost, shard count \
+         ({} nodes, {} dirs, {} files/node, {} stats/create, one crash of d0's shard, \
+         metadata-service limit) ==\n",
+        fstorm.nodes, fstorm.dirs, fstorm.files_per_node, fstorm.stats_per_create
+    );
+    let mut headers = vec![
+        "shards",
+        "journal",
+        "crash at (ms)",
+        "down (ms)",
+        "create (ms)",
+        "makespan (ms)",
+    ];
+    headers.extend(READ_LAT_COLUMNS);
+    headers.extend(FAULT_COLUMNS);
+    headers.extend(["apply lag (ms)", "apply tail (ms)"]);
+    let mut failover_table = Table::new(headers);
+    let crash_windows: Vec<Option<(SimTime, SimDuration)>> = smoke_or(
+        vec![
+            None,
+            Some((SimTime::from_millis(2), SimDuration::from_millis(5))),
+        ],
+        vec![
+            None,
+            Some((SimTime::from_millis(2), SimDuration::from_millis(5))),
+            Some((SimTime::from_millis(5), SimDuration::from_millis(5))),
+            Some((SimTime::from_millis(5), SimDuration::from_millis(20))),
+        ],
+    );
+    for shards in smoke_or(vec![2], vec![2, 4, 8]) {
+        // Crash the shard serving the storm's first hot directory —
+        // `ShardId(0)` can end up dirless under hash-by-parent at wider
+        // shard counts, and an unobserved crash would make the row a
+        // silent baseline.
+        let victim = cofs_bench::cofs_failover(shards, FaultPlan::default(), false)
+            .mds_cluster()
+            .route(&vfs::path::vpath("/failover/d0/f"));
+        for journal in [false, true] {
+            for window in &crash_windows {
+                let plan = match window {
+                    None => FaultPlan::default(),
+                    Some((at, down)) => FaultPlan::default().crash(victim, *at, *down),
+                };
+                let mut fs = cofs_bench::cofs_failover(shards, plan, journal);
+                let r = fstorm.run(&mut fs);
+                let lag = r
+                    .per_shard
+                    .iter()
+                    .map(|u| u.apply_lag)
+                    .max()
+                    .unwrap_or(SimDuration::ZERO);
+                let mut row = vec![
+                    shards.to_string(),
+                    if journal { "on" } else { "off" }.to_string(),
+                    window.map_or("-".into(), |(at, _)| ms(at.as_millis_f64())),
+                    window.map_or("-".into(), |(_, down)| ms(down.as_millis_f64())),
+                    ms(r.mean_create_ms),
+                    ms(r.makespan.as_millis_f64()),
+                ];
+                row.extend(read_latency_cells(r.stat_p50_p99_ms));
+                row.extend(fault_cells(r.fault.as_ref()));
+                row.extend([ms(lag.as_millis_f64()), ms(r.apply_tail_ms)]);
+                failover_table.row(row);
+            }
+        }
+    }
+    println!("{}", failover_table.render());
+
     match write_bench_json(
         "scaling",
         &[
@@ -492,6 +587,7 @@ fn main() {
             ("bursty storm vs write-behind journal", &wb_table),
             ("mixed stat+create storm vs read priority", &prio_table),
             ("batching non-wins", &nonwin_table),
+            ("failover storm vs crash timing", &failover_table),
         ],
     ) {
         Ok(path) => println!("wrote {}", path.display()),

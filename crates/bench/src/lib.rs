@@ -167,6 +167,33 @@ pub fn cofs_mds_limit_elastic(shards: usize) -> CofsFs<vfs::memfs::MemFs> {
     )
 }
 
+/// [`cofs_mds_limit`] with a deterministic fault plan armed: the stack
+/// the failover axis of the `scaling` binary sweeps. An *empty* plan is
+/// never armed, so the same factory produces the fault-free baseline
+/// row bit-for-bit identical to [`cofs_mds_limit`]. With
+/// `write_behind` the stack also batches (16-op windows) and journals,
+/// so a crash leaves acked-but-unapplied rows for recovery to replay —
+/// the recovery-cost axis of the sweep.
+pub fn cofs_failover(
+    shards: usize,
+    plan: cofs::fault::FaultPlan,
+    write_behind: bool,
+) -> CofsFs<vfs::memfs::MemFs> {
+    let mut cfg = CofsConfig::default().with_shards(shards, ShardPolicyKind::HashByParent);
+    if write_behind {
+        cfg = cfg
+            .with_batching(16, simcore::time::SimDuration::from_millis(5), 4)
+            .with_write_behind();
+    }
+    cfg = cfg.with_fault_plan(plan);
+    CofsFs::new(
+        vfs::memfs::MemFs::new(),
+        cfg,
+        MdsNetwork::uniform(simcore::time::SimDuration::from_micros(250)),
+        0xC0F5,
+    )
+}
+
 /// The full service-discipline selector every `cofs_mds_limit_*`
 /// batching factory funnels through: optional batching at
 /// `max_batch_ops` (delay window 5 ms, pipeline depth 4), per-batch
@@ -424,6 +451,29 @@ mod tests {
             .value;
         fs.close(&ctx, fh).unwrap();
         assert_eq!(fs.readdir(&ctx, &vpath("/d")).unwrap().value.len(), 1);
+    }
+
+    #[test]
+    fn failover_factory_arms_only_nonempty_plans() {
+        use cofs::fault::FaultPlan;
+        use cofs::mds_cluster::ShardId;
+        use simcore::time::{SimDuration, SimTime};
+
+        let off = cofs_failover(2, FaultPlan::default(), false);
+        assert!(
+            off.fault_summary().is_none(),
+            "empty plan must stay disarmed"
+        );
+        assert!(!off.batch_pipeline().enabled());
+        let plan = FaultPlan::default().crash(
+            ShardId(0),
+            SimTime::from_millis(1),
+            SimDuration::from_millis(2),
+        );
+        let on = cofs_failover(2, plan, true);
+        assert!(on.fault_summary().is_some());
+        assert!(on.batch_pipeline().enabled());
+        assert!(on.config().write_behind.enabled);
     }
 
     #[test]

@@ -4,6 +4,7 @@
 use crate::batch::BatchConfig;
 use crate::client_cache::ClientCacheConfig;
 use crate::elastic::{ElasticConfig, ElasticPolicy};
+use crate::fault::{FaultPlan, RetryConfig};
 use crate::mds_cluster::{HashByParent, ShardId, ShardPolicy, SingleShard, SubtreePartition};
 use metadb::cost::DbCostModel;
 use netsim::cluster::Cluster;
@@ -165,6 +166,15 @@ pub struct CofsConfig {
     /// every request then takes the FIFO lane, bit-for-bit the
     /// calibrated discipline.
     pub read_priority: bool,
+
+    // ---- fault injection ----
+    /// Deterministic crash/message-drop script (see [`crate::fault`]).
+    /// Empty by default — an empty plan is never armed, so the
+    /// fault-free path stays bit-for-bit the calibrated one.
+    pub fault: FaultPlan,
+    /// Client retry/timeout/backoff policy, consulted only while a
+    /// fault plan is armed.
+    pub retry: RetryConfig,
 }
 
 impl Default for CofsConfig {
@@ -187,6 +197,8 @@ impl Default for CofsConfig {
             write_behind: WriteBehindConfig::default(),
             elastic: ElasticConfig::default(),
             read_priority: false,
+            fault: FaultPlan::default(),
+            retry: RetryConfig::default(),
         }
     }
 }
@@ -286,6 +298,20 @@ impl CofsConfig {
     /// switched on (see [`Self::read_priority`]).
     pub fn with_read_priority(mut self) -> Self {
         self.read_priority = true;
+        self
+    }
+
+    /// A copy of this config carrying a fault-injection script (see
+    /// [`crate::fault::FaultPlan`]). A non-empty plan arms the fault
+    /// subsystem; retries follow [`Self::retry`].
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault = plan;
+        self
+    }
+
+    /// A copy of this config with the given retry/backoff policy.
+    pub fn with_retry(mut self, retry: RetryConfig) -> Self {
+        self.retry = retry;
         self
     }
 
@@ -511,6 +537,29 @@ mod tests {
             .with_shards(4, ShardPolicyKind::HashByParent)
             .build_shard_policy();
         assert!(h.as_elastic().is_none());
+    }
+
+    #[test]
+    fn fault_defaults_off_and_builder_enables() {
+        use crate::fault::FaultPlan;
+        use crate::mds_cluster::ShardId;
+        use simcore::time::SimTime;
+        let c = CofsConfig::default();
+        assert!(c.fault.is_empty());
+        assert!(c.retry.max_retries > 0);
+        assert!(!c.retry.base_backoff.is_zero());
+        let plan = FaultPlan::default().crash(
+            ShardId(1),
+            SimTime::from_millis(40),
+            SimDuration::from_millis(5),
+        );
+        let f = CofsConfig::default().with_fault_plan(plan.clone());
+        assert_eq!(f.fault, plan);
+        let quiet = CofsConfig::default().with_retry(RetryConfig {
+            jitter_pct: 0,
+            ..RetryConfig::default()
+        });
+        assert_eq!(quiet.retry.jitter_pct, 0);
     }
 
     #[test]

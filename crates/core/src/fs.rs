@@ -11,6 +11,7 @@
 use crate::batch::{BatchPipeline, BatchStats, BatchedOp};
 use crate::client_cache::{CacheStats, ClientCache, EntryKind, LeaseKey};
 use crate::config::{CofsConfig, MdsNetwork};
+use crate::fault::{FaultSummary, RetryStats};
 use crate::mds::{Cred, DbOps, Mds, ReadSet, WriteSet};
 use crate::mds_cluster::{MdsCluster, ShardPolicy, ShardUsage};
 use crate::placement::{HashedPlacement, PlacementPolicy};
@@ -80,6 +81,10 @@ pub struct CofsFs<U: FileSystem> {
     next_fh: u64,
     next_under_name: u64,
     counters: Counters,
+    retry: RetryStats,
+    /// Monotonic retry sequence — seeds per-retry backoff jitter so
+    /// concurrent clients de-synchronize deterministically.
+    retry_seq: u64,
 }
 
 impl<U: FileSystem> CofsFs<U> {
@@ -135,10 +140,17 @@ impl<U: FileSystem> CofsFs<U> {
         placement: Box<dyn PlacementPolicy>,
         shard_policy: Box<dyn ShardPolicy>,
     ) -> Self {
+        let mut mds = MdsCluster::new(shard_policy);
+        // Default-off: an empty plan never arms, and every fault-aware
+        // branch below checks `fault_active()` first, so the fault-free
+        // configuration stays bit-for-bit the seed path.
+        if !cfg.fault.is_empty() {
+            mds.arm_faults(cfg.fault.clone());
+        }
         CofsFs {
             under,
             net,
-            mds: MdsCluster::new(shard_policy),
+            mds,
             cache: ClientCache::new(cfg.client_cache.clone()),
             batch: BatchPipeline::new(cfg.batch.clone()),
             placement,
@@ -147,6 +159,8 @@ impl<U: FileSystem> CofsFs<U> {
             next_fh: 1,
             next_under_name: 1,
             counters: Counters::new(),
+            retry: RetryStats::default(),
+            retry_seq: 0,
             cfg,
         }
     }
@@ -220,6 +234,39 @@ impl<U: FileSystem> CofsFs<U> {
         self.batch.stats()
     }
 
+    /// Client-side retry accounting since the last [`Self::reset_time`]
+    /// (all zero without an armed fault plan).
+    pub fn retry_stats(&self) -> RetryStats {
+        self.retry
+    }
+
+    /// Combined cluster/client fault accounting — `None` unless a fault
+    /// plan is armed, so fault-free results stay byte-identical. The
+    /// `errors` field is left zero here; scenario drivers that collect
+    /// per-step failures fill it in.
+    pub fn fault_summary(&self) -> Option<FaultSummary> {
+        if !self.mds.fault_active() {
+            return None;
+        }
+        let f = self.mds.fault_stats();
+        let r = self.retry;
+        Some(FaultSummary {
+            crashes: f.crashes,
+            nacks: f.nacks,
+            drops: f.drops,
+            retries: r.retries,
+            exhausted: r.exhausted,
+            replayed_ops: f.replayed_ops,
+            lost_acked_ops: f.lost_acked_ops,
+            fenced_leases: f.fenced_leases,
+            fenced_sessions: f.fenced_sessions,
+            elastic_aborts: f.elastic_aborts,
+            gap_ms: f.downtime.as_millis_f64(),
+            recovery_ms: f.recovery_busy.as_millis_f64(),
+            errors: 0,
+        })
+    }
+
     /// Flushes every buffered batch — each at its natural delay-window
     /// deadline, exactly as its flush timer would have — and returns
     /// the latest batch completion across all nodes, if batching is on
@@ -232,7 +279,10 @@ impl<U: FileSystem> CofsFs<U> {
         }
         for node in self.batch.nodes_with_work() {
             self.batch.close_all(node);
-            self.pump(node, SimTime::MAX);
+            // A batch that exhausts its retries during a drain has
+            // already recorded its failure (counters + completion);
+            // keep draining the rest of the pipeline.
+            while self.pump(node, SimTime::MAX).is_err() {}
         }
         self.batch.last_completion()
     }
@@ -251,6 +301,8 @@ impl<U: FileSystem> CofsFs<U> {
         }
         self.mds.reset_time();
         self.cache.reset_stats();
+        self.retry = RetryStats::default();
+        self.retry_seq = 0;
     }
 
     fn cred(ctx: &OpCtx) -> Cred {
@@ -312,17 +364,20 @@ impl<U: FileSystem> CofsFs<U> {
     }
 
     /// Charges one metadata-service RPC against the shard owning
-    /// `path`.
+    /// `path`, waiting out (with bounded retries) any fault window the
+    /// shard is inside.
     fn rpc(
         &mut self,
         node: NodeId,
+        op: &'static str,
         path: &VPath,
         ops: DbOps,
         t: simcore::time::SimTime,
-    ) -> simcore::time::SimTime {
+    ) -> Result<simcore::time::SimTime, FsError> {
         self.observe_parent(path, t);
         let shard = self.mds.route(path);
-        self.rpc_at(node, shard, ops, t)
+        let t = self.await_shard(node, shard, op, path.as_str(), t)?;
+        Ok(self.rpc_at(node, shard, ops, t))
     }
 
     /// Charges an operation spanning the shards of `a` and `b` — one
@@ -339,7 +394,7 @@ impl<U: FileSystem> CofsFs<U> {
         b: &VPath,
         ops: DbOps,
         t: simcore::time::SimTime,
-    ) -> simcore::time::SimTime {
+    ) -> Result<simcore::time::SimTime, FsError> {
         self.observe_parent(a, t);
         self.observe_parent(b, t);
         let sa = self.mds.route(a);
@@ -361,10 +416,15 @@ impl<U: FileSystem> CofsFs<U> {
             };
             self.rpc_write_at(node, sa, ops, read_set, write_set, t)
         } else {
+            // Two-phase commits rely on the caller's preflight: both
+            // shards were confirmed up when the mutation was admitted,
+            // and the residual crash-between window is accepted (the
+            // commit itself is atomic in the namespace either way).
             self.counters.bump("mds_rpcs");
             self.counters.bump("mds_two_phase");
-            self.mds
-                .rpc_cross(&self.cfg, &self.net, node, (sa, sb), ops, t)
+            Ok(self
+                .mds
+                .rpc_cross(&self.cfg, &self.net, node, (sa, sb), ops, t))
         }
     }
 
@@ -383,9 +443,9 @@ impl<U: FileSystem> CofsFs<U> {
         read_set: ReadSet,
         write_set: WriteSet,
         t: simcore::time::SimTime,
-    ) -> simcore::time::SimTime {
+    ) -> Result<simcore::time::SimTime, FsError> {
         if !self.batch.enabled() {
-            return self.rpc_at(node, shard, ops, t);
+            return Ok(self.rpc_at(node, shard, ops, t));
         }
         self.counters.bump("mds_rpcs");
         self.batch.enqueue(
@@ -398,8 +458,8 @@ impl<U: FileSystem> CofsFs<U> {
             },
             t,
         );
-        self.pump(node, t);
-        self.batch.ack_time(node, t)
+        self.pump(node, t)?;
+        Ok(self.batch.ack_time(node, t))
     }
 
     /// Charges a single-shard metadata mutation against the shard
@@ -415,7 +475,7 @@ impl<U: FileSystem> CofsFs<U> {
         path: &VPath,
         ops: DbOps,
         t: simcore::time::SimTime,
-    ) -> simcore::time::SimTime {
+    ) -> Result<simcore::time::SimTime, FsError> {
         self.observe_parent(path, t);
         let shard = self.mds.route(path);
         let read_set = if self.memoizing() {
@@ -448,14 +508,128 @@ impl<U: FileSystem> CofsFs<U> {
 
     /// Puts every closed batch of `node` due by `horizon` on the wire,
     /// in close order, feeding each completion back into the pipeline's
-    /// slot accounting.
-    fn pump(&mut self, node: NodeId, horizon: simcore::time::SimTime) {
+    /// slot accounting. With a fault plan armed, a refused or dropped
+    /// batch is retried with deterministic backoff; exhaustion records
+    /// the failure time as the batch's completion (the slot frees — the
+    /// pipeline never wedges) and surfaces `EIO`.
+    fn pump(&mut self, node: NodeId, horizon: simcore::time::SimTime) -> Result<(), FsError> {
         while let Some(b) = self.batch.take_due(node, horizon) {
             self.counters.bump("mds_batches");
-            let done = self
+            if !self.mds.fault_active() {
+                let done = self
+                    .mds
+                    .rpc_batch(&self.cfg, &self.net, node, b.shard, &b.ops, b.issue_at);
+                self.batch.record_completion(node, done);
+                continue;
+            }
+            let mut t = b.issue_at;
+            let mut attempt = 0u32;
+            loop {
+                match self
+                    .mds
+                    .rpc_batch_checked(&self.cfg, &self.net, node, b.shard, &b.ops, t)
+                {
+                    Ok(done) => {
+                        self.apply_fenced();
+                        self.batch.record_completion(node, done);
+                        break;
+                    }
+                    Err(nack) => {
+                        self.apply_fenced();
+                        self.retry.nacks += 1;
+                        if attempt >= self.cfg.retry.max_retries {
+                            self.retry.exhausted += 1;
+                            self.retry.exhausted_ops += b.ops.len() as u64;
+                            self.batch.record_completion(node, nack.at);
+                            return Err(FsError::new(Errno::EIO, "batch", b.shard.to_string())
+                                .with_end(nack.at));
+                        }
+                        self.retry.retries += 1;
+                        let seq = self.retry_seq;
+                        self.retry_seq += 1;
+                        let delay = self.cfg.retry.backoff(node, seq, attempt);
+                        self.retry.backoff += delay;
+                        t = nack.at + delay;
+                        attempt += 1;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Waits (in virtual time) until `shard` accepts requests again,
+    /// retrying with deterministic exponential backoff. A no-op — and
+    /// allocation-free — without an armed fault plan. Each refusal
+    /// costs the refused round trip plus the jittered backoff delay;
+    /// exhausting the budget surfaces `EIO` with an honest end time.
+    fn await_shard(
+        &mut self,
+        node: NodeId,
+        shard: crate::mds_cluster::ShardId,
+        op: &'static str,
+        subject: &str,
+        t: simcore::time::SimTime,
+    ) -> Result<simcore::time::SimTime, FsError> {
+        if !self.mds.fault_active() {
+            return Ok(t);
+        }
+        let rtt = self.net.shard_rtt(node, shard);
+        let mut now = t;
+        let mut attempt = 0u32;
+        loop {
+            let up = self
                 .mds
-                .rpc_batch(&self.cfg, &self.net, node, b.shard, &b.ops, b.issue_at);
-            self.batch.record_completion(node, done);
+                .shard_available(&self.cfg, &self.net, node, shard, now);
+            self.apply_fenced();
+            if up {
+                return Ok(now);
+            }
+            let failed = now + rtt;
+            self.retry.nacks += 1;
+            if attempt >= self.cfg.retry.max_retries {
+                self.retry.exhausted += 1;
+                return Err(FsError::new(Errno::EIO, op, subject.to_string()).with_end(failed));
+            }
+            self.retry.retries += 1;
+            let seq = self.retry_seq;
+            self.retry_seq += 1;
+            let delay = self.cfg.retry.backoff(node, seq, attempt);
+            self.retry.backoff += delay;
+            now = failed + delay;
+            attempt += 1;
+        }
+    }
+
+    /// Admission check for a namespace *mutation* of `path`: the owning
+    /// shard must be reachable before the mutation is applied, so a
+    /// retry-exhausted `EIO` can never leave the namespace changed —
+    /// an op either completes (possibly via retries) or fails without
+    /// effect, never both.
+    fn fault_preflight(
+        &mut self,
+        node: NodeId,
+        op: &'static str,
+        path: &VPath,
+        t: simcore::time::SimTime,
+    ) -> Result<simcore::time::SimTime, FsError> {
+        if !self.mds.fault_active() {
+            return Ok(t);
+        }
+        let shard = self.mds.route(path);
+        self.await_shard(node, shard, op, path.as_str(), t)
+    }
+
+    /// Drains lease-fence notices queued by crash processing into the
+    /// client cache: fenced entries vanish from their holders' caches,
+    /// so post-crash reads revalidate against the recovered shard.
+    fn apply_fenced(&mut self) {
+        let fenced = self.mds.take_fenced_cache_keys();
+        if !self.cache.enabled() {
+            return;
+        }
+        for (holder, (kind, path)) in &fenced {
+            self.cache.invalidate(*holder, *kind, path);
         }
     }
 
@@ -473,14 +647,19 @@ impl<U: FileSystem> CofsFs<U> {
         &mut self,
         ctx: &OpCtx,
         kind: EntryKind,
+        op: &'static str,
         path: &VPath,
         ops: DbOps,
         t: simcore::time::SimTime,
-    ) -> simcore::time::SimTime {
+    ) -> Result<simcore::time::SimTime, FsError> {
         match self.cache.lookup(ctx.node, kind, path, t) {
             crate::client_cache::Lookup::Hit => {
+                // A live lease answers locally even while the owning
+                // shard is down — exactly the availability a cache
+                // buys through a fault window (fenced leases were
+                // already invalidated at crash time).
                 self.counters.bump("cache_hits");
-                return t;
+                return Ok(t);
             }
             crate::client_cache::Lookup::Expired => {
                 // The lapsed lease is useless to everyone; telling the
@@ -500,6 +679,7 @@ impl<U: FileSystem> CofsFs<U> {
                 self.mds.route_entries(path)
             }
         };
+        let t = self.await_shard(ctx.node, shard, op, path.as_str(), t)?;
         let done = self.rpc_at(ctx.node, shard, ops, t);
         if self.cache.enabled() {
             self.counters.bump("cache_misses");
@@ -512,7 +692,7 @@ impl<U: FileSystem> CofsFs<U> {
                 self.cache.lease_expiry(done),
             );
         }
-        done
+        Ok(done)
     }
 
     /// Recalls every lease conflicting with a mutation that completed
@@ -574,14 +754,14 @@ impl<U: FileSystem> CofsFs<U> {
         ctx: &OpCtx,
         path: &VPath,
         t: simcore::time::SimTime,
-    ) -> simcore::time::SimTime {
+    ) -> Result<simcore::time::SimTime, FsError> {
         // Nominal resolution scan: one row per component plus the
         // missing dentry probe itself.
         let ops = DbOps {
             reads: path.depth() as u64 + 1,
             writes: 0,
         };
-        self.cached_read(ctx, EntryKind::Negative, path, ops, t)
+        self.cached_read(ctx, EntryKind::Negative, "stat", path, ops, t)
     }
 
     /// Ensures the underlying directory chain for `dir` exists,
@@ -667,13 +847,14 @@ impl<U: FileSystem> FileSystem for CofsFs<U> {
     fn mkdir(&mut self, ctx: &OpCtx, path: &VPath, mode: Mode) -> FsResult<()> {
         self.counters.bump("op_mkdir");
         let t = self.fuse(ctx);
+        let t = self.fault_preflight(ctx.node, "mkdir", path, t)?;
         // Directories are pure metadata: one service transaction, no
         // underlying filesystem involvement whatsoever.
         let ops = self
             .mds
             .namespace_mut()
             .mkdir(Self::cred(ctx), path, mode, ctx.now)?;
-        let t = self.rpc_write(ctx.node, path, ops, t);
+        let t = self.rpc_write(ctx.node, path, ops, t)?;
         let t = self.recall(ctx.node, Self::creation_keys(path), t);
         Ok(Timed::new((), t))
     }
@@ -681,11 +862,12 @@ impl<U: FileSystem> FileSystem for CofsFs<U> {
     fn rmdir(&mut self, ctx: &OpCtx, path: &VPath) -> FsResult<()> {
         self.counters.bump("op_rmdir");
         let t = self.fuse(ctx);
+        let t = self.fault_preflight(ctx.node, "rmdir", path, t)?;
         let ops = self
             .mds
             .namespace_mut()
             .rmdir(Self::cred(ctx), path, ctx.now)?;
-        let t = self.rpc_write(ctx.node, path, ops, t);
+        let t = self.rpc_write(ctx.node, path, ops, t)?;
         let mut keys = vec![
             (EntryKind::Attr, path.clone()),
             (EntryKind::Dentry, path.clone()),
@@ -698,6 +880,7 @@ impl<U: FileSystem> FileSystem for CofsFs<U> {
     fn create(&mut self, ctx: &OpCtx, path: &VPath, mode: Mode) -> FsResult<FileHandle> {
         self.counters.bump("op_create");
         let t = self.fuse(ctx);
+        let t = self.fault_preflight(ctx.node, "create", path, t)?;
         // Placement decides where the bits will really live.
         let parent = path.parent().unwrap_or_else(VPath::root);
         let name = path
@@ -716,7 +899,7 @@ impl<U: FileSystem> FileSystem for CofsFs<U> {
             mapping.clone(),
             ctx.now,
         )?;
-        let mut t = self.rpc_write(ctx.node, path, ops, t);
+        let mut t = self.rpc_write(ctx.node, path, ops, t)?;
         // Other clients caching the parent's listing (or its attrs)
         // must give their leases back before the create is done, and
         // pollers holding a negative lease on the name learn it exists.
@@ -753,7 +936,7 @@ impl<U: FileSystem> FileSystem for CofsFs<U> {
         if flags.write && !a.mode.allows_write(ctx.uid, ctx.gid, a.uid, a.gid) {
             return Err(FsError::new(Errno::EACCES, "open", path.as_str()));
         }
-        let mut t = self.cached_read(ctx, EntryKind::Attr, path, ops, t);
+        let mut t = self.cached_read(ctx, EntryKind::Attr, "open", path, ops, t)?;
         let mut under_fh = None;
         let mut lazy = false;
         if rec.ftype == FileType::Regular {
@@ -768,8 +951,9 @@ impl<U: FileSystem> FileSystem for CofsFs<U> {
                 self.counters.bump("under_opens");
                 under_fh = Some(under.value);
                 t = under.end;
+                t = self.fault_preflight(ctx.node, "open", path, t)?;
                 let ops = self.mds.namespace_mut().set_size(rec.ino, 0, ctx.now);
-                t = self.rpc_write(ctx.node, path, ops, t);
+                t = self.rpc_write(ctx.node, path, ops, t)?;
                 t = self.recall(ctx.node, vec![(EntryKind::Attr, path.clone())], t);
             } else {
                 // The daemon defers the underlying open until the
@@ -810,8 +994,9 @@ impl<U: FileSystem> FileSystem for CofsFs<U> {
                 let dctx = Self::daemon_ctx(ctx, t);
                 let size = self.under.stat(&dctx, mapping)?.value.size;
                 t = t.max(dctx.now);
+                t = self.fault_preflight(ctx.node, "close", &h.vpath, t)?;
                 let ops = self.mds.namespace_mut().set_size(h.vino, size, ctx.now);
-                t = self.rpc_write(ctx.node, &h.vpath, ops, t);
+                t = self.rpc_write(ctx.node, &h.vpath, ops, t)?;
                 t = self.recall(ctx.node, vec![(EntryKind::Attr, h.vpath.clone())], t);
             }
         }
@@ -870,11 +1055,11 @@ impl<U: FileSystem> FileSystem for CofsFs<U> {
         // repeats hit a lease-covered negative entry.
         match self.mds.namespace().getattr(Self::cred(ctx), path) {
             Ok((rec, ops)) => {
-                let t = self.cached_read(ctx, EntryKind::Attr, path, ops, t);
+                let t = self.cached_read(ctx, EntryKind::Attr, "stat", path, ops, t)?;
                 Ok(Timed::new(rec.attr(), t))
             }
             Err(e) if e.is(Errno::ENOENT) => {
-                let t = self.negative_probe(ctx, path, t);
+                let t = self.negative_probe(ctx, path, t)?;
                 Err(e.with_end(t))
             }
             Err(e) => Err(e),
@@ -884,11 +1069,12 @@ impl<U: FileSystem> FileSystem for CofsFs<U> {
     fn setattr(&mut self, ctx: &OpCtx, path: &VPath, set: SetAttr) -> FsResult<FileAttr> {
         self.counters.bump("op_setattr");
         let t = self.fuse(ctx);
+        let t = self.fault_preflight(ctx.node, "setattr", path, t)?;
         let (rec, ops) = self
             .mds
             .namespace_mut()
             .setattr(Self::cred(ctx), path, set, ctx.now)?;
-        let t = self.rpc_write(ctx.node, path, ops, t);
+        let t = self.rpc_write(ctx.node, path, ops, t)?;
         let t = self.recall(ctx.node, vec![(EntryKind::Attr, path.clone())], t);
         Ok(Timed::new(rec.attr(), t))
     }
@@ -902,18 +1088,19 @@ impl<U: FileSystem> FileSystem for CofsFs<U> {
             .readdir(Self::cred(ctx), path, ctx.now)?;
         // The entry list lives with the children, not with the
         // directory's own dentry; a live dentry lease lists locally.
-        let t = self.cached_read(ctx, EntryKind::Dentry, path, ops, t);
+        let t = self.cached_read(ctx, EntryKind::Dentry, "readdir", path, ops, t)?;
         Ok(Timed::new(list, t))
     }
 
     fn unlink(&mut self, ctx: &OpCtx, path: &VPath) -> FsResult<()> {
         self.counters.bump("op_unlink");
         let t = self.fuse(ctx);
+        let t = self.fault_preflight(ctx.node, "unlink", path, t)?;
         let (gone, ops) = self
             .mds
             .namespace_mut()
             .unlink(Self::cred(ctx), path, ctx.now)?;
-        let mut t = self.rpc_write(ctx.node, path, ops, t);
+        let mut t = self.rpc_write(ctx.node, path, ops, t)?;
         let mut keys = vec![(EntryKind::Attr, path.clone())];
         keys.extend(Self::parent_keys(path));
         t = self.recall(ctx.node, keys, t);
@@ -929,6 +1116,10 @@ impl<U: FileSystem> FileSystem for CofsFs<U> {
     fn rename(&mut self, ctx: &OpCtx, from: &VPath, to: &VPath) -> FsResult<()> {
         self.counters.bump("op_rename");
         let t = self.fuse(ctx);
+        // Both ends' shards must admit the rename before the namespace
+        // changes (a cross-shard rename is a two-phase commit).
+        let t = self.fault_preflight(ctx.node, "rename", from, t)?;
+        let t = self.fault_preflight(ctx.node, "rename", to, t)?;
         // If the rename will replace the last link of a regular file,
         // remember its mapping for underlying cleanup.
         let doomed = match self.mds.namespace().getattr(Self::cred(ctx), to) {
@@ -951,7 +1142,7 @@ impl<U: FileSystem> FileSystem for CofsFs<U> {
         }
         // Source and destination may live on different shards; the
         // cluster then charges an explicit two-phase commit.
-        let mut t = self.rpc_pair(ctx.node, from, to, ops, t);
+        let mut t = self.rpc_pair(ctx.node, from, to, ops, t)?;
         // The whole moved subtree changes identity, so every lease on
         // or below either name must come back, plus both parents'
         // listing/attr leases — on top of the two-phase commit when
@@ -974,6 +1165,8 @@ impl<U: FileSystem> FileSystem for CofsFs<U> {
     fn link(&mut self, ctx: &OpCtx, existing: &VPath, new: &VPath) -> FsResult<()> {
         self.counters.bump("op_link");
         let t = self.fuse(ctx);
+        let t = self.fault_preflight(ctx.node, "link", existing, t)?;
+        let t = self.fault_preflight(ctx.node, "link", new, t)?;
         // Hard links are pure metadata in COFS — the underlying file
         // is untouched no matter which virtual directories share it.
         // The inode record and the new name may live on different
@@ -982,7 +1175,7 @@ impl<U: FileSystem> FileSystem for CofsFs<U> {
             .mds
             .namespace_mut()
             .link(Self::cred(ctx), existing, new, ctx.now)?;
-        let t = self.rpc_pair(ctx.node, existing, new, ops, t);
+        let t = self.rpc_pair(ctx.node, existing, new, ops, t)?;
         // The linked inode's nlink changed, the new parent gained an
         // entry, and the new name stopped being absent.
         let mut keys = vec![(EntryKind::Attr, existing.clone())];
@@ -994,11 +1187,12 @@ impl<U: FileSystem> FileSystem for CofsFs<U> {
     fn symlink(&mut self, ctx: &OpCtx, target: &str, new: &VPath) -> FsResult<()> {
         self.counters.bump("op_symlink");
         let t = self.fuse(ctx);
+        let t = self.fault_preflight(ctx.node, "symlink", new, t)?;
         let ops = self
             .mds
             .namespace_mut()
             .symlink(Self::cred(ctx), target, new, ctx.now)?;
-        let t = self.rpc_write(ctx.node, new, ops, t);
+        let t = self.rpc_write(ctx.node, new, ops, t)?;
         let t = self.recall(ctx.node, Self::creation_keys(new), t);
         Ok(Timed::new((), t))
     }
@@ -1007,7 +1201,8 @@ impl<U: FileSystem> FileSystem for CofsFs<U> {
         self.counters.bump("op_readlink");
         let t = self.fuse(ctx);
         let (target, ops) = self.mds.namespace().readlink(Self::cred(ctx), path)?;
-        Ok(Timed::new(target, self.rpc(ctx.node, path, ops, t)))
+        let t = self.rpc(ctx.node, "readlink", path, ops, t)?;
+        Ok(Timed::new(target, t))
     }
 
     fn statfs(&mut self, ctx: &OpCtx) -> FsResult<FsStats> {
@@ -1024,13 +1219,14 @@ impl<U: FileSystem> FileSystem for CofsFs<U> {
         // against the root's shard).
         let t = self.rpc(
             ctx.node,
+            "statfs",
             &VPath::root(),
             DbOps {
                 reads: 2,
                 writes: 0,
             },
             under.end,
-        );
+        )?;
         Ok(Timed::new(stats, t))
     }
 }
@@ -1717,5 +1913,165 @@ mod tests {
             .unwrap()
             .end;
         assert!(t >= ctx.now + fs.config().fuse_dispatch);
+    }
+
+    fn fault_fs(plan: crate::fault::FaultPlan, retry: crate::fault::RetryConfig) -> CofsFs<MemFs> {
+        CofsFs::new(
+            MemFs::new(),
+            CofsConfig::default()
+                .with_fault_plan(plan)
+                .with_retry(retry),
+            MdsNetwork::uniform(SimDuration::from_micros(250)),
+            7,
+        )
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bit_for_bit_and_summary_is_none() {
+        let mut plain = new_fs();
+        let mut gated = fault_fs(
+            crate::fault::FaultPlan::default(),
+            crate::fault::RetryConfig::default(),
+        );
+        let ctx = OpCtx::test(NodeId(0));
+        for fs in [&mut plain, &mut gated] {
+            assert!(fs.fault_summary().is_none());
+        }
+        let a = plain
+            .mkdir(&ctx, &vpath("/d"), Mode::dir_default())
+            .unwrap()
+            .end;
+        let b = gated
+            .mkdir(&ctx, &vpath("/d"), Mode::dir_default())
+            .unwrap()
+            .end;
+        assert_eq!(a, b);
+        let sa = plain.stat(&ctx, &vpath("/d")).unwrap().end;
+        let sb = gated.stat(&ctx, &vpath("/d")).unwrap().end;
+        assert_eq!(sa, sb);
+        assert_eq!(plain.retry_stats(), gated.retry_stats());
+        assert_eq!(plain.retry_stats(), crate::fault::RetryStats::default());
+    }
+
+    #[test]
+    fn crash_window_rides_out_on_retries() {
+        let plan = crate::fault::FaultPlan::default().crash(
+            crate::mds_cluster::ShardId(0),
+            SimTime::from_millis(1),
+            SimDuration::from_millis(5),
+        );
+        let mut fs = fault_fs(plan, crate::fault::RetryConfig::default());
+        let ctx = OpCtx::test(NodeId(0));
+        fs.mkdir(&ctx, &vpath("/d"), Mode::dir_default()).unwrap();
+        // Inside the window: the mkdir retries until the shard recovers
+        // instead of wedging or failing.
+        let late = ctx.at(SimTime::from_millis(2));
+        let done = fs
+            .mkdir(&late, &vpath("/d/e"), Mode::dir_default())
+            .unwrap()
+            .end;
+        assert!(
+            done >= SimTime::from_millis(6),
+            "must wait out the crash window: {done:?}"
+        );
+        assert!(fs.retry_stats().retries > 0);
+        assert_eq!(fs.retry_stats().exhausted, 0);
+        let s = fs.fault_summary().expect("plan armed");
+        assert_eq!(s.crashes, 1);
+        assert!(s.nacks > 0);
+        assert_eq!(s.lost_acked_ops, 0);
+        assert!(s.gap_ms > 5.0);
+    }
+
+    #[test]
+    fn retry_exhaustion_surfaces_eio_before_any_mutation() {
+        let plan = crate::fault::FaultPlan::default().crash(
+            crate::mds_cluster::ShardId(0),
+            SimTime::from_millis(1),
+            SimDuration::from_millis(100),
+        );
+        let retry = crate::fault::RetryConfig {
+            max_retries: 0,
+            ..crate::fault::RetryConfig::default()
+        };
+        let mut fs = fault_fs(plan, retry);
+        let ctx = OpCtx::test(NodeId(0));
+        let late = ctx.at(SimTime::from_millis(2));
+        let e = fs
+            .create(&late, &vpath("/f"), Mode::file_default())
+            .unwrap_err();
+        assert!(e.is(Errno::EIO));
+        let failed = e.end().expect("refusal is timed");
+        assert!(failed > late.now);
+        assert_eq!(fs.retry_stats().exhausted, 1);
+        // The namespace was never touched: once the shard recovers, the
+        // name is still absent — a failed create has no partial effect.
+        let after = ctx.at(SimTime::from_secs(2));
+        assert!(fs.stat(&after, &vpath("/f")).unwrap_err().is(Errno::ENOENT));
+    }
+
+    #[test]
+    fn crash_fences_client_leases_so_reads_revalidate() {
+        let plan = crate::fault::FaultPlan::default().crash(
+            crate::mds_cluster::ShardId(0),
+            SimTime::from_millis(5),
+            SimDuration::from_millis(2),
+        );
+        let mut fs = CofsFs::new(
+            MemFs::new(),
+            CofsConfig::default()
+                .with_client_cache(1024, SimDuration::from_secs(60))
+                .with_fault_plan(plan),
+            MdsNetwork::uniform(SimDuration::from_micros(250)),
+            7,
+        );
+        let ctx = OpCtx::test(NodeId(0));
+        let fh = fs
+            .create(&ctx, &vpath("/f"), Mode::file_default())
+            .unwrap()
+            .value;
+        fs.close(&ctx, fh).unwrap();
+        fs.stat(&ctx, &vpath("/f")).unwrap(); // install the lease
+        let misses = fs.cache_stats().misses;
+        // Ride an op through the crash window so the fence notices
+        // drain into the client cache.
+        let late = ctx.at(SimTime::from_millis(6));
+        fs.mkdir(&late, &vpath("/d"), Mode::dir_default()).unwrap();
+        let s = fs.fault_summary().unwrap();
+        assert!(s.fenced_leases >= 1);
+        // The fenced attr lease is gone: the next stat revalidates.
+        let after = ctx.at(SimTime::from_millis(30));
+        fs.stat(&after, &vpath("/f")).unwrap();
+        assert_eq!(fs.cache_stats().misses, misses + 1);
+        assert!(fs.cache_stats().invalidations >= 1);
+    }
+
+    #[test]
+    fn buffered_batch_retries_when_flush_lands_in_the_window() {
+        let plan = crate::fault::FaultPlan::default().crash(
+            crate::mds_cluster::ShardId(0),
+            SimTime::from_millis(1),
+            SimDuration::from_millis(8),
+        );
+        let mut fs = CofsFs::new(
+            MemFs::new(),
+            CofsConfig::default()
+                .with_batching(4, SimDuration::from_millis(5), 4)
+                .with_fault_plan(plan),
+            MdsNetwork::uniform(SimDuration::from_micros(250)),
+            7,
+        );
+        let ctx = OpCtx::test(NodeId(0));
+        // Admitted (and daemon-acked) before the crash; the batch's
+        // flush deadline lands inside the window, so the wire attempt
+        // is refused and retried until recovery.
+        fs.mkdir(&ctx, &vpath("/d"), Mode::dir_default()).unwrap();
+        let tail = fs.drain_batches().expect("one batch outstanding");
+        assert!(
+            tail >= SimTime::from_millis(9),
+            "flush at 5ms must ride out the window: {tail:?}"
+        );
+        assert!(fs.retry_stats().retries >= 1);
+        assert_eq!(fs.retry_stats().exhausted, 0);
     }
 }

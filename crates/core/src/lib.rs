@@ -58,6 +58,7 @@ pub mod batch;
 pub mod client_cache;
 pub mod config;
 pub mod elastic;
+pub mod fault;
 pub mod fs;
 pub mod mds;
 pub mod mds_cluster;
@@ -69,6 +70,7 @@ pub mod prelude {
     pub use crate::client_cache::{CacheStats, ClientCache, ClientCacheConfig, EntryKind};
     pub use crate::config::{CofsConfig, MdsNetwork, ShardPolicyKind};
     pub use crate::elastic::{ElasticConfig, ElasticPolicy};
+    pub use crate::fault::{FaultPlan, FaultStats, FaultSummary, RetryConfig, RetryStats};
     pub use crate::fs::CofsFs;
     pub use crate::mds::Mds;
     pub use crate::mds_cluster::{

@@ -23,11 +23,12 @@
 use crate::batch::{coalesce_writes, BatchedOp};
 use crate::client_cache::{EntryKind, LeaseKey};
 use crate::config::{CofsConfig, MdsNetwork, WriteBehindConfig};
+use crate::fault::{FaultPlan, FaultStats, MessageDrop, Nack, ShardCrash};
 use crate::mds::{DbOps, Mds, RowKey};
 use metadb::cost::DbCostTracker;
 use netsim::ids::NodeId;
 use simcore::prelude::*;
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 use vfs::path::VPath;
 
 /// Identifies one shard within an [`MdsCluster`].
@@ -286,6 +287,30 @@ struct UnappliedEntry {
     apply_done: SimTime,
     /// Operations the batch carried (what the op-count limit bounds).
     ops: u64,
+    /// Coalesced rows awaiting application — the journal-replay work a
+    /// crash in the ack-to-apply window would have to redo.
+    rows: u64,
+}
+
+/// One completed crash window on a shard: the shard refuses requests
+/// arriving in `[crashed_at, resume_at)`; `resume_at` includes the
+/// priced recovery work (journal scan + replay).
+#[derive(Debug, Clone, Copy)]
+struct FaultWindow {
+    crashed_at: SimTime,
+    resume_at: SimTime,
+}
+
+/// Armed fault script: events fire in `(at, shard)` order as virtual
+/// time passes them (processing piggybacks on request entry points,
+/// like the periodic lease sweep).
+#[derive(Debug)]
+struct FaultState {
+    crashes: Vec<ShardCrash>,
+    next_crash: usize,
+    /// Each scripted drop event paired with how many requests it has
+    /// swallowed so far.
+    drops: Vec<(MessageDrop, u32)>,
 }
 
 #[derive(Debug)]
@@ -302,6 +327,17 @@ struct Shard {
     splits: u64,
     merges: u64,
     migrations: u64,
+    /// Fencing epoch: bumps on every crash; stale holders (leases,
+    /// in-flight rebalances) compare epochs and abort.
+    epoch: u64,
+    windows: Vec<FaultWindow>,
+    crashes: u64,
+    nacks: u64,
+    drops_hit: u64,
+    replayed_ops: u64,
+    lost_acked_ops: u64,
+    downtime: SimDuration,
+    recovery_busy: SimDuration,
 }
 
 impl Shard {
@@ -319,6 +355,15 @@ impl Shard {
             splits: 0,
             merges: 0,
             migrations: 0,
+            epoch: 1,
+            windows: Vec::new(),
+            crashes: 0,
+            nacks: 0,
+            drops_hit: 0,
+            replayed_ops: 0,
+            lost_acked_ops: 0,
+            downtime: SimDuration::ZERO,
+            recovery_busy: SimDuration::ZERO,
         }
     }
 
@@ -410,7 +455,7 @@ pub struct MdsCluster {
     namespace: Mds,
     shards: Vec<Shard>,
     policy: Box<dyn ShardPolicy>,
-    sessions: HashSet<(NodeId, usize)>,
+    sessions: BTreeSet<(NodeId, usize)>,
     /// Outstanding client-cache leases: which nodes may answer which
     /// `(kind, path)` reads locally, and until when. The shard owning
     /// the path recalls these on conflicting mutations. Ordered maps
@@ -424,6 +469,19 @@ pub struct MdsCluster {
     /// Expired lease holders pruned by sweeps since the last
     /// [`Self::reset_time`].
     leases_swept: u64,
+    /// Armed fault script, if any. `None` (the empty-plan case) keeps
+    /// every fault-aware entry point on the calibrated path.
+    faults: Option<FaultState>,
+    /// `(holder, key)` pairs fenced by crashes and not yet drained by
+    /// the client side ([`Self::take_fenced_cache_keys`]).
+    fenced_pending: Vec<(NodeId, LeaseKey)>,
+    /// Leases fenced by crashes since the last [`Self::reset_time`].
+    fenced_leases: u64,
+    /// Sessions evicted by crashes since the last [`Self::reset_time`].
+    fenced_sessions: u64,
+    /// Elastic rebalances aborted by crash windows since the last
+    /// [`Self::reset_time`].
+    elastic_aborts: u64,
 }
 
 impl MdsCluster {
@@ -435,11 +493,16 @@ impl MdsCluster {
             namespace: Mds::new(),
             shards,
             policy,
-            sessions: HashSet::new(),
+            sessions: BTreeSet::new(),
             leases: BTreeMap::new(),
             last_sweep: SimTime::ZERO,
             lease_sweeps: 0,
             leases_swept: 0,
+            faults: None,
+            fenced_pending: Vec::new(),
+            fenced_leases: 0,
+            fenced_sessions: 0,
+            elastic_aborts: 0,
         }
     }
 
@@ -637,10 +700,12 @@ impl MdsCluster {
                 s.cpu.acquire(acked, apply_service).end
             };
             s.apply_lag = s.apply_lag.max(apply_done - acked);
+            let rows: u64 = applied.iter().sum();
             s.unapplied.push(UnappliedEntry {
                 acked,
                 apply_done,
                 ops: ops.len() as u64,
+                rows,
             });
             return acked + rtt / 2;
         }
@@ -723,6 +788,291 @@ impl MdsCluster {
         commit_a.max(commit_b + cross / 2) + rtt / 2
     }
 
+    // ---- fault injection ---------------------------------------------
+
+    /// Arms a fault script. An empty plan disarms the subsystem
+    /// entirely — every fault-aware entry point then short-circuits to
+    /// the calibrated path, bit-for-bit. Events are processed in
+    /// `(at, shard)` order as virtual time passes them.
+    pub fn arm_faults(&mut self, plan: FaultPlan) {
+        if plan.is_empty() {
+            self.faults = None;
+            return;
+        }
+        let mut crashes = plan.crashes;
+        crashes.sort_by_key(|c| (c.at, c.shard));
+        let mut drops = plan.drops;
+        drops.sort_by_key(|d| (d.at, d.shard));
+        self.faults = Some(FaultState {
+            crashes,
+            next_crash: 0,
+            drops: drops.into_iter().map(|d| (d, 0)).collect(),
+        });
+    }
+
+    /// True when a non-empty fault plan is armed — lets every caller
+    /// bail in one branch on the pinned fault-free path.
+    pub fn fault_active(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// Current fencing epoch of `shard` (starts at 1; bumps on crash).
+    pub fn epoch(&self, shard: ShardId) -> u64 {
+        self.shards[shard.0].epoch
+    }
+
+    /// True when `shard` is inside a crash window at `t`: it refuses
+    /// requests from the crash until recovery (including priced journal
+    /// replay) completes.
+    pub fn is_down(&self, shard: ShardId, t: SimTime) -> bool {
+        self.shards[shard.0]
+            .windows
+            .iter()
+            .any(|w| w.crashed_at <= t && t < w.resume_at)
+    }
+
+    /// Processes every scripted crash due by `now`. Piggybacks on
+    /// request entry points (like the periodic lease sweep), so fault
+    /// processing needs no external timer and stays deterministic.
+    fn advance_faults(&mut self, cfg: &CofsConfig, now: SimTime) {
+        loop {
+            let crash = match self.faults.as_mut() {
+                Some(f) if f.next_crash < f.crashes.len() && f.crashes[f.next_crash].at <= now => {
+                    let c = f.crashes[f.next_crash];
+                    f.next_crash += 1;
+                    c
+                }
+                _ => return,
+            };
+            self.apply_crash(cfg, crash);
+        }
+    }
+
+    /// Executes one scripted crash: fence the epoch, evict sessions,
+    /// fence every lease the shard granted, and price recovery (boot +
+    /// journal scan + replay of acked-but-unapplied rows) before the
+    /// shard serves traffic again. Survivors re-pay `session_cost` on
+    /// next contact, so session re-establishment is charged where it
+    /// happens.
+    fn apply_crash(&mut self, cfg: &CofsConfig, crash: ShardCrash) {
+        let shard = crash.shard;
+        assert!(
+            shard.0 < self.shards.len(),
+            "fault plan names unknown {shard}"
+        );
+        self.shards[shard.0].crashes += 1;
+        self.shards[shard.0].epoch += 1;
+        let before = self.sessions.len();
+        self.sessions.retain(|&(_, sh)| sh != shard.0);
+        self.fenced_sessions += (before - self.sessions.len()) as u64;
+        // Fence every lease this shard granted: the key routes to the
+        // crashed shard, so its holders can no longer trust their grant
+        // and must revalidate. BTreeMap iteration keeps the order
+        // deterministic (lint rule D003).
+        let fenced_keys: Vec<LeaseKey> = self
+            .leases
+            .keys()
+            .filter(|key| {
+                let owner = match key.0 {
+                    EntryKind::Attr | EntryKind::Negative => self.policy.shard_of(&key.1),
+                    EntryKind::Dentry => self.policy.shard_of_entries(&key.1),
+                };
+                owner == shard
+            })
+            .cloned()
+            .collect();
+        for key in fenced_keys {
+            let Some(holders) = self.leases.remove(&key) else {
+                continue;
+            };
+            let mut holder_list: Vec<NodeId> = holders.into_keys().collect();
+            holder_list.sort();
+            for holder in holder_list {
+                self.fenced_leases += 1;
+                self.fenced_pending.push((holder, key.clone()));
+            }
+        }
+        // The replay set: journal-acked by the crash instant but not
+        // yet applied. Entries the simulator priced ahead of the crash
+        // (acked after `at`) keep their original schedule — a
+        // virtual-time approximation documented in the module docs.
+        let restart_at = crash.at + crash.restart_after;
+        let s = &mut self.shards[shard.0];
+        let mut acked_at_crash = 0u64;
+        let mut replay_ops = 0u64;
+        let mut replay_rows: Vec<u64> = Vec::new();
+        for e in s.unapplied.iter() {
+            if e.acked <= crash.at && e.apply_done > crash.at {
+                acked_at_crash += e.ops;
+                replay_ops += e.ops;
+                if e.rows > 0 {
+                    replay_rows.push(e.rows);
+                }
+            }
+        }
+        // Recovery is real work: boot, scan the journal tail, re-apply
+        // the replay set as one group commit. Only then does the shard
+        // resume service.
+        let mut service = cfg.mds_service + s.tracker.query_cost_dedup(&cfg.db, replay_ops, 0);
+        if !replay_rows.is_empty() {
+            service += s.tracker.group_txn_cost(&cfg.db, &replay_rows);
+        }
+        let resume_at = s.cpu.acquire(restart_at, service).end;
+        s.recovery_busy += service;
+        s.replayed_ops += replay_ops;
+        // Canary for the bench gate: the replay set is exactly the
+        // acked-but-unapplied window, so nothing journal-acked is lost.
+        s.lost_acked_ops += acked_at_crash - replay_ops;
+        let mut max_lag = s.apply_lag;
+        for e in s.unapplied.iter_mut() {
+            if e.acked <= crash.at && e.apply_done > crash.at {
+                e.apply_done = resume_at;
+                max_lag = max_lag.max(resume_at - e.acked);
+            }
+        }
+        s.apply_lag = max_lag;
+        s.downtime += resume_at - crash.at;
+        s.windows.push(FaultWindow {
+            crashed_at: crash.at,
+            resume_at,
+        });
+    }
+
+    /// Consumes one scripted message drop addressed to `shard` at `t`,
+    /// if the script has one pending.
+    fn consume_drop(&mut self, shard: ShardId, t: SimTime) -> bool {
+        let Some(f) = self.faults.as_mut() else {
+            return false;
+        };
+        for (d, taken) in f.drops.iter_mut() {
+            if d.shard == shard && d.at <= t && *taken < d.count {
+                *taken += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Client-side availability probe: advances the fault script to the
+    /// request's predicted arrival and reports whether `shard` would
+    /// accept it. A refused probe counts as a shard-side NACK. Always
+    /// true (and side-effect-free) with no plan armed.
+    pub fn shard_available(
+        &mut self,
+        cfg: &CofsConfig,
+        net: &MdsNetwork,
+        node: NodeId,
+        shard: ShardId,
+        t: SimTime,
+    ) -> bool {
+        if self.faults.is_none() {
+            return true;
+        }
+        let arrive = t + net.shard_rtt(node, shard) / 2;
+        self.advance_faults(cfg, arrive);
+        if self.is_down(shard, arrive) {
+            self.shards[shard.0].nacks += 1;
+            false
+        } else {
+            true
+        }
+    }
+
+    /// [`Self::rpc`] with fault awareness: with no plan armed it *is*
+    /// `rpc`, bit-for-bit. Otherwise the request can be swallowed by a
+    /// scripted message drop (the client times out) or refused by a
+    /// down shard (fast NACK after one round trip).
+    pub fn rpc_checked(
+        &mut self,
+        cfg: &CofsConfig,
+        net: &MdsNetwork,
+        node: NodeId,
+        shard: ShardId,
+        ops: DbOps,
+        t: SimTime,
+    ) -> Result<SimTime, Nack> {
+        if self.faults.is_none() {
+            return Ok(self.rpc(cfg, net, node, shard, ops, t));
+        }
+        self.advance_faults(cfg, t);
+        if self.consume_drop(shard, t) {
+            self.shards[shard.0].drops_hit += 1;
+            return Err(Nack {
+                shard,
+                at: t + cfg.retry.timeout,
+            });
+        }
+        let rtt = net.shard_rtt(node, shard);
+        let arrive = t + rtt / 2;
+        self.advance_faults(cfg, arrive);
+        if self.is_down(shard, arrive) {
+            self.shards[shard.0].nacks += 1;
+            return Err(Nack { shard, at: t + rtt });
+        }
+        Ok(self.rpc(cfg, net, node, shard, ops, t))
+    }
+
+    /// [`Self::rpc_batch`] with fault awareness — same contract as
+    /// [`Self::rpc_checked`]. In-flight and queued batches hitting a
+    /// crash window are NACKed; the client's pipeline retries them.
+    pub fn rpc_batch_checked(
+        &mut self,
+        cfg: &CofsConfig,
+        net: &MdsNetwork,
+        node: NodeId,
+        shard: ShardId,
+        ops: &[BatchedOp],
+        t: SimTime,
+    ) -> Result<SimTime, Nack> {
+        if self.faults.is_none() {
+            return Ok(self.rpc_batch(cfg, net, node, shard, ops, t));
+        }
+        self.advance_faults(cfg, t);
+        if self.consume_drop(shard, t) {
+            self.shards[shard.0].drops_hit += 1;
+            return Err(Nack {
+                shard,
+                at: t + cfg.retry.timeout,
+            });
+        }
+        let rtt = net.shard_rtt(node, shard);
+        let arrive = t + rtt / 2;
+        self.advance_faults(cfg, arrive);
+        if self.is_down(shard, arrive) {
+            self.shards[shard.0].nacks += 1;
+            return Err(Nack { shard, at: t + rtt });
+        }
+        Ok(self.rpc_batch(cfg, net, node, shard, ops, t))
+    }
+
+    /// Drains the `(holder, key)` pairs fenced by crashes since the
+    /// last call — the client side drops these cache entries, exactly
+    /// like recall handling.
+    pub fn take_fenced_cache_keys(&mut self) -> Vec<(NodeId, LeaseKey)> {
+        std::mem::take(&mut self.fenced_pending)
+    }
+
+    /// Aggregated fault/recovery accounting since the last
+    /// [`Self::reset_time`].
+    pub fn fault_stats(&self) -> FaultStats {
+        let mut f = FaultStats {
+            fenced_leases: self.fenced_leases,
+            fenced_sessions: self.fenced_sessions,
+            elastic_aborts: self.elastic_aborts,
+            ..FaultStats::default()
+        };
+        for s in &self.shards {
+            f.crashes += s.crashes;
+            f.nacks += s.nacks;
+            f.drops += s.drops_hit;
+            f.replayed_ops += s.replayed_ops;
+            f.lost_acked_ops += s.lost_acked_ops;
+            f.downtime += s.downtime;
+            f.recovery_busy += s.recovery_busy;
+        }
+        f
+    }
+
     // ---- elastic load observation ------------------------------------
 
     /// True when the routing policy is the load-adaptive one — lets
@@ -752,6 +1102,22 @@ impl MdsCluster {
         };
         if !due {
             return;
+        }
+        // A rebalance that would straddle a crashed or fenced shard
+        // aborts and re-enqueues: migrating rows off a dead shard (or
+        // under a stale epoch) would "transfer" state the shard can no
+        // longer vouch for. The observation window is only reset inside
+        // `rebalance`, so the next observed op after recovery
+        // re-triggers the decision — abort really is re-enqueue.
+        if self.faults.is_some() {
+            let pre: Vec<u64> = self.shards.iter().map(|s| s.epoch).collect();
+            self.advance_faults(cfg, t);
+            let blocked = (0..self.shards.len())
+                .any(|i| self.shards[i].epoch != pre[i] || self.is_down(ShardId(i), t));
+            if blocked {
+                self.elastic_aborts += 1;
+                return;
+            }
         }
         let loads: Vec<SimDuration> = self.shards.iter().map(|s| s.cpu.busy_time()).collect();
         // The policy's attribution gate needs the *measured* mean
@@ -1009,10 +1375,31 @@ impl MdsCluster {
             s.splits = 0;
             s.merges = 0;
             s.migrations = 0;
+            s.epoch = 1;
+            s.windows.clear();
+            s.crashes = 0;
+            s.nacks = 0;
+            s.drops_hit = 0;
+            s.replayed_ops = 0;
+            s.lost_acked_ops = 0;
+            s.downtime = SimDuration::ZERO;
+            s.recovery_busy = SimDuration::ZERO;
         }
         self.last_sweep = SimTime::ZERO;
         self.lease_sweeps = 0;
         self.leases_swept = 0;
+        // The fault script is anchored in virtual time: re-arm it so
+        // plans written against the measured phase replay from zero.
+        self.fenced_pending.clear();
+        self.fenced_leases = 0;
+        self.fenced_sessions = 0;
+        self.elastic_aborts = 0;
+        if let Some(f) = self.faults.as_mut() {
+            f.next_crash = 0;
+            for (_, taken) in f.drops.iter_mut() {
+                *taken = 0;
+            }
+        }
         // The elastic policy's observation windows are anchored in
         // virtual time and must rewind with it; its bucket tables
         // survive, like sessions and leases.
@@ -1684,5 +2071,276 @@ mod tests {
         assert!(usage[1].busy > SimDuration::ZERO);
         cluster.reset_time();
         assert_eq!(cluster.usage()[1].rpcs, 0);
+    }
+
+    #[test]
+    fn checked_entry_points_with_no_plan_are_bit_for_bit() {
+        let c = cfg();
+        let n = net();
+        let ops = DbOps {
+            reads: 3,
+            writes: 2,
+        };
+        let mut a = MdsCluster::new(Box::new(SingleShard));
+        a.arm_faults(FaultPlan::default()); // empty plan never arms
+        assert!(!a.fault_active());
+        let mut b = MdsCluster::new(Box::new(SingleShard));
+        let ta = a
+            .rpc_checked(&c, &n, NodeId(0), ShardId(0), ops, SimTime::ZERO)
+            .unwrap();
+        let tb = b.rpc(&c, &n, NodeId(0), ShardId(0), ops, SimTime::ZERO);
+        assert_eq!(ta, tb);
+        let batch: Vec<BatchedOp> = vec![
+            BatchedOp::opaque(DbOps {
+                reads: 2,
+                writes: 1,
+            });
+            4
+        ];
+        let ba = a
+            .rpc_batch_checked(&c, &n, NodeId(0), ShardId(0), &batch, ta)
+            .unwrap();
+        let bb = b.rpc_batch(&c, &n, NodeId(0), ShardId(0), &batch, tb);
+        assert_eq!(ba, bb);
+        assert!(a.shard_available(&c, &n, NodeId(0), ShardId(0), ba));
+        assert_eq!(a.fault_stats(), b.fault_stats());
+        assert_eq!(a.epoch(ShardId(0)), 1);
+    }
+
+    #[test]
+    fn crash_bumps_epoch_nacks_requests_and_refences_sessions() {
+        let c = CofsConfig::default().with_fault_plan(FaultPlan::default().crash(
+            ShardId(0),
+            SimTime::from_millis(10),
+            SimDuration::from_millis(5),
+        ));
+        let n = net();
+        let mut cluster = MdsCluster::new(Box::new(SingleShard));
+        cluster.arm_faults(c.fault.clone());
+        let ops = DbOps {
+            reads: 1,
+            writes: 0,
+        };
+        let first = cluster
+            .rpc_checked(&c, &n, NodeId(0), ShardId(0), ops, SimTime::ZERO)
+            .unwrap();
+        assert!(first > SimTime::ZERO);
+        assert_eq!(cluster.epoch(ShardId(0)), 1);
+        // A request inside the window is refused after one round trip.
+        let nack = cluster
+            .rpc_checked(&c, &n, NodeId(0), ShardId(0), ops, SimTime::from_millis(12))
+            .unwrap_err();
+        assert_eq!(nack.shard, ShardId(0));
+        assert_eq!(
+            nack.at,
+            SimTime::from_millis(12) + SimDuration::from_micros(250)
+        );
+        assert_eq!(cluster.epoch(ShardId(0)), 2);
+        // After recovery the shard serves again; the node's session was
+        // fenced at the crash, so it re-pays establishment.
+        let after = cluster
+            .rpc_checked(&c, &n, NodeId(0), ShardId(0), ops, SimTime::from_millis(20))
+            .unwrap();
+        let f = cluster.fault_stats();
+        assert_eq!(f.crashes, 1);
+        assert_eq!(f.nacks, 1);
+        assert_eq!(f.fenced_sessions, 1);
+        assert_eq!(f.lost_acked_ops, 0);
+        assert!(f.downtime >= SimDuration::from_millis(5));
+        let mut quiet = MdsCluster::new(Box::new(SingleShard));
+        let qc = cfg();
+        quiet.rpc(&qc, &n, NodeId(0), ShardId(0), ops, SimTime::ZERO);
+        let quiet_after = quiet.rpc(
+            &qc,
+            &n,
+            NodeId(0),
+            ShardId(0),
+            ops,
+            SimTime::from_millis(20),
+        );
+        assert_eq!(after, quiet_after + qc.session_cost);
+    }
+
+    #[test]
+    fn crash_fences_every_lease_the_crashed_shard_granted() {
+        let plan = FaultPlan::default().crash(
+            ShardId(1),
+            SimTime::from_millis(5),
+            SimDuration::from_millis(1),
+        );
+        let c = CofsConfig::default().with_fault_plan(plan.clone());
+        let n = net();
+        let mut cluster = MdsCluster::new(Box::new(HashByParent::new(2)));
+        cluster.arm_faults(plan);
+        let mut on1 = None;
+        let mut on0 = None;
+        for i in 0..16 {
+            let p = vpath(&format!("/d{i}/f"));
+            if cluster.route(&p) == ShardId(1) {
+                if on1.is_none() {
+                    on1 = Some(p);
+                }
+            } else if on0.is_none() {
+                on0 = Some(p);
+            }
+        }
+        let p1 = on1.expect("some path routes to shard 1");
+        let p0 = on0.expect("some path routes to shard 0");
+        let far = SimTime::from_secs(10);
+        cluster.grant_lease(NodeId(3), (EntryKind::Attr, p1.clone()), far);
+        cluster.grant_lease(NodeId(4), (EntryKind::Dentry, p1.parent().unwrap()), far);
+        cluster.grant_lease(NodeId(5), (EntryKind::Attr, p0.clone()), far);
+        assert_eq!(cluster.lease_holder_count(), 3);
+        // Any probe past the crash time processes the script.
+        assert!(cluster.shard_available(&c, &n, NodeId(0), ShardId(0), SimTime::from_millis(6)));
+        let fenced = cluster.take_fenced_cache_keys();
+        assert_eq!(fenced.len(), 2, "both shard-1 leases fence: {fenced:?}");
+        assert!(fenced.iter().all(|(_, key)| {
+            let owner = match key.0 {
+                EntryKind::Attr | EntryKind::Negative => cluster.route(&key.1),
+                EntryKind::Dentry => cluster.route_entries(&key.1),
+            };
+            owner == ShardId(1)
+        }));
+        // The shard-0 lease survives; the fenced list drains once.
+        assert_eq!(cluster.lease_holder_count(), 1);
+        assert!(cluster.take_fenced_cache_keys().is_empty());
+        assert_eq!(cluster.fault_stats().fenced_leases, 2);
+    }
+
+    #[test]
+    fn recovery_replays_acked_but_unapplied_batches() {
+        // Ack a write-behind batch, crash inside its ack-to-apply
+        // window, and require the journal replay to carry every acked
+        // op across the crash — priced as real recovery work.
+        let c = wb_cfg();
+        let n = net();
+        let batch: Vec<BatchedOp> = (0..8).map(|_| create_op(42)).collect();
+        let mut cluster = MdsCluster::new(Box::new(SingleShard));
+        let ack = cluster.rpc_batch(&c, &n, NodeId(0), ShardId(0), &batch, SimTime::ZERO);
+        let acked_server = ack - SimDuration::from_micros(125); // minus rtt/2
+        let horizon = cluster.apply_horizon(SimTime::ZERO);
+        assert!(horizon > acked_server, "apply must trail the ack");
+        let crash_at = acked_server + (horizon - acked_server) / 2;
+        let restart = SimDuration::from_millis(1);
+        cluster.arm_faults(FaultPlan::default().crash(ShardId(0), crash_at, restart));
+        assert!(!cluster.shard_available(
+            &c,
+            &n,
+            NodeId(0),
+            ShardId(0),
+            crash_at + SimDuration::from_micros(1)
+        ));
+        assert!(cluster.shard_available(
+            &c,
+            &n,
+            NodeId(0),
+            ShardId(0),
+            crash_at + SimDuration::from_secs(1)
+        ));
+        let f = cluster.fault_stats();
+        assert_eq!(f.crashes, 1);
+        assert_eq!(f.replayed_ops, 8, "every acked op replays");
+        assert_eq!(f.lost_acked_ops, 0, "journal-acked work is never lost");
+        assert!(f.recovery_busy > SimDuration::ZERO, "recovery is priced");
+        // The replayed rows now apply at recovery completion, and the
+        // horizon honestly reflects that.
+        assert!(cluster.apply_horizon(SimTime::ZERO) >= crash_at + restart);
+    }
+
+    #[test]
+    fn scripted_drops_time_out_then_traffic_passes() {
+        let plan = FaultPlan::default().drop_messages(ShardId(0), SimTime::ZERO, 2);
+        let c = CofsConfig::default().with_fault_plan(plan.clone());
+        let n = net();
+        let mut cluster = MdsCluster::new(Box::new(SingleShard));
+        cluster.arm_faults(plan);
+        let ops = DbOps {
+            reads: 1,
+            writes: 0,
+        };
+        let e1 = cluster
+            .rpc_checked(&c, &n, NodeId(0), ShardId(0), ops, SimTime::ZERO)
+            .unwrap_err();
+        assert_eq!(e1.at, SimTime::ZERO + c.retry.timeout);
+        let e2 = cluster
+            .rpc_checked(&c, &n, NodeId(0), ShardId(0), ops, e1.at)
+            .unwrap_err();
+        let ok = cluster
+            .rpc_checked(&c, &n, NodeId(0), ShardId(0), ops, e2.at)
+            .unwrap();
+        assert!(ok > e2.at);
+        let f = cluster.fault_stats();
+        assert_eq!(f.drops, 2);
+        assert_eq!(f.nacks, 0);
+        assert_eq!(cluster.epoch(ShardId(0)), 1, "drops never fence");
+    }
+
+    #[test]
+    fn elastic_rebalance_aborts_through_a_crash_window_and_retriggers() {
+        use crate::elastic::{ElasticConfig, ElasticPolicy};
+
+        let plan = FaultPlan::default().crash(
+            ShardId(0),
+            SimTime::from_micros(50),
+            SimDuration::from_micros(100),
+        );
+        let c = CofsConfig::default().with_fault_plan(plan.clone());
+        let mut cluster = MdsCluster::new(Box::new(ElasticPolicy::new(
+            4,
+            ElasticConfig {
+                split_threshold: 8,
+                window: SimDuration::from_micros(100),
+                ..ElasticConfig::default()
+            },
+        )));
+        cluster.arm_faults(plan);
+        let dir = vpath("/hot");
+        for i in 0..400u64 {
+            cluster.observe_elastic(&c, &dir, SimTime::from_micros(i));
+        }
+        let f = cluster.fault_stats();
+        assert!(
+            f.elastic_aborts > 0,
+            "a rebalance due inside the crash window must abort"
+        );
+        assert_eq!(cluster.epoch(ShardId(0)), 2);
+        // Abort really was re-enqueue: the observation window stayed
+        // pending, so the split landed once the shard recovered.
+        assert!(
+            cluster.policy().as_elastic().unwrap().depth_of(&dir) > 0,
+            "the deferred split must land after recovery"
+        );
+        let migrations: u64 = cluster.usage().iter().map(|s| s.migrations).sum();
+        assert!(migrations > 0, "the landed split still migrates rows");
+    }
+
+    #[test]
+    fn reset_time_rearms_the_fault_script() {
+        let plan = FaultPlan::default().crash(
+            ShardId(0),
+            SimTime::from_millis(1),
+            SimDuration::from_millis(1),
+        );
+        let c = CofsConfig::default().with_fault_plan(plan.clone());
+        let n = net();
+        let mut cluster = MdsCluster::new(Box::new(SingleShard));
+        cluster.arm_faults(plan);
+        let ops = DbOps {
+            reads: 1,
+            writes: 0,
+        };
+        let e1 = cluster
+            .rpc_checked(&c, &n, NodeId(0), ShardId(0), ops, SimTime::from_millis(1))
+            .unwrap_err();
+        assert_eq!(cluster.epoch(ShardId(0)), 2);
+        cluster.reset_time();
+        assert_eq!(cluster.epoch(ShardId(0)), 1);
+        assert_eq!(cluster.fault_stats(), FaultStats::default());
+        let e2 = cluster
+            .rpc_checked(&c, &n, NodeId(0), ShardId(0), ops, SimTime::from_millis(1))
+            .unwrap_err();
+        assert_eq!(e1, e2, "the script replays identically after reset");
+        assert_eq!(cluster.epoch(ShardId(0)), 2);
     }
 }

@@ -33,6 +33,9 @@ pub enum Errno {
     ENAMETOOLONG,
     /// Operation not permitted.
     EPERM,
+    /// Input/output error (e.g. the metadata service stayed
+    /// unreachable after bounded retries).
+    EIO,
 }
 
 impl Errno {
@@ -52,6 +55,7 @@ impl Errno {
             Errno::EXDEV => "cross-device link",
             Errno::ENAMETOOLONG => "name too long",
             Errno::EPERM => "operation not permitted",
+            Errno::EIO => "input/output error",
         }
     }
 }
@@ -198,6 +202,7 @@ mod tests {
             Errno::EXDEV,
             Errno::ENAMETOOLONG,
             Errno::EPERM,
+            Errno::EIO,
         ];
         for e in all {
             assert!(!e.message().is_empty());

@@ -6,6 +6,7 @@
 
 use cofs::batch::BatchStats;
 use cofs::client_cache::CacheStats;
+use cofs::fault::FaultSummary;
 use cofs::mds_cluster::ShardUsage;
 use simcore::time::SimTime;
 use std::fmt;
@@ -379,6 +380,52 @@ pub fn batch_cells(stats: Option<&BatchStats>) -> Vec<String> {
             (s.flush_timer + s.flush_drain).to_string(),
         ],
         None => vec!["-".into(); BATCH_COLUMNS.len()],
+    }
+}
+
+/// The failover columns scenario tables append when a run reports a
+/// [`FaultSummary`]: client retries and cluster refusals, steps that
+/// exhausted retries (`EIO`), journal rows replayed vs. lost across the
+/// crash, the availability gap and recovery CPU, both in milliseconds.
+/// A fault-free run (plan unarmed) renders as dashes so baseline and
+/// crash rows align in one table.
+pub const FAULT_COLUMNS: [&str; 8] = [
+    "retries",
+    "nacks",
+    "errors",
+    "replayed",
+    "lost acked",
+    "fenced",
+    "gap (ms)",
+    "recovery (ms)",
+];
+
+/// Formats a [`FaultSummary`] into the [`FAULT_COLUMNS`] cells.
+///
+/// # Examples
+///
+/// ```
+/// use cofs::fault::FaultSummary;
+/// use workloads::report::fault_cells;
+///
+/// let s = FaultSummary { retries: 9, gap_ms: 12.5, ..Default::default() };
+/// assert_eq!(fault_cells(Some(&s))[0], "9");
+/// assert_eq!(fault_cells(Some(&s))[6], "12.50");
+/// assert_eq!(fault_cells(None)[0], "-");
+/// ```
+pub fn fault_cells(summary: Option<&FaultSummary>) -> Vec<String> {
+    match summary {
+        Some(s) => vec![
+            s.retries.to_string(),
+            s.nacks.to_string(),
+            s.errors.to_string(),
+            s.replayed_ops.to_string(),
+            s.lost_acked_ops.to_string(),
+            s.fenced_leases.to_string(),
+            ms(s.gap_ms),
+            ms(s.recovery_ms),
+        ],
+        None => vec!["-".into(); FAULT_COLUMNS.len()],
     }
 }
 

@@ -11,10 +11,12 @@
 use crate::target::BenchTarget;
 use cofs::batch::BatchStats;
 use cofs::client_cache::CacheStats;
+use cofs::fault::FaultSummary;
 use cofs::mds_cluster::ShardUsage;
 use netsim::ids::{NodeId, Pid};
 use simcore::time::SimTime;
 use vfs::driver::{run, Action, ClientScript, RunReport};
+use vfs::error::Errno;
 use vfs::fs::OpCtx;
 use vfs::path::{vpath, VPath};
 use vfs::types::{Mode, OpenFlags};
@@ -78,6 +80,11 @@ pub struct ScenarioResult {
     /// this in (acks are what clients observe); reports print it
     /// alongside instead.
     pub apply_tail_ms: f64,
+    /// Fault/recovery accounting (`None` without an armed fault plan,
+    /// so fault-free results stay byte-identical to the pre-fault
+    /// shape). Filled by [`FailoverStorm`] — including the count of
+    /// retry-exhausted steps the driver recorded as errors.
+    pub fault: Option<FaultSummary>,
 }
 
 impl ScenarioResult {
@@ -685,6 +692,120 @@ impl ShiftingHotspotStorm {
     }
 }
 
+/// The failover study: a shared-directory create/stat storm driven
+/// *through* scripted shard crashes. Unlike every other storm it does
+/// not require a clean run — clients ride out fault windows with
+/// bounded retries, and the rare step that exhausts its budget fails
+/// with `EIO` (asserted: no other errno may surface) and is counted in
+/// [`FaultSummary::errors`] rather than wedging or panicking the run.
+///
+/// The fault script itself lives in the *target's* config
+/// (`CofsConfig::with_fault_plan`): the storm re-arms it via
+/// `phase_reset`, so scripted crash times are relative to the measured
+/// phase. Run on a fault-free target the storm degenerates to a plain
+/// create/stat storm with `fault: None` — the baseline row of the
+/// failover sweep.
+#[derive(Debug, Clone)]
+pub struct FailoverStorm {
+    /// Nodes issuing creates.
+    pub nodes: usize,
+    /// Hot shared directories (`<root>/d0` … `<root>/d{dirs-1}`).
+    pub dirs: usize,
+    /// Files each node creates (spread round-robin over the dirs).
+    pub files_per_node: usize,
+    /// `stat` calls issued after each create (the polling traffic whose
+    /// tail latency the fault window stretches).
+    pub stats_per_create: usize,
+    /// Parent of the shared directories.
+    pub root: VPath,
+}
+
+impl Default for FailoverStorm {
+    fn default() -> Self {
+        FailoverStorm {
+            nodes: 8,
+            dirs: 8,
+            files_per_node: 16,
+            stats_per_create: 2,
+            root: vpath("/failover"),
+        }
+    }
+}
+
+impl FailoverStorm {
+    /// Runs the storm. `ScenarioResult::files` reports *attempted*
+    /// creates; with an armed plan, `fault` carries the crash/retry
+    /// accounting including the count of retry-exhausted steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any scripted operation fails with anything other than
+    /// the `EIO` that bounded retry exhaustion surfaces — crashes may
+    /// slow a step or fail it honestly, never corrupt it.
+    pub fn run<F: BenchTarget>(&self, fs: &mut F) -> ScenarioResult {
+        let setup = OpCtx::test(NodeId(0));
+        fs.mkdir(&setup, &self.root, Mode::dir_default())
+            .expect("setup mkdir");
+        for d in 0..self.dirs {
+            fs.mkdir(
+                &setup,
+                &self.root.join(&format!("d{d}")),
+                Mode::dir_default(),
+            )
+            .expect("setup mkdir");
+        }
+        // Re-arms the fault plan: scripted crash times are measured
+        // from here, not from the unmeasured setup above.
+        fs.phase_reset();
+        let mut scripts = Vec::new();
+        for n in 0..self.nodes {
+            let mut s = ClientScript::new(NodeId(n as u32), Pid(1));
+            s.push(Action::Barrier);
+            for i in 0..self.files_per_node {
+                let d = (n + i) % self.dirs;
+                let path = self.root.join(&format!("d{d}")).join(&format!("f.{n}.{i}"));
+                s.push_measured(
+                    "create",
+                    Action::Create {
+                        path: path.clone(),
+                        mode: Mode::file_default(),
+                        slot: 0,
+                    },
+                );
+                s.push(Action::Close { slot: 0 });
+                for _ in 0..self.stats_per_create {
+                    s.push_measured("stat", Action::Stat(path.clone()));
+                }
+            }
+            scripts.push(s);
+        }
+        let report = run(fs, scripts);
+        // Retry exhaustion surfaces `EIO`; a step that depended on an
+        // exhausted create cascades deterministically (`EBADF` closing
+        // its empty slot, `ENOENT` statting the never-created name).
+        // Anything else is a real bug, not failover behavior.
+        for e in &report.errors {
+            assert!(
+                e.error.is(Errno::EIO) || e.error.is(Errno::EBADF) || e.error.is(Errno::ENOENT),
+                "unexpected failover error: {}",
+                e.error
+            );
+        }
+        let exhausted_steps = report
+            .errors
+            .iter()
+            .filter(|e| e.error.is(Errno::EIO))
+            .count() as u64;
+        let clean = report.errors.is_empty();
+        let mut r = summarize(report, self.nodes * self.files_per_node, fs);
+        match r.fault.as_mut() {
+            Some(f) => f.errors = exhausted_steps,
+            None => assert!(clean, "step errors from a target with no fault plan"),
+        }
+        r
+    }
+}
+
 fn summarize<F: BenchTarget>(report: RunReport, files: usize, fs: &mut F) -> ScenarioResult {
     // Pipelined batching acknowledges mutations before their wire
     // completion; the phase is not over until the tail drains.
@@ -709,6 +830,7 @@ fn summarize<F: BenchTarget>(report: RunReport, files: usize, fs: &mut F) -> Sce
         cache: fs.cache_stats(),
         batch: fs.batch_stats(),
         apply_tail_ms,
+        fault: fs.fault_summary(),
     }
 }
 
@@ -975,6 +1097,75 @@ mod tests {
             assert_eq!(list.len(), 16, "h{d}");
         }
         assert!(r.mean_stat_ms >= 0.0);
+    }
+
+    #[test]
+    fn failover_storm_without_faults_is_a_plain_storm() {
+        let storm = FailoverStorm {
+            nodes: 2,
+            dirs: 2,
+            files_per_node: 4,
+            stats_per_create: 1,
+            ..FailoverStorm::default()
+        };
+        let mut fs = MemFs::new();
+        let r = storm.run(&mut fs);
+        assert_eq!(r.files, 8);
+        assert!(r.fault.is_none(), "memfs has no fault plan");
+        assert!(r.makespan > SimTime::ZERO);
+    }
+
+    #[test]
+    fn failover_storm_completes_through_a_mid_storm_crash() {
+        use cofs::config::{CofsConfig, MdsNetwork, ShardPolicyKind};
+        use cofs::fault::FaultPlan;
+        use cofs::fs::CofsFs;
+        use cofs::mds_cluster::ShardId;
+        use simcore::time::SimDuration;
+
+        let storm = FailoverStorm {
+            nodes: 4,
+            dirs: 8,
+            files_per_node: 8,
+            stats_per_create: 2,
+            ..FailoverStorm::default()
+        };
+        let plan = FaultPlan::default().crash(
+            ShardId(1),
+            SimTime::from_millis(5),
+            SimDuration::from_millis(10),
+        );
+        let cfg = CofsConfig::default()
+            .with_shards(4, ShardPolicyKind::HashByParent)
+            .with_fault_plan(plan);
+        let mut fs = CofsFs::new(
+            MemFs::new(),
+            cfg,
+            MdsNetwork::uniform(SimDuration::from_micros(250)),
+            7,
+        );
+        let r = storm.run(&mut fs);
+        let f = r.fault.expect("plan armed");
+        assert_eq!(f.crashes, 1);
+        assert!(f.nacks > 0, "the storm must have hit the window: {f:?}");
+        assert!(f.retries > 0);
+        assert_eq!(f.lost_acked_ops, 0, "acked work must survive recovery");
+        assert_eq!(f.errors, 0, "default retry budget rides out 10ms");
+        assert!(f.gap_ms >= 10.0, "gap covers restart + recovery: {f:?}");
+        // The storm completed *through* the crash, not before it.
+        assert!(r.makespan >= SimTime::from_millis(15), "{:?}", r.makespan);
+        // Every attempted file exists: nothing was half-created.
+        use vfs::fs::FileSystem;
+        let ctx = OpCtx::test(NodeId(0));
+        let mut listed = 0;
+        for d in 0..storm.dirs {
+            listed += fs
+                .readdir(&ctx, &storm.root.join(&format!("d{d}")))
+                .unwrap()
+                .value
+                .len();
+        }
+        assert_eq!(listed, r.files);
     }
 
     #[test]

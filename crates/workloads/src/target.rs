@@ -9,6 +9,7 @@
 
 use cofs::batch::BatchStats;
 use cofs::client_cache::CacheStats;
+use cofs::fault::FaultSummary;
 use cofs::fs::CofsFs;
 use cofs::mds_cluster::ShardUsage;
 use pfs::fs::PfsFs;
@@ -60,6 +61,13 @@ pub trait BenchTarget: FileSystem {
     /// apply.
     fn apply_horizon(&self, horizon: SimTime) -> SimTime {
         horizon
+    }
+
+    /// Fault/recovery accounting since the last reset — `None` for
+    /// targets without an armed fault plan, so fault-free results stay
+    /// byte-identical to targets that predate fault injection.
+    fn fault_summary(&self) -> Option<FaultSummary> {
+        None
     }
 }
 
@@ -115,6 +123,10 @@ impl<U: BenchTarget> BenchTarget for CofsFs<U> {
 
     fn apply_horizon(&self, horizon: SimTime) -> SimTime {
         CofsFs::apply_horizon(self, horizon)
+    }
+
+    fn fault_summary(&self) -> Option<FaultSummary> {
+        CofsFs::fault_summary(self)
     }
 }
 

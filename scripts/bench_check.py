@@ -48,6 +48,16 @@ and fails when a structural performance claim regressed:
    the "skewed multi-tenant storm vs shard policy" section the elastic
    makespan must be at or below the best static policy's at every
    swept shard count.
+8. **Failover degrades boundedly and loses nothing** — in the
+   "failover storm vs crash timing" section, every crash row must
+   report zero ``lost acked`` ops (journal-acked work survives
+   recovery replay), a positive ``nacks`` count (the scripted crash
+   was actually observed and ridden out on retries rather than
+   silently missed), an availability ``gap`` covering at least the
+   scripted downtime, and a makespan within FAILOVER_SLACK of its
+   fault-free baseline row plus the gap and the priced recovery work
+   (the slack absorbs the post-recovery convoy when backlogged
+   clients return together).
 
 Cells are printed at two decimals, so comparisons allow one unit of
 rounding slack (0.011 ms / 1 create/s). Stdlib only; exit status 0 on
@@ -66,6 +76,11 @@ MAX_CLAIMED_SHARDS = 4
 # arrival, so its p99 may sit a bounded factor above the unbatched
 # baseline — but it must not track the queue depth the way FIFO does.
 TAIL_GROWTH_CAP = 2.0
+# A crashed storm pays the scripted gap and the priced recovery work,
+# then a convoy: every backlogged client returns at once, so queueing
+# stretches beyond the additive bound. The multiplicative slack caps
+# that convoy without excusing an unbounded wedge.
+FAILOVER_SLACK = 2.0
 
 failures = []
 
@@ -394,6 +409,88 @@ def check_elastic(report):
         )
 
 
+def check_failover(report):
+    print("failover storm vs crash timing:")
+    sec = section(report, "failover storm vs crash timing")
+    if sec is None:
+        return
+    cols = {
+        name: column(sec, name)
+        for name in (
+            "shards",
+            "journal",
+            "crash at (ms)",
+            "down (ms)",
+            "makespan (ms)",
+            "nacks",
+            "lost acked",
+            "gap (ms)",
+            "recovery (ms)",
+        )
+    }
+    if any(v is None for v in cols.values()):
+        return
+    shards_col = cols["shards"]
+    journal_col = cols["journal"]
+    crash_col = cols["crash at (ms)"]
+    down_col = cols["down (ms)"]
+    make_col = cols["makespan (ms)"]
+    nacks_col = cols["nacks"]
+    lost_col = cols["lost acked"]
+    gap_col = cols["gap (ms)"]
+    rec_col = cols["recovery (ms)"]
+    groups = []
+    for r in sec["rows"]:
+        key = (r[shards_col], r[journal_col])
+        if key not in groups:
+            groups.append(key)
+    crash_rows = [r for r in sec["rows"] if r[crash_col] != "-"]
+    check(bool(crash_rows), f"at least one crash row measured ({len(sec['rows'])} rows)")
+    for shards, journal in groups:
+        rows = [
+            r
+            for r in sec["rows"]
+            if (r[shards_col], r[journal_col]) == (shards, journal)
+        ]
+        base = [r for r in rows if r[crash_col] == "-"]
+        crashed = [r for r in rows if r[crash_col] != "-"]
+        if len(base) != 1 or not crashed:
+            check(
+                False,
+                f"{shards} shards (journal {journal}): one fault-free baseline "
+                f"row and >= 1 crash row",
+            )
+            continue
+        base_ms = float(base[0][make_col])
+        for r in crashed:
+            label = (
+                f"{shards} shards, journal {journal}, "
+                f"crash at {r[crash_col]} ms, down {r[down_col]} ms"
+            )
+            check(
+                float(r[lost_col]) == 0,
+                f"zero lost acked ops ({label}: {r[lost_col]})",
+            )
+            check(
+                float(r[nacks_col]) > 0,
+                f"crash observed and ridden out ({label}: {r[nacks_col]} nacks)",
+            )
+            check(
+                float(r[gap_col]) >= float(r[down_col]) - ROUNDING_MS,
+                f"availability gap covers the scripted downtime "
+                f"({label}: gap {r[gap_col]} ms)",
+            )
+            bound = (
+                FAILOVER_SLACK * (base_ms + float(r[gap_col]) + float(r[rec_col]))
+                + ROUNDING_MS
+            )
+            check(
+                float(r[make_col]) <= bound,
+                f"crashed makespan bounded by (baseline + gap + recovery) x "
+                f"{FAILOVER_SLACK} ({label}: {r[make_col]} <= {bound:.2f} ms)",
+            )
+
+
 def main():
     path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_scaling.json"
     try:
@@ -410,6 +507,7 @@ def main():
     check_write_behind(report)
     check_read_priority(report)
     check_elastic(report)
+    check_failover(report)
     if failures:
         print(f"\n{len(failures)} check(s) failed")
         return 1

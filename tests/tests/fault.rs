@@ -1,0 +1,221 @@
+//! Fault-injection integration tests: the crash/recovery contract from
+//! the client's point of view.
+//!
+//! Three claims are pinned here. First, the *empty* fault plan is free:
+//! a stack configured with `FaultPlan::default()` must price a whole
+//! storm byte-for-byte identically to a stack that never mentions
+//! faults — default-off means bit-for-bit, not merely "close". Second,
+//! the ack is the durability line: journal-acked mutations survive a
+//! crash via recovery replay (never lost), while ops that exhausted
+//! their retries surface exactly one `EIO` and leave no trace in the
+//! namespace — an op completes or fails, never both. Third, a
+//! *crashing* run is as replayable as a clean one: the same plan on the
+//! same storm prices to the same virtual nanosecond every time.
+
+use cofs::config::{CofsConfig, MdsNetwork, ShardPolicyKind};
+use cofs::fault::{FaultPlan, RetryConfig};
+use cofs::fs::CofsFs;
+use cofs::mds_cluster::ShardId;
+use netsim::ids::NodeId;
+use proptest::prelude::*;
+use simcore::time::{SimDuration, SimTime};
+use vfs::error::Errno;
+use vfs::fs::{FileSystem, OpCtx};
+use vfs::memfs::MemFs;
+use vfs::path::vpath;
+use vfs::types::Mode;
+use workloads::scenarios::FailoverStorm;
+
+fn stack(cfg: CofsConfig) -> CofsFs<MemFs> {
+    CofsFs::new(
+        MemFs::new(),
+        cfg,
+        MdsNetwork::uniform(SimDuration::from_micros(250)),
+        7,
+    )
+}
+
+/// The storm stack of the failover sweep: sharded MDS plus the client
+/// cache (so fencing has leases to fence), with the given plan.
+fn storm_cfg(plan: FaultPlan) -> CofsConfig {
+    CofsConfig::default()
+        .with_shards(4, ShardPolicyKind::HashByParent)
+        .with_client_cache(256, SimDuration::from_millis(50))
+        .with_fault_plan(plan)
+}
+
+#[test]
+fn empty_fault_plan_is_bit_for_bit_at_storm_level() {
+    let storm = FailoverStorm {
+        nodes: 4,
+        files_per_node: 8,
+        ..FailoverStorm::default()
+    };
+    // Same stack twice: once with no fault field ever touched, once
+    // with an explicitly-empty plan. The whole ScenarioResult — every
+    // latency, every per-shard counter — must match byte for byte.
+    let plain = CofsConfig::default()
+        .with_shards(4, ShardPolicyKind::HashByParent)
+        .with_client_cache(256, SimDuration::from_millis(50));
+    let a = storm.run(&mut stack(plain));
+    let b = storm.run(&mut stack(storm_cfg(FaultPlan::default())));
+    assert_eq!(
+        format!("{a:?}"),
+        format!("{b:?}"),
+        "an empty fault plan changed a fault-free run"
+    );
+    assert!(a.fault.is_none(), "fault-free run must report no summary");
+    assert!(b.fault.is_none(), "empty plan must stay disarmed");
+}
+
+#[test]
+fn crashing_storm_replays_byte_identical() {
+    let plan = FaultPlan::default().crash(
+        ShardId(1),
+        SimTime::from_millis(5),
+        SimDuration::from_millis(10),
+    );
+    let storm = FailoverStorm {
+        nodes: 4,
+        files_per_node: 8,
+        ..FailoverStorm::default()
+    };
+    let a = storm.run(&mut stack(storm_cfg(plan.clone())));
+    let b = storm.run(&mut stack(storm_cfg(plan)));
+    assert_eq!(
+        format!("{a:?}"),
+        format!("{b:?}"),
+        "two runs of the same crashing storm diverged"
+    );
+    let f = a.fault.expect("armed plan must report a summary");
+    assert_eq!(f.crashes, 1, "the scripted crash must fire");
+    assert!(f.retries > 0, "the storm must ride the window on retries");
+    assert_eq!(f.lost_acked_ops, 0, "journal-acked work is never lost");
+}
+
+#[test]
+fn acked_but_unapplied_rows_replay_after_crash() {
+    // Write-behind acks at journal append and applies behind the ack;
+    // a crash inside that lag window forces recovery to replay the
+    // acked rows. A fault-free probe of the same (deterministic) run
+    // measures the window, then the real run crashes in the middle of
+    // it: the replay set must be non-empty and nothing acked may be
+    // lost.
+    let wb_cfg = || {
+        CofsConfig::default()
+            .with_shards(1, ShardPolicyKind::Single)
+            .with_batching(4, SimDuration::from_millis(5), 4)
+            .with_write_behind()
+    };
+    let run_ops = |fs: &mut CofsFs<MemFs>| {
+        let ctx = OpCtx::test(NodeId(0));
+        fs.mkdir(&ctx, &vpath("/d"), Mode::dir_default())
+            .expect("mkdir before the crash");
+        for i in 0..7 {
+            let fh = fs
+                .create(&ctx, &vpath(&format!("/d/f{i}")), Mode::file_default())
+                .expect("create before the crash")
+                .value;
+            fs.close(&ctx, fh).expect("close");
+        }
+    };
+    let mut probe = stack(wb_cfg());
+    run_ops(&mut probe);
+    let ack_tail = probe.drain_batches().expect("batches were buffered");
+    let horizon = probe.apply_horizon(ack_tail);
+    assert!(horizon > ack_tail, "apply must trail the last ack");
+    let crash_at = ack_tail + (horizon - ack_tail) / 2;
+
+    let plan = FaultPlan::default().crash(ShardId(0), crash_at, SimDuration::from_millis(2));
+    let mut fs = stack(wb_cfg().with_fault_plan(plan));
+    run_ops(&mut fs);
+    // Drain the pipeline, then look again from well past recovery:
+    // every acked create must still be there.
+    fs.drain_batches();
+    let ctx = OpCtx::test(NodeId(0));
+    let late = ctx.at(SimTime::from_millis(200));
+    for i in 0..7 {
+        fs.stat(&late, &vpath(&format!("/d/f{i}")))
+            .expect("acked create must survive the crash");
+    }
+    let f = fs.fault_summary().expect("armed plan");
+    assert_eq!(f.crashes, 1);
+    assert!(
+        f.replayed_ops > 0,
+        "crash inside the apply lag must force a journal replay, got {f:?}"
+    );
+    assert_eq!(f.lost_acked_ops, 0, "journal-acked work is never lost");
+    assert!(f.recovery_ms > 0.0, "replay is priced, not free");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Unbatched ops against a crashing shard, over a swept crash
+    /// time, downtime, and retry budget: every op either completes
+    /// (possibly via retries) or surfaces one `EIO` — and a later look
+    /// at the namespace agrees exactly with what the client was told.
+    /// Nothing wedges, nothing half-happens, nothing acked is lost.
+    #[test]
+    fn ops_complete_or_fail_exactly_once(
+        crash_us in 300u64..6_000,
+        down_ms in 1u64..40,
+        max_retries in 0u32..5,
+    ) {
+        // Crash the shard that serves the hot directory's entries, so
+        // the window is actually contested whatever the hash layout.
+        let victim = stack(CofsConfig::default().with_shards(2, ShardPolicyKind::HashByParent))
+            .mds_cluster()
+            .route(&vpath("/d/f0"));
+        let plan = FaultPlan::default().crash(
+            victim,
+            SimTime::from_micros(crash_us),
+            SimDuration::from_millis(down_ms),
+        );
+        let cfg = CofsConfig::default()
+            .with_shards(2, ShardPolicyKind::HashByParent)
+            .with_fault_plan(plan)
+            .with_retry(RetryConfig { max_retries, ..RetryConfig::default() });
+        let mut fs = stack(cfg);
+        let ctx = OpCtx::test(NodeId(0));
+        fs.mkdir(&ctx, &vpath("/d"), Mode::dir_default())
+            .expect("mkdir at t=0 precedes the earliest crash");
+        let mut outcomes = Vec::new();
+        for i in 0..16u64 {
+            let c = ctx.at(SimTime::from_micros(400 * i));
+            let path = vpath(&format!("/d/f{i}"));
+            match fs.create(&c, &path, Mode::file_default()) {
+                Ok(fh) => {
+                    fs.close(&c, fh.value).expect("close");
+                    outcomes.push((path, true));
+                }
+                Err(e) => {
+                    prop_assert!(
+                        e.is(Errno::EIO),
+                        "only retry exhaustion may fail a create, got {e}"
+                    );
+                    prop_assert!(
+                        e.end().is_some(),
+                        "an exhausted op must still carry its honest end time"
+                    );
+                    outcomes.push((path, false));
+                }
+            }
+        }
+        // Well past crash + downtime + recovery: the namespace must
+        // match the acks exactly.
+        let late = ctx.at(SimTime::from_millis(500));
+        for (path, acked) in outcomes {
+            let st = fs.stat(&late, &path);
+            if acked {
+                prop_assert!(st.is_ok(), "acked create vanished: {path}");
+            } else {
+                let e = st.expect_err("failed create must leave no trace");
+                prop_assert!(e.is(Errno::ENOENT), "expected ENOENT for {path}, got {e}");
+            }
+        }
+        let f = fs.fault_summary().expect("armed plan");
+        prop_assert_eq!(f.crashes, 1);
+        prop_assert_eq!(f.lost_acked_ops, 0);
+    }
+}
