@@ -298,6 +298,54 @@ fn bench_fault(c: &mut Criterion) {
     });
 }
 
+/// The cascade storm under a crash-loop plus rack-partner plan —
+/// measures the wall-clock cost of the correlated-failure machinery
+/// (standby shipping per write-behind batch, promotion replay-set
+/// scans, admission token-bucket checks at session re-establishment)
+/// on top of the fault scaffolding `bench_fault` prices. Knobs-off vs
+/// knobs-on isolates what the survival path itself costs the
+/// simulator.
+fn cascade_storm(standby: bool, admission: bool) {
+    use cofs::fault::FaultPlan;
+    use cofs::mds_cluster::ShardId;
+    use simcore::time::{SimDuration, SimTime};
+    use workloads::scenarios::CascadeStorm;
+
+    let storm = CascadeStorm {
+        nodes: 4,
+        dirs: 8,
+        files_per_node: 8,
+        ..CascadeStorm::default()
+    };
+    let plan = FaultPlan::default()
+        .crash_loop(
+            ShardId(1),
+            SimTime::from_millis(2),
+            SimDuration::from_millis(3),
+            SimDuration::from_millis(10),
+            3,
+        )
+        .crash(
+            ShardId(2),
+            SimTime::from_millis(2),
+            SimDuration::from_millis(10),
+        );
+    let mut fs = cofs_bench::cofs_cascade(4, plan, standby, admission);
+    storm.run(&mut fs);
+}
+
+fn bench_cascade(c: &mut Criterion) {
+    c.bench_function("cascade_storm_knobs_off", |b| {
+        b.iter(|| cascade_storm(false, false))
+    });
+    c.bench_function("cascade_storm_standby", |b| {
+        b.iter(|| cascade_storm(true, false))
+    });
+    c.bench_function("cascade_storm_standby_admission", |b| {
+        b.iter(|| cascade_storm(true, true))
+    });
+}
+
 fn bench_fig1(c: &mut Criterion) {
     c.bench_function("fig1_single_node_stat_1536", |b| {
         b.iter(|| {
@@ -372,6 +420,6 @@ fn bench_table1(c: &mut Criterion) {
 criterion_group! {
     name = paper;
     config = Criterion::default().sample_size(10);
-    targets = bench_fig1, bench_fig2, bench_fig4, bench_fig5, bench_fig6, bench_table1, bench_mds, bench_client_cache, bench_batching, bench_memoization, bench_write_behind, bench_read_priority, bench_elastic, bench_fault
+    targets = bench_fig1, bench_fig2, bench_fig4, bench_fig5, bench_fig6, bench_table1, bench_mds, bench_client_cache, bench_batching, bench_memoization, bench_write_behind, bench_read_priority, bench_elastic, bench_fault, bench_cascade
 }
 criterion_main!(paper);

@@ -33,6 +33,13 @@
 //!    and the stat tail through the fault window — next to a
 //!    fault-free baseline row from the *same* factory, which must
 //!    match the plain storm bit-for-bit.
+//! 8. Cascade axis: correlated failures (a crash-loop on one shard
+//!    plus a simultaneous rack-partner crash) against the survival
+//!    knobs — hot-standby promotion × post-recovery admission control
+//!    × loop count × shard count. Standby must shrink the availability
+//!    gap below the scripted `loops × down` floor; admission must
+//!    shrink the post-recovery makespan on the convoy-visible rows;
+//!    lost-acked stays zero everywhere.
 //!
 //! Alongside the text tables the binary writes `BENCH_scaling.json`
 //! (see [`cofs_bench::write_bench_json`]) for machine consumption;
@@ -52,7 +59,9 @@ use workloads::report::{
     batch_cells, cache_cells, fault_cells, ms, read_latency_cells, shard_skew,
     shard_utilization_table, Table, BATCH_COLUMNS, CACHE_COLUMNS, FAULT_COLUMNS, READ_LAT_COLUMNS,
 };
-use workloads::scenarios::{FailoverStorm, HotStatStorm, SharedDirStorm, SkewedTenantStorm};
+use workloads::scenarios::{
+    CascadeStorm, FailoverStorm, HotStatStorm, SharedDirStorm, SkewedTenantStorm,
+};
 
 fn main() {
     let fpn = smoke_files(256);
@@ -574,6 +583,107 @@ fn main() {
     }
     println!("{}", failover_table.render());
 
+    // ---- cascade axis: correlated failures × standby × admission ----
+    // Rack crashes and crash-loops against the survival knobs. Every
+    // row keeps write-behind journaling on (standby promotion ships
+    // journal appends, so it requires the journal); the knobs-off rows
+    // are the scripted-restart path of the failover axis above, the
+    // gate's comparison anchor. `scripts/bench_check.py` gates:
+    // standby strictly shrinks the availability gap versus the
+    // knobs-matched restart row and beats the `loops × down` scripted
+    // floor; admission strictly shrinks the post-recovery makespan on
+    // the convoy-visible (standby-off) rows; lost-acked stays zero on
+    // every row.
+    let cstorm = CascadeStorm {
+        nodes: cofs_bench::smoke_nodes(8),
+        files_per_node: smoke_files(16),
+        ..CascadeStorm::default()
+    };
+    let down = SimDuration::from_millis(10);
+    println!(
+        "== Scaling: cascade storm vs correlated failures ({} nodes, {} dirs, \
+         {} files/node, {} stats/create; crash-loop of d0's shard from 2 ms every \
+         14 ms × loops, rack partner d1's shard at 2 ms, down {} ms each, \
+         write-behind on) ==\n",
+        cstorm.nodes,
+        cstorm.dirs,
+        cstorm.files_per_node,
+        cstorm.stats_per_create,
+        down.as_millis(),
+    );
+    let mut headers = vec![
+        "shards",
+        "loops",
+        "standby",
+        "admission",
+        "down (ms)",
+        "create (ms)",
+        "makespan (ms)",
+    ];
+    headers.extend(FAULT_COLUMNS);
+    let mut cascade_table = Table::new(headers);
+    for shards in smoke_or(vec![2], vec![2, 4, 8]) {
+        let probe = cofs_bench::cofs_cascade(shards, FaultPlan::default(), false, false);
+        let v0 = probe
+            .mds_cluster()
+            .route(&vfs::path::vpath("/cascade/d0/f"));
+        let v1 = probe
+            .mds_cluster()
+            .route(&vfs::path::vpath("/cascade/d1/f"));
+        // The rack partner is d1's shard when it differs from d0's —
+        // under hash-by-parent at narrow counts they can coincide,
+        // leaving a pure crash-loop row.
+        let partner = if v1 == v0 { vec![] } else { vec![v1] };
+        // Fault-free baseline from the same factory: the makespan
+        // anchor the stretch gates divide by.
+        let base = cstorm.run(&mut cofs_bench::cofs_cascade(
+            shards,
+            FaultPlan::default(),
+            false,
+            false,
+        ));
+        let mut row = vec![
+            shards.to_string(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            ms(base.mean_create_ms),
+            ms(base.makespan.as_millis_f64()),
+        ];
+        row.extend(fault_cells(base.fault.as_ref()));
+        cascade_table.row(row);
+        for loops in smoke_or(vec![1u32], vec![1, 3]) {
+            for standby in [false, true] {
+                for admission in [false, true] {
+                    let plan = FaultPlan::default()
+                        .crash_loop(
+                            v0,
+                            SimTime::from_millis(2),
+                            SimDuration::from_millis(14),
+                            down,
+                            loops,
+                        )
+                        .rack(&partner, SimTime::from_millis(2), down);
+                    let mut fs = cofs_bench::cofs_cascade(shards, plan, standby, admission);
+                    let r = cstorm.run(&mut fs);
+                    let mut row = vec![
+                        shards.to_string(),
+                        loops.to_string(),
+                        if standby { "on" } else { "off" }.to_string(),
+                        if admission { "on" } else { "off" }.to_string(),
+                        ms(down.as_millis_f64()),
+                        ms(r.mean_create_ms),
+                        ms(r.makespan.as_millis_f64()),
+                    ];
+                    row.extend(fault_cells(r.fault.as_ref()));
+                    cascade_table.row(row);
+                }
+            }
+        }
+    }
+    println!("{}", cascade_table.render());
+
     match write_bench_json(
         "scaling",
         &[
@@ -588,6 +698,7 @@ fn main() {
             ("mixed stat+create storm vs read priority", &prio_table),
             ("batching non-wins", &nonwin_table),
             ("failover storm vs crash timing", &failover_table),
+            ("cascade storm vs correlated failures", &cascade_table),
         ],
     ) {
         Ok(path) => println!("wrote {}", path.display()),

@@ -194,6 +194,38 @@ pub fn cofs_failover(
     )
 }
 
+/// [`cofs_failover`] at the correlated-failure corner: write-behind
+/// journaling always on (standby promotion ships journal appends, so
+/// it requires the journal), plus the two survival knobs the cascade
+/// axis of the `scaling` binary sweeps — hot-standby promotion and
+/// post-recovery admission control. With both knobs off this is
+/// exactly `cofs_failover(shards, plan, true)` — the knobs-off pins
+/// the fault suite asserts bit-for-bit.
+pub fn cofs_cascade(
+    shards: usize,
+    plan: cofs::fault::FaultPlan,
+    standby: bool,
+    admission: bool,
+) -> CofsFs<vfs::memfs::MemFs> {
+    let mut cfg = CofsConfig::default()
+        .with_shards(shards, ShardPolicyKind::HashByParent)
+        .with_batching(16, simcore::time::SimDuration::from_millis(5), 4)
+        .with_write_behind();
+    if standby {
+        cfg = cfg.with_standby();
+    }
+    if admission {
+        cfg = cfg.with_admission();
+    }
+    cfg = cfg.with_fault_plan(plan);
+    CofsFs::new(
+        vfs::memfs::MemFs::new(),
+        cfg,
+        MdsNetwork::uniform(simcore::time::SimDuration::from_micros(250)),
+        0xC0F5,
+    )
+}
+
 /// The full service-discipline selector every `cofs_mds_limit_*`
 /// batching factory funnels through: optional batching at
 /// `max_batch_ops` (delay window 5 ms, pipeline depth 4), per-batch

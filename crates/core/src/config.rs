@@ -81,6 +81,91 @@ impl WriteBehindConfig {
     }
 }
 
+/// Hot-standby promotion knobs on [`CofsConfig`].
+///
+/// With a standby configured, each shard primary ships every journal
+/// append to a warm standby host — priced as half a shard-to-shard round
+/// trip plus the standby's own append, *off the ack path* — and a crash
+/// is absorbed by **promoting** the standby instead of waiting out the
+/// scripted `restart_after`: the fencing epoch still bumps (sessions
+/// evicted, leases fenced), but the availability gap becomes
+/// `promotion_cost` plus the replay of the replication-lag suffix (the
+/// appends still in flight to the standby at crash time), not the
+/// scripted downtime.
+///
+/// The default is **disabled**, so the PR-9 crash path is reproduced
+/// bit-for-bit unless a harness opts in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StandbyConfig {
+    /// Master switch. Off by default.
+    pub enabled: bool,
+    /// Fixed cost of failing over to the standby: leader handoff,
+    /// fencing broadcast, and opening the standby for traffic.
+    pub promotion_cost: SimDuration,
+}
+
+impl Default for StandbyConfig {
+    fn default() -> Self {
+        StandbyConfig {
+            enabled: false,
+            promotion_cost: SimDuration::from_micros(500),
+        }
+    }
+}
+
+impl StandbyConfig {
+    /// An enabled config with the default promotion cost.
+    pub fn enabled() -> Self {
+        StandbyConfig {
+            enabled: true,
+            ..StandbyConfig::default()
+        }
+    }
+}
+
+/// Post-recovery admission-control knobs on [`CofsConfig`].
+///
+/// With admission on, a recovering (or freshly promoted) shard re-admits
+/// evicted sessions through a deterministic token bucket:
+/// `sessions_per_window` re-establishments per `window` of virtual time,
+/// anchored at the shard's resume instant. Overflow is NACKed with a
+/// server-supplied retry-after (the next admission window), and while the
+/// shard is still down its refusals carry the scheduled resume time —
+/// clients honoring the hint arrive paced instead of stampeding, which
+/// converts the post-recovery convoy into a bounded ramp.
+///
+/// The default is **disabled**: refusals then carry no hint and clients
+/// climb the plain exponential-backoff ladder, bit-for-bit the PR-9 path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Master switch. Off by default.
+    pub enabled: bool,
+    /// Session re-establishments granted per window.
+    pub sessions_per_window: u64,
+    /// Width of one admission window.
+    pub window: SimDuration,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            enabled: false,
+            sessions_per_window: 2,
+            window: SimDuration::from_micros(250),
+        }
+    }
+}
+
+impl AdmissionConfig {
+    /// An enabled config with the default ramp rate.
+    pub fn enabled() -> Self {
+        AdmissionConfig {
+            enabled: true,
+            ..AdmissionConfig::default()
+        }
+    }
+}
+
 /// Tunable parameters of the COFS virtualization layer.
 #[derive(Debug, Clone)]
 pub struct CofsConfig {
@@ -175,6 +260,12 @@ pub struct CofsConfig {
     /// Client retry/timeout/backoff policy, consulted only while a
     /// fault plan is armed.
     pub retry: RetryConfig,
+    /// Hot-standby promotion (see [`StandbyConfig`]). Disabled by
+    /// default so the PR-9 crash path stays bit-for-bit.
+    pub standby: StandbyConfig,
+    /// Post-recovery admission control (see [`AdmissionConfig`]).
+    /// Disabled by default so the PR-9 retry path stays bit-for-bit.
+    pub admission: AdmissionConfig,
 }
 
 impl Default for CofsConfig {
@@ -199,6 +290,8 @@ impl Default for CofsConfig {
             read_priority: false,
             fault: FaultPlan::default(),
             retry: RetryConfig::default(),
+            standby: StandbyConfig::default(),
+            admission: AdmissionConfig::default(),
         }
     }
 }
@@ -312,6 +405,33 @@ impl CofsConfig {
     /// A copy of this config with the given retry/backoff policy.
     pub fn with_retry(mut self, retry: RetryConfig) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// A copy of this config with hot-standby promotion switched on at
+    /// the default promotion cost (see [`StandbyConfig`]). Tune by
+    /// assigning [`Self::standby`] fields afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if write-behind journaling is not enabled — the standby
+    /// replicates *journal appends*, so without a journal there is
+    /// nothing to ship and a silent no-op would mask a misconfigured
+    /// sweep.
+    pub fn with_standby(mut self) -> Self {
+        assert!(
+            self.write_behind.enabled,
+            "standby promotion requires write-behind journaling; call with_write_behind first"
+        );
+        self.standby = StandbyConfig::enabled();
+        self
+    }
+
+    /// A copy of this config with post-recovery admission control
+    /// switched on at the default ramp rate (see [`AdmissionConfig`]).
+    /// Tune by assigning [`Self::admission`] fields afterwards.
+    pub fn with_admission(mut self) -> Self {
+        self.admission = AdmissionConfig::enabled();
         self
     }
 
@@ -560,6 +680,44 @@ mod tests {
             ..RetryConfig::default()
         });
         assert_eq!(quiet.retry.jitter_pct, 0);
+    }
+
+    #[test]
+    fn standby_defaults_off_and_builder_enables() {
+        let c = CofsConfig::default();
+        assert!(!c.standby.enabled);
+        assert!(!c.standby.promotion_cost.is_zero());
+        let s = CofsConfig::default()
+            .with_batching(16, SimDuration::from_millis(2), 4)
+            .with_write_behind()
+            .with_standby();
+        assert!(s.standby.enabled);
+        assert_eq!(
+            s.standby.promotion_cost,
+            StandbyConfig::default().promotion_cost
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "requires write-behind")]
+    fn standby_without_write_behind_panics() {
+        let _ = CofsConfig::default()
+            .with_batching(16, SimDuration::from_millis(2), 4)
+            .with_standby();
+    }
+
+    #[test]
+    fn admission_defaults_off_and_builder_enables() {
+        let c = CofsConfig::default();
+        assert!(!c.admission.enabled);
+        assert!(c.admission.sessions_per_window >= 1);
+        assert!(!c.admission.window.is_zero());
+        let a = CofsConfig::default().with_admission();
+        assert!(a.admission.enabled);
+        assert_eq!(
+            a.admission.sessions_per_window,
+            AdmissionConfig::default().sessions_per_window
+        );
     }
 
     #[test]

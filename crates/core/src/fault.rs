@@ -55,6 +55,21 @@ pub struct MessageDrop {
     pub count: u32,
 }
 
+/// One scripted network partition: from `at` the shard is unreachable for
+/// `heal_after`, but the process never dies. No fencing epoch bump, no
+/// session eviction, no recovery replay — granted leases keep answering
+/// locally on their holders, and requests are refused with a fast NACK
+/// until the partition heals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPartition {
+    /// Which shard is cut off.
+    pub shard: ShardId,
+    /// Virtual time the partition opens.
+    pub at: SimTime,
+    /// How long until connectivity heals.
+    pub heal_after: SimDuration,
+}
+
 /// A deterministic, virtual-time fault script. Empty by default; an empty
 /// plan is never armed and costs nothing.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -63,13 +78,15 @@ pub struct FaultPlan {
     pub crashes: Vec<ShardCrash>,
     /// Scripted message drops (consumed in `(at, shard)` order).
     pub drops: Vec<MessageDrop>,
+    /// Scripted network partitions (static windows — no event processing).
+    pub partitions: Vec<ShardPartition>,
 }
 
 impl FaultPlan {
     /// True when the plan schedules nothing — the fault subsystem stays
     /// disarmed and the fault-free path is bit-for-bit untouched.
     pub fn is_empty(&self) -> bool {
-        self.crashes.is_empty() && self.drops.is_empty()
+        self.crashes.is_empty() && self.drops.is_empty() && self.partitions.is_empty()
     }
 
     /// Schedule a shard crash (builder style).
@@ -85,6 +102,46 @@ impl FaultPlan {
     /// Schedule a run of message drops (builder style).
     pub fn drop_messages(mut self, shard: ShardId, at: SimTime, count: u32) -> Self {
         self.drops.push(MessageDrop { shard, at, count });
+        self
+    }
+
+    /// Schedule a correlated (rack-level) crash: every listed shard dies
+    /// at the same instant with the same downtime. An empty shard list
+    /// schedules nothing, so the plan stays empty and is never armed.
+    pub fn rack(mut self, shards: &[ShardId], at: SimTime, restart_after: SimDuration) -> Self {
+        for &shard in shards {
+            self = self.crash(shard, at, restart_after);
+        }
+        self
+    }
+
+    /// Schedule a crash-loop: `count` crashes of the same shard starting
+    /// at `first_at`, spaced `period` apart, each down for
+    /// `restart_after`. If the scripted spacing is tighter than the
+    /// downtime (plus recovery replay), the cluster clamps each flap to
+    /// fire no earlier than the previous resume, so windows never
+    /// overlap. `count == 0` schedules nothing.
+    pub fn crash_loop(
+        mut self,
+        shard: ShardId,
+        first_at: SimTime,
+        period: SimDuration,
+        restart_after: SimDuration,
+        count: u32,
+    ) -> Self {
+        for i in 0..count {
+            self = self.crash(shard, first_at + period * u64::from(i), restart_after);
+        }
+        self
+    }
+
+    /// Schedule a network partition (builder style).
+    pub fn partition(mut self, shard: ShardId, at: SimTime, heal_after: SimDuration) -> Self {
+        self.partitions.push(ShardPartition {
+            shard,
+            at,
+            heal_after,
+        });
         self
     }
 }
@@ -149,6 +206,15 @@ pub struct Nack {
     pub shard: ShardId,
     /// When the client learns of the failure.
     pub at: SimTime,
+    /// Server-supplied earliest useful retry instant. `Some` only when
+    /// post-recovery admission control is enabled: a down shard points at
+    /// its scheduled resume, a token-bucket refusal at the next admission
+    /// window. Clients honoring it wait out the hint instead of climbing
+    /// the exponential-backoff ladder (a scheduled wait is not a failure
+    /// escalation). `None` — always, for partitions and drops, since no
+    /// supervisor can answer across a severed link — falls back to plain
+    /// backoff, bit-for-bit the admission-off path.
+    pub retry_after: Option<SimTime>,
 }
 
 /// Cluster-side fault accounting, aggregated over shards.
@@ -171,6 +237,17 @@ pub struct FaultStats {
     pub lost_acked_ops: u64,
     /// Elastic rebalances aborted because a shard was down or fenced.
     pub elastic_aborts: u64,
+    /// Crashes absorbed by promoting a hot standby instead of waiting
+    /// out the scripted downtime.
+    pub promotions: u64,
+    /// Journal rows replayed from the replication-lag suffix at
+    /// promotion (shipped-but-unacknowledged tail on the standby).
+    pub lag_replayed_rows: u64,
+    /// Session re-admissions deferred by post-recovery admission control.
+    pub admission_defers: u64,
+    /// Requests refused because the target shard was partitioned (alive
+    /// but unreachable). Also counted in `nacks`.
+    pub partition_nacks: u64,
     /// Total unavailability (crash → resume) summed over fault windows.
     pub downtime: SimDuration,
     /// CPU time spent on recovery (journal scan + replay).
@@ -191,6 +268,10 @@ pub struct RetryStats {
     /// Daemon-acked ops inside batches that exhausted retries (work the
     /// client believed submitted but the cluster never journaled).
     pub exhausted_ops: u64,
+    /// Deepest backoff-ladder rung any single operation reached (attempt
+    /// index of the last backoff issued) — a direct measure of convoy
+    /// severity that raw retry counts hide.
+    pub max_backoff_depth: u32,
 }
 
 /// Combined fault/retry summary for scenario reports. `None` on targets
@@ -217,6 +298,20 @@ pub struct FaultSummary {
     pub fenced_sessions: u64,
     /// Elastic rebalances aborted by the fault window.
     pub elastic_aborts: u64,
+    /// Crashes absorbed by standby promotion.
+    pub promotions: u64,
+    /// Journal rows replayed from the replication-lag suffix at promotion.
+    pub lag_replayed: u64,
+    /// Session re-admissions deferred by the post-recovery token bucket.
+    pub admission_defers: u64,
+    /// Refusals attributable to network partitions (subset of `nacks`).
+    pub partition_nacks: u64,
+    /// Distinct client nodes that surfaced at least one `EIO`.
+    pub eio_nodes: u64,
+    /// Worst per-node `EIO` count (how concentrated the damage was).
+    pub max_node_exhausted: u64,
+    /// Deepest backoff-ladder rung any operation reached.
+    pub max_backoff_depth: u32,
     /// Availability gap (crash → resume), milliseconds.
     pub gap_ms: f64,
     /// Recovery CPU time (journal scan + replay), milliseconds.
@@ -244,6 +339,58 @@ mod tests {
         assert!(!plan.is_empty());
         assert_eq!(plan.crashes.len(), 1);
         assert_eq!(plan.drops[0].count, 3);
+    }
+
+    #[test]
+    fn rack_expands_to_one_crash_per_shard() {
+        let at = SimTime::from_millis(3);
+        let down = SimDuration::from_millis(8);
+        let plan = FaultPlan::default().rack(&[ShardId(0), ShardId(2)], at, down);
+        assert_eq!(plan.crashes.len(), 2);
+        assert!(plan
+            .crashes
+            .iter()
+            .all(|c| c.at == at && c.restart_after == down));
+        assert_eq!(plan.crashes[1].shard, ShardId(2));
+        // An empty rack schedules nothing — the plan is never armed.
+        assert!(FaultPlan::default().rack(&[], at, down).is_empty());
+    }
+
+    #[test]
+    fn crash_loop_spaces_flaps_by_period() {
+        let plan = FaultPlan::default().crash_loop(
+            ShardId(1),
+            SimTime::from_millis(2),
+            SimDuration::from_millis(14),
+            SimDuration::from_millis(10),
+            3,
+        );
+        assert_eq!(plan.crashes.len(), 3);
+        let ats: Vec<u64> = plan.crashes.iter().map(|c| c.at.as_millis()).collect();
+        assert_eq!(ats, vec![2, 16, 30]);
+        assert!(plan.crashes.iter().all(|c| c.shard == ShardId(1)));
+        // A zero-count loop schedules nothing.
+        assert!(FaultPlan::default()
+            .crash_loop(
+                ShardId(1),
+                SimTime::ZERO,
+                SimDuration::from_millis(1),
+                SimDuration::from_millis(1),
+                0,
+            )
+            .is_empty());
+    }
+
+    #[test]
+    fn partitions_make_the_plan_nonempty() {
+        let plan = FaultPlan::default().partition(
+            ShardId(0),
+            SimTime::from_millis(1),
+            SimDuration::from_millis(5),
+        );
+        assert!(!plan.is_empty());
+        assert_eq!(plan.partitions.len(), 1);
+        assert!(plan.crashes.is_empty());
     }
 
     #[test]

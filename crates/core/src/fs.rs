@@ -85,6 +85,10 @@ pub struct CofsFs<U: FileSystem> {
     /// Monotonic retry sequence — seeds per-retry backoff jitter so
     /// concurrent clients de-synchronize deterministically.
     retry_seq: u64,
+    /// Retry-exhausted (`EIO`) operations per client node — how
+    /// concentrated the convoy's damage was, surfaced as aggregates in
+    /// [`FaultSummary`]. Empty without an armed plan.
+    exhausted_by_node: BTreeMap<NodeId, u64>,
 }
 
 impl<U: FileSystem> CofsFs<U> {
@@ -161,6 +165,7 @@ impl<U: FileSystem> CofsFs<U> {
             counters: Counters::new(),
             retry: RetryStats::default(),
             retry_seq: 0,
+            exhausted_by_node: BTreeMap::new(),
             cfg,
         }
     }
@@ -261,6 +266,13 @@ impl<U: FileSystem> CofsFs<U> {
             fenced_leases: f.fenced_leases,
             fenced_sessions: f.fenced_sessions,
             elastic_aborts: f.elastic_aborts,
+            promotions: f.promotions,
+            lag_replayed: f.lag_replayed_rows,
+            admission_defers: f.admission_defers,
+            partition_nacks: f.partition_nacks,
+            eio_nodes: self.exhausted_by_node.len() as u64,
+            max_node_exhausted: self.exhausted_by_node.values().copied().max().unwrap_or(0),
+            max_backoff_depth: r.max_backoff_depth,
             gap_ms: f.downtime.as_millis_f64(),
             recovery_ms: f.recovery_busy.as_millis_f64(),
             errors: 0,
@@ -303,6 +315,7 @@ impl<U: FileSystem> CofsFs<U> {
         self.cache.reset_stats();
         self.retry = RetryStats::default();
         self.retry_seq = 0;
+        self.exhausted_by_node.clear();
     }
 
     fn cred(ctx: &OpCtx) -> Cred {
@@ -537,9 +550,21 @@ impl<U: FileSystem> CofsFs<U> {
                     Err(nack) => {
                         self.apply_fenced();
                         self.retry.nacks += 1;
+                        if let Some(after) = nack.retry_after {
+                            // Server-scheduled wait (admission control):
+                            // arrive exactly when told instead of
+                            // climbing the backoff ladder — a scheduled
+                            // slot is not a failure escalation, and the
+                            // token bucket guarantees the schedule makes
+                            // progress.
+                            self.retry.retries += 1;
+                            t = nack.at.max(after);
+                            continue;
+                        }
                         if attempt >= self.cfg.retry.max_retries {
                             self.retry.exhausted += 1;
                             self.retry.exhausted_ops += b.ops.len() as u64;
+                            *self.exhausted_by_node.entry(node).or_insert(0) += 1;
                             self.batch.record_completion(node, nack.at);
                             return Err(FsError::new(Errno::EIO, "batch", b.shard.to_string())
                                 .with_end(nack.at));
@@ -551,6 +576,7 @@ impl<U: FileSystem> CofsFs<U> {
                         self.retry.backoff += delay;
                         t = nack.at + delay;
                         attempt += 1;
+                        self.retry.max_backoff_depth = self.retry.max_backoff_depth.max(attempt);
                     }
                 }
             }
@@ -574,30 +600,40 @@ impl<U: FileSystem> CofsFs<U> {
         if !self.mds.fault_active() {
             return Ok(t);
         }
-        let rtt = self.net.shard_rtt(node, shard);
         let mut now = t;
         let mut attempt = 0u32;
         loop {
-            let up = self
+            let verdict = self
                 .mds
                 .shard_available(&self.cfg, &self.net, node, shard, now);
             self.apply_fenced();
-            if up {
-                return Ok(now);
-            }
-            let failed = now + rtt;
+            let nack = match verdict {
+                Ok(()) => return Ok(now),
+                Err(nack) => nack,
+            };
             self.retry.nacks += 1;
+            if let Some(after) = nack.retry_after {
+                // Server-scheduled wait: the refusal quoted when the
+                // shard (or the admission bucket) will actually take
+                // us, so arrive then — no ladder, no jitter, and no
+                // attempt escalation (progress is guaranteed).
+                self.retry.retries += 1;
+                now = nack.at.max(after);
+                continue;
+            }
             if attempt >= self.cfg.retry.max_retries {
                 self.retry.exhausted += 1;
-                return Err(FsError::new(Errno::EIO, op, subject.to_string()).with_end(failed));
+                *self.exhausted_by_node.entry(node).or_insert(0) += 1;
+                return Err(FsError::new(Errno::EIO, op, subject.to_string()).with_end(nack.at));
             }
             self.retry.retries += 1;
             let seq = self.retry_seq;
             self.retry_seq += 1;
             let delay = self.cfg.retry.backoff(node, seq, attempt);
             self.retry.backoff += delay;
-            now = failed + delay;
+            now = nack.at + delay;
             attempt += 1;
+            self.retry.max_backoff_depth = self.retry.max_backoff_depth.max(attempt);
         }
     }
 

@@ -23,7 +23,7 @@
 use crate::batch::{coalesce_writes, BatchedOp};
 use crate::client_cache::{EntryKind, LeaseKey};
 use crate::config::{CofsConfig, MdsNetwork, WriteBehindConfig};
-use crate::fault::{FaultPlan, FaultStats, MessageDrop, Nack, ShardCrash};
+use crate::fault::{FaultPlan, FaultStats, MessageDrop, Nack, ShardCrash, ShardPartition};
 use crate::mds::{DbOps, Mds, RowKey};
 use metadb::cost::DbCostTracker;
 use netsim::ids::NodeId;
@@ -292,6 +292,40 @@ struct UnappliedEntry {
     rows: u64,
 }
 
+/// One journal append shipped (asynchronously) to the shard's hot
+/// standby. `ship_done` is when the standby has durably appended it —
+/// a pure function of the ack time, the inter-shard link, and the
+/// standby's append cost, never of client traffic, so promotion can
+/// classify any batch as shipped-or-in-flight at an arbitrary crash
+/// instant. Kept separately from [`UnappliedEntry`] because the
+/// durability clamp prunes entries once *the primary* applies them,
+/// while a late ship can outlive that: a row applied on the primary
+/// but still in flight to the standby must be replayed at promotion.
+#[derive(Debug, Clone)]
+struct ShipEntry {
+    /// When the primary acked the batch (journal append completed).
+    acked: SimTime,
+    /// When the standby has the append durably.
+    ship_done: SimTime,
+    /// Operations the batch carried.
+    ops: u64,
+    /// Coalesced rows the batch will apply.
+    rows: u64,
+}
+
+/// Post-recovery admission state, created when a shard resumes (or is
+/// promoted) with [`crate::config::AdmissionConfig`] enabled. Gates
+/// *session re-establishment* only: nodes already re-admitted (or never
+/// evicted) pass untouched, so steady-state traffic sees no gate.
+#[derive(Debug)]
+struct ShardAdmission {
+    bucket: TokenBucket,
+    /// Nodes granted re-admission (their session insert may lag the
+    /// grant by one round trip; this set keeps the grant from being
+    /// charged twice).
+    admitted: BTreeSet<NodeId>,
+}
+
 /// One completed crash window on a shard: the shard refuses requests
 /// arriving in `[crashed_at, resume_at)`; `resume_at` includes the
 /// priced recovery work (journal scan + replay).
@@ -311,6 +345,9 @@ struct FaultState {
     /// Each scripted drop event paired with how many requests it has
     /// swallowed so far.
     drops: Vec<(MessageDrop, u32)>,
+    /// Scripted partitions. Static windows: whether a request at `t` is
+    /// refused is a pure predicate, so no cursor or event processing.
+    partitions: Vec<ShardPartition>,
 }
 
 #[derive(Debug)]
@@ -338,6 +375,16 @@ struct Shard {
     lost_acked_ops: u64,
     downtime: SimDuration,
     recovery_busy: SimDuration,
+    /// Journal appends shipped to the hot standby and not yet settled
+    /// by a crash (standby mode only; empty otherwise).
+    ship_tail: Vec<ShipEntry>,
+    promotions: u64,
+    lag_replayed_rows: u64,
+    partition_nacks: u64,
+    admission_defers: u64,
+    /// Post-recovery admission gate; `None` until a crash resumes with
+    /// admission control enabled.
+    admission: Option<ShardAdmission>,
 }
 
 impl Shard {
@@ -364,6 +411,12 @@ impl Shard {
             lost_acked_ops: 0,
             downtime: SimDuration::ZERO,
             recovery_busy: SimDuration::ZERO,
+            ship_tail: Vec::new(),
+            promotions: 0,
+            lag_replayed_rows: 0,
+            partition_nacks: 0,
+            admission_defers: 0,
+            admission: None,
         }
     }
 
@@ -660,6 +713,9 @@ impl MdsCluster {
     ) -> SimTime {
         assert!(!ops.is_empty(), "a batch RPC carries at least one op");
         let (arrive, rtt) = self.request_prologue(cfg, net, node, shard, t);
+        // Ship bookkeeping only matters when a crash could consult it;
+        // gating on an armed plan keeps fault-free runs allocation-flat.
+        let ship_to_standby = cfg.standby.enabled && self.faults.is_some();
         let s = &mut self.shards[shard.0];
         s.rpcs += ops.len() as u64;
         s.batches += 1;
@@ -707,6 +763,22 @@ impl MdsCluster {
                 ops: ops.len() as u64,
                 rows,
             });
+            if ship_to_standby {
+                // The append crosses the inter-shard link and is
+                // re-appended on the standby — entirely off the ack
+                // path, so the client-visible times above are untouched
+                // (the standby-off pin). What the entry buys is the
+                // replication-lag bound: a crash before `ship_done`
+                // must replay this batch onto the promoted standby.
+                let ship_done =
+                    acked + cfg.cross_shard_rtt / 2 + cfg.db.standby_append_cost(total_writes);
+                s.ship_tail.push(ShipEntry {
+                    acked,
+                    ship_done,
+                    ops: ops.len() as u64,
+                    rows,
+                });
+            }
             return acked + rtt / 2;
         }
         let writes: Vec<u64> = ops.iter().map(|o| o.db.writes).filter(|&w| w > 0).collect();
@@ -803,10 +875,13 @@ impl MdsCluster {
         crashes.sort_by_key(|c| (c.at, c.shard));
         let mut drops = plan.drops;
         drops.sort_by_key(|d| (d.at, d.shard));
+        let mut partitions = plan.partitions;
+        partitions.sort_by_key(|p| (p.at, p.shard));
         self.faults = Some(FaultState {
             crashes,
             next_crash: 0,
             drops: drops.into_iter().map(|d| (d, 0)).collect(),
+            partitions,
         });
     }
 
@@ -829,6 +904,93 @@ impl MdsCluster {
             .windows
             .iter()
             .any(|w| w.crashed_at <= t && t < w.resume_at)
+    }
+
+    /// True when `shard` is cut off by a scripted network partition at
+    /// `t`. Unlike a crash this never bumps the epoch, evicts sessions,
+    /// or fences leases — the process is alive, just unreachable, so a
+    /// still-live lease keeps answering on its holder and state survives
+    /// the heal untouched.
+    pub fn is_isolated(&self, shard: ShardId, t: SimTime) -> bool {
+        self.faults.as_ref().is_some_and(|f| {
+            f.partitions
+                .iter()
+                .any(|p| p.shard == shard && p.at <= t && t < p.at + p.heal_after)
+        })
+    }
+
+    /// Scheduled resume instant of the crash window covering `t` on
+    /// `shard`, if any — what a supervisor quotes as retry-after while
+    /// the shard is down.
+    fn resume_of(&self, shard: ShardId, t: SimTime) -> Option<SimTime> {
+        self.shards[shard.0]
+            .windows
+            .iter()
+            .find(|w| w.crashed_at <= t && t < w.resume_at)
+            .map(|w| w.resume_at)
+    }
+
+    /// Shard-side acceptance decision for a request from `node` landing
+    /// at `arrive` (refusals become known to the client at `reply_at`).
+    /// Order matters: a crashed shard refuses before its partition state
+    /// is even reachable, and admission gates only requests that made it
+    /// to a live, connected shard. With admission control enabled a
+    /// down-shard refusal quotes the scheduled resume as retry-after
+    /// (the supervisor knows the restart schedule); a partition refusal
+    /// never quotes one — no supervisor answers across a severed link.
+    fn accept(
+        &mut self,
+        cfg: &CofsConfig,
+        node: NodeId,
+        shard: ShardId,
+        arrive: SimTime,
+        reply_at: SimTime,
+    ) -> Result<(), Nack> {
+        if self.is_down(shard, arrive) {
+            let retry_after = if cfg.admission.enabled {
+                self.resume_of(shard, arrive)
+            } else {
+                None
+            };
+            self.shards[shard.0].nacks += 1;
+            return Err(Nack {
+                shard,
+                at: reply_at,
+                retry_after,
+            });
+        }
+        if self.is_isolated(shard, arrive) {
+            let s = &mut self.shards[shard.0];
+            s.nacks += 1;
+            s.partition_nacks += 1;
+            return Err(Nack {
+                shard,
+                at: reply_at,
+                retry_after: None,
+            });
+        }
+        if !self.sessions.contains(&(node, shard.0)) {
+            if let Some(adm) = self.shards[shard.0].admission.as_mut() {
+                if !adm.admitted.contains(&node) {
+                    match adm.bucket.admit(arrive) {
+                        Admit::Granted => {
+                            adm.admitted.insert(node);
+                        }
+                        Admit::RetryAt(after) => {
+                            let s = &mut self.shards[shard.0];
+                            s.nacks += 1;
+                            s.admission_defers += 1;
+                            return Err(Nack {
+                                shard,
+                                at: reply_at,
+                                retry_after: Some(after),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Processes every scripted crash due by `now`. Piggybacks on
@@ -854,12 +1016,32 @@ impl MdsCluster {
     /// shard serves traffic again. Survivors re-pay `session_cost` on
     /// next contact, so session re-establishment is charged where it
     /// happens.
+    ///
+    /// With [`crate::config::StandbyConfig`] enabled the crash is
+    /// absorbed by *promoting* the hot standby instead: same fencing
+    /// (epoch bump, evictions, lease fences — the old primary's grants
+    /// are worthless either way), but service resumes after the fixed
+    /// promotion cost plus replay of only the replication-lag suffix —
+    /// the journal appends still in flight to the standby at the crash
+    /// instant, re-read from the dead primary's durable journal. Fully
+    /// shipped batches were already applied by the warm standby, so the
+    /// scripted `restart_after` never enters the gap.
+    ///
+    /// Crash-loop flap clamping: a crash scripted inside the shard's
+    /// previous recovery window fires the instant that window ends, so
+    /// windows never overlap and downtime sums remain exact.
     fn apply_crash(&mut self, cfg: &CofsConfig, crash: ShardCrash) {
         let shard = crash.shard;
         assert!(
             shard.0 < self.shards.len(),
             "fault plan names unknown {shard}"
         );
+        // Windows are pushed in fire order and resume times are monotone
+        // under this clamp, so checking the last window suffices.
+        let at = self.shards[shard.0]
+            .windows
+            .last()
+            .map_or(crash.at, |w| crash.at.max(w.resume_at));
         self.shards[shard.0].crashes += 1;
         self.shards[shard.0].epoch += 1;
         let before = self.sessions.len();
@@ -892,27 +1074,55 @@ impl MdsCluster {
                 self.fenced_pending.push((holder, key.clone()));
             }
         }
-        // The replay set: journal-acked by the crash instant but not
-        // yet applied. Entries the simulator priced ahead of the crash
-        // (acked after `at`) keep their original schedule — a
-        // virtual-time approximation documented in the module docs.
-        let restart_at = crash.at + crash.restart_after;
+        let promote = cfg.standby.enabled;
+        let restart_at = if promote {
+            at + cfg.standby.promotion_cost
+        } else {
+            at + crash.restart_after
+        };
         let s = &mut self.shards[shard.0];
+        let (mut replay_ops, mut replay_rows): (u64, Vec<u64>) = (0, Vec::new());
         let mut acked_at_crash = 0u64;
-        let mut replay_ops = 0u64;
-        let mut replay_rows: Vec<u64> = Vec::new();
-        for e in s.unapplied.iter() {
-            if e.acked <= crash.at && e.apply_done > crash.at {
+        let mut covered_ops = 0u64;
+        if promote {
+            // The promotion replay set: journal appends acked by the
+            // crash but still in flight to the standby (`ship_done`
+            // after `at`), re-read from the dead primary's durable
+            // journal tail. Fully shipped batches were applied by the
+            // warm standby as they arrived and cost nothing here.
+            for e in s.ship_tail.iter() {
+                if e.acked > at {
+                    continue;
+                }
                 acked_at_crash += e.ops;
-                replay_ops += e.ops;
-                if e.rows > 0 {
-                    replay_rows.push(e.rows);
+                if e.ship_done > at {
+                    replay_ops += e.ops;
+                    if e.rows > 0 {
+                        replay_rows.push(e.rows);
+                    }
+                } else {
+                    covered_ops += e.ops;
+                }
+            }
+        } else {
+            // The replay set: journal-acked by the crash instant but
+            // not yet applied. Entries the simulator priced ahead of
+            // the crash (acked after `at`) keep their original schedule
+            // — a virtual-time approximation documented in the module
+            // docs.
+            for e in s.unapplied.iter() {
+                if e.acked <= at && e.apply_done > at {
+                    acked_at_crash += e.ops;
+                    replay_ops += e.ops;
+                    if e.rows > 0 {
+                        replay_rows.push(e.rows);
+                    }
                 }
             }
         }
-        // Recovery is real work: boot, scan the journal tail, re-apply
-        // the replay set as one group commit. Only then does the shard
-        // resume service.
+        // Recovery is real work: boot (or leader handoff), scan the
+        // journal tail, re-apply the replay set as one group commit.
+        // Only then does the shard resume service.
         let mut service = cfg.mds_service + s.tracker.query_cost_dedup(&cfg.db, replay_ops, 0);
         if !replay_rows.is_empty() {
             service += s.tracker.group_txn_cost(&cfg.db, &replay_rows);
@@ -920,22 +1130,52 @@ impl MdsCluster {
         let resume_at = s.cpu.acquire(restart_at, service).end;
         s.recovery_busy += service;
         s.replayed_ops += replay_ops;
-        // Canary for the bench gate: the replay set is exactly the
-        // acked-but-unapplied window, so nothing journal-acked is lost.
-        s.lost_acked_ops += acked_at_crash - replay_ops;
+        if promote {
+            s.promotions += 1;
+            s.lag_replayed_rows += replay_rows.iter().sum::<u64>();
+            // Every batch acked by the crash is either on the standby
+            // (fully shipped, applied there) or replayed from the
+            // durable journal tail — the canary stays structural.
+            s.lost_acked_ops += acked_at_crash - covered_ops - replay_ops;
+            // Batches acked by this crash are settled: shipped ones
+            // live on the new primary, the lag suffix was just
+            // replayed, and the next standby bootstraps from the full
+            // journal. Later crashes only ever consult newer acks.
+            s.ship_tail.retain(|e| e.acked > at);
+        } else {
+            // Canary for the bench gate: the replay set is exactly the
+            // acked-but-unapplied window, so nothing journal-acked is
+            // lost.
+            s.lost_acked_ops += acked_at_crash - replay_ops;
+        }
         let mut max_lag = s.apply_lag;
         for e in s.unapplied.iter_mut() {
-            if e.acked <= crash.at && e.apply_done > crash.at {
+            if e.acked <= at && e.apply_done > at {
                 e.apply_done = resume_at;
                 max_lag = max_lag.max(resume_at - e.acked);
             }
         }
         s.apply_lag = max_lag;
-        s.downtime += resume_at - crash.at;
+        s.downtime += resume_at - at;
         s.windows.push(FaultWindow {
-            crashed_at: crash.at,
+            crashed_at: at,
             resume_at,
         });
+        if cfg.admission.enabled {
+            // Re-admit evicted sessions through a fresh token bucket
+            // anchored at the resume: `sessions_per_window` grants per
+            // window, overflow deferred to the next window start. A
+            // repeat crash replaces the gate wholesale — the new outage
+            // re-evicts everyone anyway.
+            s.admission = Some(ShardAdmission {
+                bucket: TokenBucket::new(
+                    resume_at,
+                    cfg.admission.sessions_per_window,
+                    cfg.admission.window,
+                ),
+                admitted: BTreeSet::new(),
+            });
+        }
     }
 
     /// Consumes one scripted message drop addressed to `shard` at `t`,
@@ -955,8 +1195,11 @@ impl MdsCluster {
 
     /// Client-side availability probe: advances the fault script to the
     /// request's predicted arrival and reports whether `shard` would
-    /// accept it. A refused probe counts as a shard-side NACK. Always
-    /// true (and side-effect-free) with no plan armed.
+    /// accept a request from `node`. A refusal carries the failed round
+    /// trip and any server-supplied retry-after, and counts as a
+    /// shard-side NACK; an admission grant consumed here is remembered,
+    /// so the op the probe admits does not pay twice. Always `Ok` (and
+    /// side-effect-free) with no plan armed.
     pub fn shard_available(
         &mut self,
         cfg: &CofsConfig,
@@ -964,18 +1207,14 @@ impl MdsCluster {
         node: NodeId,
         shard: ShardId,
         t: SimTime,
-    ) -> bool {
+    ) -> Result<(), Nack> {
         if self.faults.is_none() {
-            return true;
+            return Ok(());
         }
-        let arrive = t + net.shard_rtt(node, shard) / 2;
+        let rtt = net.shard_rtt(node, shard);
+        let arrive = t + rtt / 2;
         self.advance_faults(cfg, arrive);
-        if self.is_down(shard, arrive) {
-            self.shards[shard.0].nacks += 1;
-            false
-        } else {
-            true
-        }
+        self.accept(cfg, node, shard, arrive, t + rtt)
     }
 
     /// [`Self::rpc`] with fault awareness: with no plan armed it *is*
@@ -1000,15 +1239,13 @@ impl MdsCluster {
             return Err(Nack {
                 shard,
                 at: t + cfg.retry.timeout,
+                retry_after: None,
             });
         }
         let rtt = net.shard_rtt(node, shard);
         let arrive = t + rtt / 2;
         self.advance_faults(cfg, arrive);
-        if self.is_down(shard, arrive) {
-            self.shards[shard.0].nacks += 1;
-            return Err(Nack { shard, at: t + rtt });
-        }
+        self.accept(cfg, node, shard, arrive, t + rtt)?;
         Ok(self.rpc(cfg, net, node, shard, ops, t))
     }
 
@@ -1033,15 +1270,13 @@ impl MdsCluster {
             return Err(Nack {
                 shard,
                 at: t + cfg.retry.timeout,
+                retry_after: None,
             });
         }
         let rtt = net.shard_rtt(node, shard);
         let arrive = t + rtt / 2;
         self.advance_faults(cfg, arrive);
-        if self.is_down(shard, arrive) {
-            self.shards[shard.0].nacks += 1;
-            return Err(Nack { shard, at: t + rtt });
-        }
+        self.accept(cfg, node, shard, arrive, t + rtt)?;
         Ok(self.rpc_batch(cfg, net, node, shard, ops, t))
     }
 
@@ -1067,6 +1302,10 @@ impl MdsCluster {
             f.drops += s.drops_hit;
             f.replayed_ops += s.replayed_ops;
             f.lost_acked_ops += s.lost_acked_ops;
+            f.promotions += s.promotions;
+            f.lag_replayed_rows += s.lag_replayed_rows;
+            f.admission_defers += s.admission_defers;
+            f.partition_nacks += s.partition_nacks;
             f.downtime += s.downtime;
             f.recovery_busy += s.recovery_busy;
         }
@@ -1384,6 +1623,12 @@ impl MdsCluster {
             s.lost_acked_ops = 0;
             s.downtime = SimDuration::ZERO;
             s.recovery_busy = SimDuration::ZERO;
+            s.ship_tail.clear();
+            s.promotions = 0;
+            s.lag_replayed_rows = 0;
+            s.partition_nacks = 0;
+            s.admission_defers = 0;
+            s.admission = None;
         }
         self.last_sweep = SimTime::ZERO;
         self.lease_sweeps = 0;
@@ -2102,7 +2347,7 @@ mod tests {
             .unwrap();
         let bb = b.rpc_batch(&c, &n, NodeId(0), ShardId(0), &batch, tb);
         assert_eq!(ba, bb);
-        assert!(a.shard_available(&c, &n, NodeId(0), ShardId(0), ba));
+        assert!(a.shard_available(&c, &n, NodeId(0), ShardId(0), ba).is_ok());
         assert_eq!(a.fault_stats(), b.fault_stats());
         assert_eq!(a.epoch(ShardId(0)), 1);
     }
@@ -2192,7 +2437,9 @@ mod tests {
         cluster.grant_lease(NodeId(5), (EntryKind::Attr, p0.clone()), far);
         assert_eq!(cluster.lease_holder_count(), 3);
         // Any probe past the crash time processes the script.
-        assert!(cluster.shard_available(&c, &n, NodeId(0), ShardId(0), SimTime::from_millis(6)));
+        assert!(cluster
+            .shard_available(&c, &n, NodeId(0), ShardId(0), SimTime::from_millis(6))
+            .is_ok());
         let fenced = cluster.take_fenced_cache_keys();
         assert_eq!(fenced.len(), 2, "both shard-1 leases fence: {fenced:?}");
         assert!(fenced.iter().all(|(_, key)| {
@@ -2224,20 +2471,24 @@ mod tests {
         let crash_at = acked_server + (horizon - acked_server) / 2;
         let restart = SimDuration::from_millis(1);
         cluster.arm_faults(FaultPlan::default().crash(ShardId(0), crash_at, restart));
-        assert!(!cluster.shard_available(
-            &c,
-            &n,
-            NodeId(0),
-            ShardId(0),
-            crash_at + SimDuration::from_micros(1)
-        ));
-        assert!(cluster.shard_available(
-            &c,
-            &n,
-            NodeId(0),
-            ShardId(0),
-            crash_at + SimDuration::from_secs(1)
-        ));
+        assert!(cluster
+            .shard_available(
+                &c,
+                &n,
+                NodeId(0),
+                ShardId(0),
+                crash_at + SimDuration::from_micros(1)
+            )
+            .is_err());
+        assert!(cluster
+            .shard_available(
+                &c,
+                &n,
+                NodeId(0),
+                ShardId(0),
+                crash_at + SimDuration::from_secs(1)
+            )
+            .is_ok());
         let f = cluster.fault_stats();
         assert_eq!(f.crashes, 1);
         assert_eq!(f.replayed_ops, 8, "every acked op replays");
@@ -2342,5 +2593,231 @@ mod tests {
             .unwrap_err();
         assert_eq!(e1, e2, "the script replays identically after reset");
         assert_eq!(cluster.epoch(ShardId(0)), 2);
+    }
+
+    /// Runs one 8-op write-behind batch under `c` and returns
+    /// `(server ack, ship_done)` — the instants the journal append was
+    /// acked and the standby append would complete.
+    fn shipped_batch_times(c: &CofsConfig) -> (SimTime, SimTime) {
+        let n = net();
+        let batch: Vec<BatchedOp> = (0..8).map(|_| create_op(42)).collect();
+        let mut probe = MdsCluster::new(Box::new(SingleShard));
+        let ack = probe.rpc_batch(c, &n, NodeId(0), ShardId(0), &batch, SimTime::ZERO);
+        let acked = ack - SimDuration::from_micros(125); // minus rtt/2
+        let ship_done = acked + SimDuration::from_micros(125) + c.db.standby_append_cost(24);
+        (acked, ship_done)
+    }
+
+    #[test]
+    fn promotion_resumes_within_promotion_cost_not_restart_after() {
+        // Standby on: the crash is absorbed by promoting the warm
+        // standby. The outage is promotion cost plus the lag replay —
+        // far below the scripted restart_after the cold path waits out.
+        let c = wb_cfg().with_standby();
+        let n = net();
+        let (acked, ship_done) = shipped_batch_times(&c);
+        // Crash while the journal append is still in flight to the
+        // standby: the suffix must replay from the durable tail.
+        let crash_at = acked + (ship_done - acked) / 2;
+        let restart = SimDuration::from_millis(10);
+        let plan = FaultPlan::default().crash(ShardId(0), crash_at, restart);
+        let mut cluster = MdsCluster::new(Box::new(SingleShard));
+        cluster.arm_faults(plan);
+        let batch: Vec<BatchedOp> = (0..8).map(|_| create_op(42)).collect();
+        let ack = cluster.rpc_batch(&c, &n, NodeId(0), ShardId(0), &batch, SimTime::ZERO);
+        assert_eq!(
+            ack,
+            acked + SimDuration::from_micros(125),
+            "shipping stays off the ack path"
+        );
+        assert!(cluster
+            .shard_available(
+                &c,
+                &n,
+                NodeId(0),
+                ShardId(0),
+                crash_at + SimDuration::from_micros(1)
+            )
+            .is_err());
+        let f = cluster.fault_stats();
+        assert_eq!(f.crashes, 1);
+        assert_eq!(f.promotions, 1);
+        assert_eq!(f.replayed_ops, 8, "the in-flight ship suffix replays");
+        assert_eq!(f.lag_replayed_rows, 17, "the coalesced write set replays");
+        assert_eq!(f.lost_acked_ops, 0, "acked work survives the promotion");
+        assert!(
+            f.downtime >= c.standby.promotion_cost && f.downtime < restart,
+            "promotion beats the scripted restart: {:?}",
+            f.downtime
+        );
+        // Fencing is not skipped: the epoch bumps and the writer's
+        // session was evicted, exactly as on a cold restart.
+        assert_eq!(cluster.epoch(ShardId(0)), 2);
+        assert_eq!(f.fenced_sessions, 1);
+        assert!(cluster
+            .shard_available(&c, &n, NodeId(0), ShardId(0), crash_at + f.downtime)
+            .is_ok());
+    }
+
+    #[test]
+    fn fully_shipped_batches_cost_nothing_at_promotion() {
+        // Crash after the standby append landed: the warm standby
+        // already applied the batch, so promotion replays nothing.
+        let c = wb_cfg().with_standby();
+        let n = net();
+        let (_, ship_done) = shipped_batch_times(&c);
+        let crash_at = ship_done + SimDuration::from_micros(1);
+        let plan = FaultPlan::default().crash(ShardId(0), crash_at, SimDuration::from_millis(10));
+        let mut cluster = MdsCluster::new(Box::new(SingleShard));
+        cluster.arm_faults(plan);
+        let batch: Vec<BatchedOp> = (0..8).map(|_| create_op(42)).collect();
+        cluster.rpc_batch(&c, &n, NodeId(0), ShardId(0), &batch, SimTime::ZERO);
+        assert!(cluster
+            .shard_available(
+                &c,
+                &n,
+                NodeId(0),
+                ShardId(0),
+                crash_at + SimDuration::from_micros(1)
+            )
+            .is_err());
+        let f = cluster.fault_stats();
+        assert_eq!(f.promotions, 1);
+        assert_eq!(f.replayed_ops, 0, "nothing was in flight");
+        assert_eq!(f.lag_replayed_rows, 0);
+        assert_eq!(f.lost_acked_ops, 0);
+        // Downtime is exactly promotion + the empty journal-tail scan.
+        assert_eq!(
+            f.downtime,
+            c.standby.promotion_cost + c.mds_service + c.db.lookup
+        );
+    }
+
+    #[test]
+    fn admission_paces_session_readmission_after_recovery() {
+        let plan = FaultPlan::default().crash(
+            ShardId(0),
+            SimTime::from_millis(1),
+            SimDuration::from_millis(1),
+        );
+        let c = CofsConfig::default()
+            .with_fault_plan(plan.clone())
+            .with_admission();
+        let n = net();
+        let mut cluster = MdsCluster::new(Box::new(SingleShard));
+        cluster.arm_faults(plan);
+        // While the shard is down, the supervisor quotes the scheduled
+        // resume as retry-after (admission control is on).
+        let down = cluster
+            .shard_available(&c, &n, NodeId(0), ShardId(0), SimTime::from_millis(1))
+            .unwrap_err();
+        let resume = down.retry_after.expect("supervisor quotes the restart");
+        // The first `sessions_per_window` nodes are re-admitted...
+        assert!(cluster
+            .shard_available(&c, &n, NodeId(0), ShardId(0), resume)
+            .is_ok());
+        assert!(cluster
+            .shard_available(&c, &n, NodeId(1), ShardId(0), resume)
+            .is_ok());
+        // ...the next is deferred to the following window start.
+        let deferred = cluster
+            .shard_available(&c, &n, NodeId(2), ShardId(0), resume)
+            .unwrap_err();
+        let after = deferred
+            .retry_after
+            .expect("admission quotes the next window");
+        assert_eq!(after, resume + c.admission.window);
+        // A probe-granted node re-probes without burning a second
+        // token: node 0 stays admitted while node 3 is still deferred.
+        assert!(cluster
+            .shard_available(&c, &n, NodeId(0), ShardId(0), resume)
+            .is_ok());
+        assert!(cluster
+            .shard_available(&c, &n, NodeId(3), ShardId(0), resume)
+            .is_err());
+        // Honoring the quoted retry-after lands node 2 in window 1.
+        assert!(cluster
+            .shard_available(&c, &n, NodeId(2), ShardId(0), after)
+            .is_ok());
+        let f = cluster.fault_stats();
+        assert_eq!(f.admission_defers, 2, "nodes 2 and 3 each deferred once");
+        assert_eq!(f.nacks, 1 + 2, "the down NACK plus both defers");
+    }
+
+    #[test]
+    fn partition_refuses_without_fencing_or_epoch_bump() {
+        // A partitioned shard is alive but unreachable: requests NACK
+        // with no retry-after, yet nothing is fenced, no epoch bumps,
+        // and no downtime accrues — the shard never died.
+        let plan = FaultPlan::default().partition(
+            ShardId(0),
+            SimTime::from_millis(1),
+            SimDuration::from_millis(2),
+        );
+        let c = CofsConfig::default().with_fault_plan(plan.clone());
+        let n = net();
+        let mut cluster = MdsCluster::new(Box::new(SingleShard));
+        cluster.arm_faults(plan);
+        let ops = DbOps {
+            reads: 1,
+            writes: 0,
+        };
+        assert!(cluster
+            .rpc_checked(&c, &n, NodeId(0), ShardId(0), ops, SimTime::ZERO)
+            .is_ok());
+        let e = cluster
+            .rpc_checked(&c, &n, NodeId(0), ShardId(0), ops, SimTime::from_millis(1))
+            .unwrap_err();
+        assert_eq!(
+            e.retry_after, None,
+            "no supervisor answers across a severed link"
+        );
+        assert_eq!(
+            e.at,
+            SimTime::from_millis(1) + SimDuration::from_micros(250),
+            "the refusal costs one round trip"
+        );
+        assert_eq!(cluster.epoch(ShardId(0)), 1);
+        // After the heal the same session keeps working — it was never
+        // evicted.
+        assert!(cluster
+            .rpc_checked(&c, &n, NodeId(0), ShardId(0), ops, SimTime::from_millis(3))
+            .is_ok());
+        let f = cluster.fault_stats();
+        assert_eq!(f.partition_nacks, 1);
+        assert_eq!(f.nacks, 1);
+        assert_eq!(f.crashes, 0);
+        assert_eq!(f.fenced_sessions, 0);
+        assert_eq!(f.fenced_leases, 0);
+        assert_eq!(f.downtime, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn crash_loop_flaps_clamp_into_nonoverlapping_windows() {
+        // The scripted period (1ms) is tighter than the outage (2ms +
+        // recovery), so each flap clamps to fire at the previous
+        // resume: downtime accrues sequentially, never double-counting
+        // overlapped windows.
+        let restart = SimDuration::from_millis(2);
+        let plan = FaultPlan::default().crash_loop(
+            ShardId(0),
+            SimTime::from_millis(1),
+            SimDuration::from_millis(1),
+            restart,
+            3,
+        );
+        let c = CofsConfig::default().with_fault_plan(plan.clone());
+        let n = net();
+        let mut cluster = MdsCluster::new(Box::new(SingleShard));
+        cluster.arm_faults(plan);
+        // One probe far in the future drives every scripted flap.
+        let _ = cluster.shard_available(&c, &n, NodeId(0), ShardId(0), SimTime::from_secs(1));
+        let f = cluster.fault_stats();
+        assert_eq!(f.crashes, 3);
+        // Empty replay: each window is restart + the journal-tail scan,
+        // chained end to end.
+        let per = restart + c.mds_service + c.db.lookup;
+        assert_eq!(f.downtime, per * 3);
+        assert_eq!(cluster.epoch(ShardId(0)), 4, "every flap fences");
     }
 }

@@ -32,6 +32,25 @@ pub struct DbCostModel {
     pub journal_record: SimDuration,
 }
 
+impl DbCostModel {
+    /// Service demand of replicating one journal append (carrying
+    /// `records` mutation records) onto a hot standby. The standby
+    /// replays the identical sequential append, so the cost reuses the
+    /// journal terms; what makes it cheap for clients is *where* it is
+    /// paid — off the ack path, after the primary's own append. A pure
+    /// function of the model (no tracker counters advance), so the
+    /// promotion path can re-derive a batch's ship-completion time at
+    /// crash time from the same inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `records` is zero — an empty append ships nothing.
+    pub fn standby_append_cost(&self, records: u64) -> SimDuration {
+        assert!(records > 0, "standby append of zero records");
+        self.journal_append + self.journal_record * records
+    }
+}
+
 impl Default for DbCostModel {
     /// Defaults calibrated to Mnesia ram/disc-copies on a 2004-era
     /// blade: single-digit-microsecond ETS lookups, log-append writes,
@@ -369,6 +388,25 @@ mod tests {
     #[should_panic(expected = "journal append of zero records")]
     fn empty_journal_append_panics() {
         DbCostTracker::new().journal_append_cost(&DbCostModel::default(), 0);
+    }
+
+    #[test]
+    fn standby_append_mirrors_journal_append_without_counters() {
+        let m = DbCostModel::default();
+        let mut t = DbCostTracker::new();
+        // Same bytes, same sequential append cost as the primary's.
+        assert_eq!(m.standby_append_cost(7), t.journal_append_cost(&m, 7));
+        // But a pure model function: no journal counters advance.
+        assert_eq!(t.journal_appends(), 1);
+        m.standby_append_cost(3);
+        assert_eq!(t.journal_appends(), 1);
+        assert_eq!(t.journal_records(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "standby append of zero records")]
+    fn empty_standby_append_panics() {
+        DbCostModel::default().standby_append_cost(0);
     }
 
     #[test]

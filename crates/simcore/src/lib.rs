@@ -34,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod bandwidth;
 pub mod resource;
 pub mod rng;
@@ -42,6 +43,7 @@ pub mod time;
 
 /// Convenient glob-import of the most commonly used items.
 pub mod prelude {
+    pub use crate::admission::{Admit, TokenBucket};
     pub use crate::bandwidth::{Bandwidth, BandwidthLink};
     pub use crate::resource::{FifoResource, Grant, MultiResource, TwoLaneResource};
     pub use crate::rng::{stable_hash, stable_hash_combine, SimRng};

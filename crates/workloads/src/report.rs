@@ -386,16 +386,25 @@ pub fn batch_cells(stats: Option<&BatchStats>) -> Vec<String> {
 /// The failover columns scenario tables append when a run reports a
 /// [`FaultSummary`]: client retries and cluster refusals, steps that
 /// exhausted retries (`EIO`), journal rows replayed vs. lost across the
-/// crash, the availability gap and recovery CPU, both in milliseconds.
-/// A fault-free run (plan unarmed) renders as dashes so baseline and
-/// crash rows align in one table.
-pub const FAULT_COLUMNS: [&str; 8] = [
+/// crash, standby promotions and the replication-lag rows they
+/// replayed, admission deferrals and partition refusals, how the `EIO`
+/// damage spread across nodes (distinct nodes, worst per-node count,
+/// deepest backoff rung), then the availability gap and recovery CPU,
+/// both in milliseconds. A fault-free run (plan unarmed) renders as
+/// dashes so baseline and crash rows align in one table.
+pub const FAULT_COLUMNS: [&str; 14] = [
     "retries",
     "nacks",
     "errors",
     "replayed",
     "lost acked",
     "fenced",
+    "promoted",
+    "lag rows",
+    "deferred",
+    "cut off",
+    "eio nodes",
+    "max depth",
     "gap (ms)",
     "recovery (ms)",
 ];
@@ -410,7 +419,7 @@ pub const FAULT_COLUMNS: [&str; 8] = [
 ///
 /// let s = FaultSummary { retries: 9, gap_ms: 12.5, ..Default::default() };
 /// assert_eq!(fault_cells(Some(&s))[0], "9");
-/// assert_eq!(fault_cells(Some(&s))[6], "12.50");
+/// assert_eq!(fault_cells(Some(&s))[12], "12.50");
 /// assert_eq!(fault_cells(None)[0], "-");
 /// ```
 pub fn fault_cells(summary: Option<&FaultSummary>) -> Vec<String> {
@@ -422,6 +431,12 @@ pub fn fault_cells(summary: Option<&FaultSummary>) -> Vec<String> {
             s.replayed_ops.to_string(),
             s.lost_acked_ops.to_string(),
             s.fenced_leases.to_string(),
+            s.promotions.to_string(),
+            s.lag_replayed.to_string(),
+            s.admission_defers.to_string(),
+            s.partition_nacks.to_string(),
+            s.eio_nodes.to_string(),
+            s.max_backoff_depth.to_string(),
             ms(s.gap_ms),
             ms(s.recovery_ms),
         ],

@@ -806,6 +806,62 @@ impl FailoverStorm {
     }
 }
 
+/// The correlated-failure study: the [`FailoverStorm`] traffic shape
+/// pointed at a target whose plan scripts *multiple* overlapping
+/// faults — rack crashes, crash-loops, partitions. The survival
+/// machinery under test (hot-standby promotion, post-recovery
+/// admission control) lives entirely in the target's config; the storm
+/// pins the traffic shape so swept rows stay comparable. What the
+/// cascade rows expose that the single-crash failover rows cannot:
+/// repeat crashes hammer the same re-established sessions (the
+/// crash-loop convoy admission control paces), and simultaneous rack
+/// crashes multiply the promotion/restart gap difference.
+#[derive(Debug, Clone)]
+pub struct CascadeStorm {
+    /// Nodes issuing creates.
+    pub nodes: usize,
+    /// Hot shared directories (`<root>/d0` … `<root>/d{dirs-1}`).
+    pub dirs: usize,
+    /// Files each node creates (spread round-robin over the dirs).
+    pub files_per_node: usize,
+    /// `stat` calls issued after each create.
+    pub stats_per_create: usize,
+    /// Parent of the shared directories.
+    pub root: VPath,
+}
+
+impl Default for CascadeStorm {
+    fn default() -> Self {
+        CascadeStorm {
+            nodes: 8,
+            dirs: 8,
+            files_per_node: 16,
+            stats_per_create: 2,
+            root: vpath("/cascade"),
+        }
+    }
+}
+
+impl CascadeStorm {
+    /// Runs the storm; same contract as [`FailoverStorm::run`] — only
+    /// `EIO` (retry exhaustion) and its deterministic `EBADF`/`ENOENT`
+    /// cascade may surface, counted in [`FaultSummary::errors`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on any other errno.
+    pub fn run<F: BenchTarget>(&self, fs: &mut F) -> ScenarioResult {
+        FailoverStorm {
+            nodes: self.nodes,
+            dirs: self.dirs,
+            files_per_node: self.files_per_node,
+            stats_per_create: self.stats_per_create,
+            root: self.root.clone(),
+        }
+        .run(fs)
+    }
+}
+
 fn summarize<F: BenchTarget>(report: RunReport, files: usize, fs: &mut F) -> ScenarioResult {
     // Pipelined batching acknowledges mutations before their wire
     // completion; the phase is not over until the tail drains.
@@ -1166,6 +1222,73 @@ mod tests {
                 .len();
         }
         assert_eq!(listed, r.files);
+    }
+
+    #[test]
+    fn cascade_storm_survives_a_crash_loop_with_promotion_and_admission() {
+        use cofs::config::{CofsConfig, MdsNetwork, ShardPolicyKind};
+        use cofs::fault::FaultPlan;
+        use cofs::fs::CofsFs;
+        use cofs::mds_cluster::ShardId;
+        use simcore::time::SimDuration;
+
+        let storm = CascadeStorm {
+            nodes: 4,
+            dirs: 8,
+            files_per_node: 8,
+            stats_per_create: 2,
+            ..CascadeStorm::default()
+        };
+        // A three-flap crash loop on one shard plus a simultaneous
+        // partner crash — the correlated shape the cascade axis sweeps.
+        // The tight 3ms period keeps every flap inside the promoted
+        // storm's (much shorter) makespan so all four crashes fire.
+        let plan = FaultPlan::default()
+            .crash_loop(
+                ShardId(1),
+                SimTime::from_millis(2),
+                SimDuration::from_millis(3),
+                SimDuration::from_millis(10),
+                3,
+            )
+            .crash(
+                ShardId(2),
+                SimTime::from_millis(2),
+                SimDuration::from_millis(10),
+            );
+        let cfg = CofsConfig::default()
+            .with_shards(4, ShardPolicyKind::HashByParent)
+            .with_batching(16, SimDuration::from_millis(5), 4)
+            .with_write_behind()
+            .with_standby()
+            .with_admission()
+            .with_fault_plan(plan);
+        let mut fs = CofsFs::new(
+            MemFs::new(),
+            cfg,
+            MdsNetwork::uniform(SimDuration::from_micros(250)),
+            7,
+        );
+        let r = storm.run(&mut fs);
+        let f = r.fault.expect("plan armed");
+        assert_eq!(f.crashes, 4, "three flaps plus the rack partner");
+        assert_eq!(f.promotions, 4, "standby absorbs every crash");
+        assert_eq!(f.lost_acked_ops, 0, "acked work survives every flap");
+        assert_eq!(f.errors, 0, "promotion gaps are short enough to ride out");
+        // Promotion keeps each outage near the promotion cost, far
+        // below the 4 × 10ms scripted floor the cold path waits out.
+        assert!(f.gap_ms < 40.0, "promotion beats the scripted floor: {f:?}");
+        use vfs::fs::FileSystem;
+        let ctx = OpCtx::test(NodeId(0));
+        let mut listed = 0;
+        for d in 0..storm.dirs {
+            listed += fs
+                .readdir(&ctx, &storm.root.join(&format!("d{d}")))
+                .unwrap()
+                .value
+                .len();
+        }
+        assert_eq!(listed, r.files, "nothing half-created across the cascade");
     }
 
     #[test]

@@ -24,7 +24,7 @@ use vfs::fs::{FileSystem, OpCtx};
 use vfs::memfs::MemFs;
 use vfs::path::vpath;
 use vfs::types::Mode;
-use workloads::scenarios::FailoverStorm;
+use workloads::scenarios::{CascadeStorm, FailoverStorm};
 
 fn stack(cfg: CofsConfig) -> CofsFs<MemFs> {
     CofsFs::new(
@@ -148,6 +148,103 @@ fn acked_but_unapplied_rows_replay_after_crash() {
     assert!(f.recovery_ms > 0.0, "replay is priced, not free");
 }
 
+/// The write-behind storm stack of the cascade sweep (shape of
+/// `cofs_bench::cofs_cascade` with both knobs off).
+fn cascade_cfg() -> CofsConfig {
+    CofsConfig::default()
+        .with_shards(4, ShardPolicyKind::HashByParent)
+        .with_batching(16, SimDuration::from_millis(5), 4)
+        .with_write_behind()
+}
+
+#[test]
+fn empty_cascade_plan_is_bit_for_bit_even_with_knobs_on() {
+    // A rack of no shards plus a zero-count crash-loop is an *empty*
+    // plan: never armed. With the survival knobs on top (standby +
+    // admission act only inside fault processing), the storm must
+    // still price byte-for-byte like a stack that never mentions
+    // faults or knobs at all.
+    let storm = CascadeStorm {
+        nodes: 4,
+        files_per_node: 8,
+        ..CascadeStorm::default()
+    };
+    let empty = FaultPlan::default()
+        .rack(&[], SimTime::from_millis(2), SimDuration::from_millis(10))
+        .crash_loop(
+            ShardId(1),
+            SimTime::from_millis(2),
+            SimDuration::from_millis(3),
+            SimDuration::from_millis(10),
+            0,
+        );
+    assert!(empty.is_empty(), "no-op builders must compose to empty");
+    let a = storm.run(&mut stack(cascade_cfg()));
+    let b = storm.run(&mut stack(
+        cascade_cfg()
+            .with_standby()
+            .with_admission()
+            .with_fault_plan(empty),
+    ));
+    assert_eq!(
+        format!("{a:?}"),
+        format!("{b:?}"),
+        "an empty cascade plan (knobs on) changed a fault-free run"
+    );
+    assert!(b.fault.is_none(), "empty cascade plan must stay disarmed");
+}
+
+#[test]
+fn cascading_storm_replays_byte_identical_with_knobs_on() {
+    // The most machinery one run can exercise — a crash-loop, a
+    // simultaneous rack partner, a partition, standby promotion, and
+    // admission pacing — must still replay to the same virtual
+    // nanosecond every time.
+    let plan = FaultPlan::default()
+        .crash_loop(
+            ShardId(1),
+            SimTime::from_millis(2),
+            SimDuration::from_millis(3),
+            SimDuration::from_millis(10),
+            3,
+        )
+        .rack(
+            &[ShardId(2)],
+            SimTime::from_millis(2),
+            SimDuration::from_millis(10),
+        )
+        .partition(
+            ShardId(3),
+            SimTime::from_millis(4),
+            SimDuration::from_millis(3),
+        );
+    let storm = CascadeStorm {
+        nodes: 4,
+        files_per_node: 8,
+        ..CascadeStorm::default()
+    };
+    let cfg = || {
+        cascade_cfg()
+            .with_standby()
+            .with_admission()
+            .with_fault_plan(plan.clone())
+    };
+    let a = storm.run(&mut stack(cfg()));
+    let b = storm.run(&mut stack(cfg()));
+    assert_eq!(
+        format!("{a:?}"),
+        format!("{b:?}"),
+        "two runs of the same cascading storm diverged"
+    );
+    let f = a.fault.expect("armed plan must report a summary");
+    assert!(f.crashes >= 2, "the loop and the rack partner must fire");
+    assert_eq!(
+        f.promotions, f.crashes,
+        "with standby on, every crash is absorbed by a promotion"
+    );
+    assert_eq!(f.lost_acked_ops, 0, "journal-acked work is never lost");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
@@ -216,6 +313,133 @@ proptest! {
         }
         let f = fs.fault_summary().expect("armed plan");
         prop_assert_eq!(f.crashes, 1);
+        prop_assert_eq!(f.lost_acked_ops, 0);
+    }
+
+    /// Any bounded crash-loop against unbatched clients, admission on
+    /// or off: every op still completes or fails exactly once, the
+    /// namespace agrees with the acks, and nothing journal-acked is
+    /// lost — no matter how often the shard flaps.
+    #[test]
+    fn crash_loops_keep_ops_exactly_once(
+        first_us in 300u64..4_000,
+        period_ms in 1u64..8,
+        down_ms in 1u64..12,
+        count in 1u32..4,
+        admission in prop::bool::ANY,
+        max_retries in 0u32..5,
+    ) {
+        let victim = stack(CofsConfig::default().with_shards(2, ShardPolicyKind::HashByParent))
+            .mds_cluster()
+            .route(&vpath("/d/f0"));
+        let plan = FaultPlan::default().crash_loop(
+            victim,
+            SimTime::from_micros(first_us),
+            SimDuration::from_millis(period_ms),
+            SimDuration::from_millis(down_ms),
+            count,
+        );
+        let mut cfg = CofsConfig::default()
+            .with_shards(2, ShardPolicyKind::HashByParent)
+            .with_fault_plan(plan)
+            .with_retry(RetryConfig { max_retries, ..RetryConfig::default() });
+        if admission {
+            cfg = cfg.with_admission();
+        }
+        let mut fs = stack(cfg);
+        let ctx = OpCtx::test(NodeId(0));
+        fs.mkdir(&ctx, &vpath("/d"), Mode::dir_default())
+            .expect("mkdir at t=0 precedes the earliest crash");
+        let mut outcomes = Vec::new();
+        for i in 0..16u64 {
+            let c = ctx.at(SimTime::from_micros(400 * i));
+            let path = vpath(&format!("/d/f{i}"));
+            match fs.create(&c, &path, Mode::file_default()) {
+                Ok(fh) => {
+                    fs.close(&c, fh.value).expect("close");
+                    outcomes.push((path, true));
+                }
+                Err(e) => {
+                    prop_assert!(
+                        e.is(Errno::EIO),
+                        "only retry exhaustion may fail a create, got {e}"
+                    );
+                    outcomes.push((path, false));
+                }
+            }
+        }
+        // Past every flap, window, and admission ramp.
+        let late = ctx.at(SimTime::from_millis(500));
+        for (path, acked) in outcomes {
+            let st = fs.stat(&late, &path);
+            if acked {
+                prop_assert!(st.is_ok(), "acked create vanished: {path}");
+            } else {
+                let e = st.expect_err("failed create must leave no trace");
+                prop_assert!(e.is(Errno::ENOENT), "expected ENOENT for {path}, got {e}");
+            }
+        }
+        let f = fs.fault_summary().expect("armed plan");
+        prop_assert!(f.crashes >= 1, "at least the first flap fires");
+        prop_assert_eq!(f.lost_acked_ops, 0);
+    }
+
+    /// Any bounded crash-loop against the write-behind (batched)
+    /// stack, standby promotion on or off: the default retry budget
+    /// rides out every flap, so every create survives — the ack is the
+    /// durability line across repeated crashes and promotions, and the
+    /// lost-acked canary stays zero.
+    #[test]
+    fn crash_loops_lose_no_acked_work_across_promotions(
+        first_us in 300u64..4_000,
+        period_ms in 1u64..8,
+        down_ms in 1u64..12,
+        count in 1u32..4,
+        standby in prop::bool::ANY,
+        admission in prop::bool::ANY,
+    ) {
+        let victim = stack(cascade_cfg()).mds_cluster().route(&vpath("/d/f0"));
+        let plan = FaultPlan::default().crash_loop(
+            victim,
+            SimTime::from_micros(first_us),
+            SimDuration::from_millis(period_ms),
+            SimDuration::from_millis(down_ms),
+            count,
+        );
+        let mut cfg = cascade_cfg().with_fault_plan(plan);
+        if standby {
+            cfg = cfg.with_standby();
+        }
+        if admission {
+            cfg = cfg.with_admission();
+        }
+        let mut fs = stack(cfg);
+        let ctx = OpCtx::test(NodeId(0));
+        fs.mkdir(&ctx, &vpath("/d"), Mode::dir_default())
+            .expect("mkdir at t=0 precedes the earliest crash");
+        for i in 0..16u64 {
+            let c = ctx.at(SimTime::from_micros(400 * i));
+            let path = vpath(&format!("/d/f{i}"));
+            let fh = fs
+                .create(&c, &path, Mode::file_default())
+                .expect("default retry budget rides out every flap")
+                .value;
+            fs.close(&c, fh).expect("close");
+        }
+        fs.drain_batches();
+        let late = ctx.at(SimTime::from_millis(500));
+        for i in 0..16u64 {
+            fs.stat(&late, &vpath(&format!("/d/f{i}")))
+                .expect("acked create must survive every flap");
+        }
+        let f = fs.fault_summary().expect("armed plan");
+        prop_assert!(f.crashes >= 1, "at least the first flap fires");
+        if standby {
+            // Standby absorbs every crash as a promotion.
+            prop_assert_eq!(f.promotions, f.crashes);
+        } else {
+            prop_assert_eq!(f.promotions, 0);
+        }
         prop_assert_eq!(f.lost_acked_ops, 0);
     }
 }
